@@ -1,0 +1,25 @@
+# Developer conveniences for the ABS reproduction.
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	pip install -e .[test]
+
+test:
+	pytest tests/
+
+test-fast:              ## skip the slow example subprocess smoke tests
+	pytest tests/ --ignore=tests/integration/test_examples.py
+
+bench:                  ## reduced-scale: regenerates every paper table/figure
+	pytest benchmarks/ --benchmark-only
+
+bench-full:             ## full instance lists (minutes to hours)
+	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,81 @@
+"""Ablation — asynchronous vs barrier-synchronized block execution.
+
+§3.2: straight-search lengths vary per block (each GA target lands at a
+different Hamming distance), *"This variation may produce an overhead
+for synchronization between CUDA blocks, but it is avoided because each
+CUDA block operates asynchronously."*
+
+This bench measures the actual per-round work distribution of a live
+ABS run (Hamming distance + fixed local steps per block per round) and
+computes the makespans of the two execution disciplines.  Shape: the
+asynchronous speedup must exceed 1 and grow when straight searches
+dominate the round (small ``local_steps``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import FULL
+from repro.gpusim.async_sim import async_speedup, sample_round_work
+from repro.problems.random_qubo import random_qubo
+from repro.utils.tables import Table
+
+_N = 512 if FULL else 256
+_BLOCKS = 32
+_ROUNDS = 24 if FULL else 16
+
+
+def test_ablation_async_execution(benchmark, report):
+    qubo = random_qubo(_N, seed=_N)
+    table = Table(
+        [
+            "local steps / round", "mean work", "work std",
+            "sync makespan", "async makespan", "async speedup",
+        ],
+        title=(
+            f"Asynchronous vs synchronized execution, n={_N}, "
+            f"{_BLOCKS} blocks × {_ROUNDS} rounds (work = Hamming + steps)"
+        ),
+    )
+    speedups = {}
+    for steps in (8, 32, 128):
+        work = sample_round_work(
+            qubo, _BLOCKS, _ROUNDS, local_steps=steps, seed=steps
+        )
+        from repro.gpusim.async_sim import (
+            asynchronous_makespan,
+            synchronized_makespan,
+        )
+
+        s = async_speedup(work)
+        speedups[steps] = s
+        table.add_row(
+            [
+                steps,
+                f"{work.mean():.1f}",
+                f"{work.std():.1f}",
+                f"{synchronized_makespan(work):.0f}",
+                f"{asynchronous_makespan(work):.0f}",
+                f"{s:.3f}x",
+            ]
+        )
+
+    report(
+        "Ablation async execution",
+        table.render()
+        + "\n\nBarriers pay the per-round maximum; free-running blocks pay "
+        "their own means.  The gap is the §3.2 synchronization overhead "
+        "ABS avoids, and it widens when variable-length straight searches "
+        "dominate the round.",
+    )
+
+    # The paper's claim: asynchrony strictly helps …
+    assert all(s > 1.0 for s in speedups.values())
+    # … and matters most when the variable part dominates the round.
+    assert speedups[8] > speedups[128]
+
+    benchmark(
+        lambda: sample_round_work(qubo, 8, 4, local_steps=16, seed=0)
+    )

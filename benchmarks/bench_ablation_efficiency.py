@@ -1,0 +1,73 @@
+"""Ablation — the search-efficiency ladder (Lemmas 1–3, Theorem 1).
+
+Measures operations-per-evaluated-solution for Algorithms 1–4 across
+problem sizes and verifies the claimed asymptotics empirically:
+
+- Algorithm 1 scales ∝ n² (doubling n quadruples the cost),
+- Algorithm 2 scales ∝ n for large step counts,
+- Algorithm 3 scales ∝ n,
+- Algorithm 4 is exactly 1 op/solution at every size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FULL
+from repro.metrics.efficiency import measure_efficiency
+from repro.qubo import QuboMatrix
+from repro.search import (
+    BulkLocalSearch,
+    DeltaLocalSearch,
+    NaiveLocalSearch,
+    OneStepLocalSearch,
+)
+from repro.search.accept import AlwaysAccept
+from repro.utils.tables import Table
+
+_SIZES = (64, 128, 256, 512) if FULL else (64, 128, 256)
+_STEPS = 512 if FULL else 256
+
+
+def test_ablation_search_efficiency(benchmark, report):
+    algorithms = [
+        NaiveLocalSearch(AlwaysAccept()),
+        OneStepLocalSearch(AlwaysAccept()),
+        DeltaLocalSearch(AlwaysAccept()),
+        BulkLocalSearch(),
+    ]
+    weights = {n: QuboMatrix.random(n, seed=n) for n in _SIZES}
+    points = measure_efficiency(algorithms, weights, steps=_STEPS, seed=0)
+
+    table = Table(
+        ["algorithm", *[f"n={n}" for n in _SIZES], "expected"],
+        title="Measured search efficiency (ops / evaluated solution)",
+    )
+    expected = {
+        algorithms[0].name: "Θ(n²)",
+        algorithms[1].name: "Θ(n + n²/m)",
+        algorithms[2].name: "Θ(n)",
+        algorithms[3].name: "Θ(1)",
+    }
+    by_algo: dict[str, dict[int, float]] = {}
+    for p in points:
+        by_algo.setdefault(p.algorithm, {})[p.n] = p.efficiency
+    for name, effs in by_algo.items():
+        table.add_row([name, *[f"{effs[n]:.2f}" for n in _SIZES], expected[name]])
+
+    report("Ablation efficiency ladder", table.render())
+
+    naive = by_algo[algorithms[0].name]
+    delta = by_algo[algorithms[2].name]
+    bulk = by_algo[algorithms[3].name]
+    # Quadratic: ratio across a 2× size step is 4×.
+    assert naive[128] / naive[64] == pytest.approx(4.0, rel=0.05)
+    # Linear: ratio is 2× (loose tolerance: rejected moves cost nothing).
+    assert 1.4 < delta[128] / delta[64] < 2.6
+    # Constant: exactly 1 at every size (Theorem 1).
+    for n in _SIZES:
+        assert bulk[n] == pytest.approx(1.0, abs=0.01)
+
+    benchmark(
+        lambda: measure_efficiency([BulkLocalSearch()], {64: weights[64]}, steps=64)
+    )

@@ -1,0 +1,67 @@
+"""Ablation — local steps per round (device ↔ host feedback cadence).
+
+§3.2 Step 4b fixes the number of flips per local search between target
+refreshes.  The knob trades:
+
+- **short rounds** — fast GA feedback (the pool improves often) but
+  more straight-search transitions and host traffic;
+- **long rounds** — blocks run free longer (cheap) but recombine less.
+
+This bench sweeps ``local_steps`` at fixed wall-clock using the sweep
+harness and reports quality + rate; the expected shape is an interior
+plateau (very short rounds waste time on transitions, very long rounds
+starve the GA).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FULL
+from repro.abs.config import AbsConfig
+from repro.metrics.sweep import best_point, render_sweep, sweep
+from repro.problems.random_qubo import random_qubo
+
+_N = 512 if FULL else 256
+_BUDGET_S = 3.0 if FULL else 1.2
+_GRID = [4, 16, 64, 256, 1024]
+
+
+def test_ablation_local_steps(benchmark, report):
+    qubo = random_qubo(_N, seed=_N)
+    base = AbsConfig(
+        blocks_per_gpu=16,
+        pool_capacity=32,
+        time_limit=_BUDGET_S,
+        seed=1,
+    )
+    points = sweep(qubo, base, {"local_steps": _GRID}, repeats=2)
+    text = render_sweep(
+        points,
+        title=(
+            f"local_steps sweep, n={_N}, {_BUDGET_S:.1f} s budget "
+            "(best of 2 seeds per point)"
+        ),
+    )
+    winner = best_point(points)
+    report(
+        "Ablation local steps",
+        text
+        + f"\n\nWinner: local_steps={winner.params['local_steps']}.  Short "
+        "rounds pay straight-search transitions, long rounds starve the GA; "
+        "the sweet spot sits in between.",
+    )
+
+    by_steps = {p.params["local_steps"]: p.result.best_energy for p in points}
+    best_e = winner.result.best_energy
+    # Shape: the interior of the grid is never dominated by both extremes
+    # simultaneously — i.e. some interior point is within 0.5 % of the best.
+    interior_best = min(by_steps[s] for s in _GRID[1:-1])
+    assert interior_best <= best_e + 0.005 * abs(best_e)
+
+    cfg = AbsConfig(
+        blocks_per_gpu=16, pool_capacity=32, local_steps=64, max_rounds=2, seed=2
+    )
+    from repro.abs import AdaptiveBulkSearch
+
+    benchmark(lambda: AdaptiveBulkSearch(qubo, cfg).solve("sync"))

@@ -1,0 +1,97 @@
+"""Ablation — sparse vs dense weight backend.
+
+The paper stores ``W`` dense on the GPU (16-bit entries in 11 GB of
+global memory), which caps it at 32 k bits.  Two of its benchmark
+families are graphs with tiny average degree, so this reproduction adds
+a CSR backend whose per-flip cost is O(degree) instead of O(n).  This
+bench quantifies the trade on G-set-analogue Max-Cut instances:
+
+- **memory**: CSR bytes vs the dense n² matrix;
+- **flip rate**: measured engine throughput, sparse vs dense;
+- **identical semantics**: both backends walk bit-for-bit identically
+  (asserted, not just claimed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import FULL
+from repro.gpusim import BulkSearchEngine
+from repro.problems.gset import synthetic_gset
+from repro.problems.maxcut import maxcut_to_qubo, maxcut_to_sparse_qubo
+from repro.utils.tables import Table
+
+_GRAPHS = ("G1", "G22", "G55", "G70") if FULL else ("G1", "G22")
+_BLOCKS = 8
+_STEPS = 150
+
+
+def _flip_rate(weights, blocks=_BLOCKS, steps=_STEPS) -> float:
+    import time
+
+    eng = BulkSearchEngine(weights, blocks, windows=16)
+    eng.local_steps(8)  # warm-up
+    t0 = time.perf_counter()
+    eng.local_steps(steps)
+    dt = time.perf_counter() - t0
+    return blocks * steps / dt
+
+
+def test_ablation_sparse_backend(benchmark, report):
+    table = Table(
+        [
+            "graph", "n", "avg degree", "dense MB", "sparse MB",
+            "dense flips/s", "sparse flips/s", "speedup",
+        ],
+        title="Sparse vs dense backend on G-set analogues",
+    )
+    for name in _GRAPHS:
+        g = synthetic_gset(name)
+        n = g.number_of_nodes()
+        sparse = maxcut_to_sparse_qubo(g, name=name)
+        dense = maxcut_to_qubo(g, name=name)
+        dense_mb = n * n * 8 / 1e6  # engine stores int64
+        sparse_mb = sparse.nbytes / 1e6
+        r_dense = _flip_rate(dense)
+        r_sparse = _flip_rate(sparse)
+        table.add_row(
+            [
+                name,
+                n,
+                f"{2 * g.number_of_edges() / n:.1f}",
+                f"{dense_mb:.1f}",
+                f"{sparse_mb:.2f}",
+                f"{r_dense:.3g}",
+                f"{r_sparse:.3g}",
+                f"{r_sparse / r_dense:.1f}x",
+            ]
+        )
+        # Semantics: identical trajectories.
+        e_d = BulkSearchEngine(dense, 2, windows=8, offsets=np.zeros(2, dtype=np.int64))
+        e_s = BulkSearchEngine(sparse, 2, windows=8, offsets=np.zeros(2, dtype=np.int64))
+        e_d.local_steps(30)
+        e_s.local_steps(30)
+        assert np.array_equal(e_d.X, e_s.X)
+        assert np.array_equal(e_d.best_energy, e_s.best_energy)
+        # Memory wins everywhere; throughput wins once n is large enough
+        # that the O(n) dense row gather dominates the (unavoidable)
+        # O(n) full-neighbor best scan both backends share.
+        assert sparse_mb < dense_mb / 8
+        if n >= 2000:
+            assert r_sparse > r_dense
+
+    report(
+        "Ablation sparse backend",
+        table.render()
+        + "\n\nCSR flips cost O(degree) instead of O(n), but both backends "
+        "still pay the O(n) per-step full-neighbor best scan (Algorithm 4's "
+        "inner check), so the throughput edge appears for n ≳ 2000 while "
+        "the 10–100× memory saving holds at every size.",
+    )
+
+    sparse = maxcut_to_sparse_qubo(synthetic_gset("G1"))
+    eng = BulkSearchEngine(sparse, _BLOCKS, windows=16)
+    eng.local_steps(4)
+    benchmark(eng.local_steps, 1)

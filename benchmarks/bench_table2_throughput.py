@@ -1,0 +1,94 @@
+"""Table 2 — search rate vs bits-per-thread (§4.3).
+
+Three columns are reproduced for every (n, p) configuration the paper
+evaluates:
+
+- **occupancy arithmetic** (threads/block, active blocks/GPU) — exact,
+  from :mod:`repro.gpusim.occupancy`;
+- **modeled rate** — the analytic model calibrated on the published
+  table (reproduces the ordering and the bits-per-thread peak at every
+  size);
+- **measured rate** — the NumPy bulk engine run for real, with the
+  block count scaled down (Python cannot host 1088 blocks × 32 k bits,
+  and absolute rates are orders of magnitude below an RTX 2080 Ti; the
+  measured column demonstrates the engine works and how its rate moves
+  with n).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FULL
+from repro.gpusim import BulkSearchEngine, calibrated_model, compute_occupancy
+from repro.metrics.search_rate import measure_engine_rate
+from repro.paperdata import TABLE_2, TABLE_2_GPUS
+from repro.problems.random_qubo import random_qubo
+from repro.utils.tables import Table
+
+# Reduced-scale measurement grid: n → (blocks, steps).
+_MEASURE = {1024: (64, 48), 2048: (32, 32), 4096: (16, 24)}
+if FULL:
+    _MEASURE.update({8192: (8, 16), 16384: (4, 12), 32768: (2, 8)})
+
+
+def test_table2_throughput(benchmark, report):
+    model = calibrated_model()
+    table = Table(
+        [
+            "n", "bits/thread", "threads/block", "active blocks",
+            "paper rate (T/s)", "model rate (T/s)", "model err",
+        ],
+        title=f"Table 2 — search rate, {TABLE_2_GPUS} GPUs (modeled vs published)",
+    )
+    for row in TABLE_2:
+        occ = compute_occupancy(row.n, row.bits_per_thread)
+        modeled = model.search_rate(row.n, row.bits_per_thread, TABLE_2_GPUS)
+        err = abs(modeled - row.rate_tera * 1e12) / (row.rate_tera * 1e12)
+        table.add_row(
+            [
+                row.n,
+                row.bits_per_thread,
+                occ.threads_per_block,
+                occ.active_blocks,
+                row.rate_tera,
+                modeled / 1e12,
+                f"{err:.0%}",
+            ]
+        )
+    # Per-size peak comparison — the shape claim.
+    peaks = Table(
+        ["n", "paper best p", "model best p", "match"],
+        title="Bits-per-thread sweet spot (paper vs model)",
+    )
+    for n in sorted({r.n for r in TABLE_2}):
+        candidates = [r.bits_per_thread for r in TABLE_2 if r.n == n]
+        paper_best = max(
+            (r for r in TABLE_2 if r.n == n), key=lambda r: r.rate_tera
+        ).bits_per_thread
+        model_best = max(candidates, key=lambda p: model.search_rate(n, p))
+        peaks.add_row([n, paper_best, model_best, "yes" if paper_best == model_best else "NO"])
+        assert model_best == paper_best
+
+    measured = Table(
+        ["n", "blocks (scaled)", "measured rate (M sol/s)"],
+        title="Measured NumPy bulk-engine rate (reduced scale)",
+    )
+    for n, (blocks, steps) in sorted(_MEASURE.items()):
+        q = random_qubo(n, seed=n)
+        m = measure_engine_rate(q, blocks, steps=steps, warmup_steps=4)
+        measured.add_row([n, blocks, m.rate / 1e6])
+
+    report(
+        "Table 2 throughput",
+        "\n\n".join([table.render(), peaks.render(), measured.render()])
+        + "\n\nNote: the paper's threads/block entries for n=2k, p>=8 are "
+        "inconsistent with its own active-block counts; the occupancy "
+        "columns above follow the arithmetic (threads = n/p).",
+    )
+
+    # pytest-benchmark target: one engine kernel step at the 1k peak
+    # configuration (p=16-equivalent window), 64 blocks.
+    engine = BulkSearchEngine(random_qubo(1024, seed=1024), 64, windows=16)
+    engine.local_steps(4)  # warm
+    benchmark(engine.local_steps, 1)

@@ -1,0 +1,51 @@
+"""Benchmark-harness plumbing.
+
+Every bench regenerates one table or figure from the paper's evaluation
+section and registers a rendered paper-vs-measured table through the
+``report`` fixture.  The tables are printed in the terminal summary
+(after pytest's capture ends) and written to ``benchmarks/results/`` so
+that ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures them.
+
+Scale: by default every bench runs a *reduced* configuration sized for
+a laptop/CI box (seconds, not the paper's four RTX 2080 Ti).  Set
+``REPRO_FULL=1`` for the full instance list (minutes to hours).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Full-scale switch shared by all benches.
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+_reports: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def report():
+    """Register a rendered results table for the terminal summary."""
+
+    def _register(title: str, text: str) -> None:
+        _reports.append((title, text))
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = title.lower().replace(" ", "_").replace("(", "").replace(")", "")
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+    return _register
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _reports:
+        return
+    terminalreporter.section("paper reproduction results")
+    for title, text in _reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"=== {title} ===")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Max-Cut on a G-set-style graph (paper §4.1.1, Table 1(a)).
+
+Builds the synthetic analogue of G1 (800 vertices, 19 176 unweighted
+edges), converts it to QUBO with Eq. (17) — under which the energy is
+the negated cut weight — solves with ABS, and reports the cut.
+
+If you have a real G-set file (e.g. downloaded from Ye's page), pass
+its path:  python examples/maxcut_gset.py path/to/G1
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import AbsConfig, AdaptiveBulkSearch
+from repro.problems import (
+    cut_value,
+    energy_to_cut,
+    load_gset,
+    maxcut_to_qubo,
+    synthetic_gset,
+)
+
+
+def main(argv: list[str]) -> None:
+    if len(argv) > 1:
+        graph = load_gset(argv[1])
+        print(f"loaded {argv[1]}")
+    else:
+        graph = synthetic_gset("G1")
+        print("using the seeded synthetic G1 analogue (same size/family)")
+    print(
+        f"graph: {graph.number_of_nodes()} vertices, "
+        f"{graph.number_of_edges()} edges"
+    )
+
+    qubo = maxcut_to_qubo(graph)
+    config = AbsConfig(
+        blocks_per_gpu=32,
+        local_steps=64,
+        pool_capacity=48,
+        time_limit=3.0,
+        seed=1,
+    )
+    result = AdaptiveBulkSearch(qubo, config).solve()
+
+    cut = energy_to_cut(result.best_energy)
+    print(f"best cut found : {cut}  (energy {result.best_energy})")
+    print(f"search rate    : {result.search_rate:.3g} solutions/s")
+
+    # Cross-check by summing the cut edges directly on the graph.
+    direct = cut_value(graph, result.best_x)
+    assert direct == cut, (direct, cut)
+    side0 = int((result.best_x == 0).sum())
+    print(f"verified on the graph; partition sizes {side0} / {len(result.best_x) - side0}")
+    print(f"cut fraction   : {cut / graph.number_of_edges():.1%} of all edges")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,52 @@
+"""The Adaptive Bulk Search framework (paper §3, Figure 5).
+
+A CPU **host** runs the genetic algorithm over a sorted solution pool
+and writes *target solutions* into a target buffer; **devices**
+(simulated GPUs) pull targets, run a straight search followed by a bulk
+local search in every block, and push each block's best solution back
+through a solution buffer.  Host and devices never synchronize
+directly — they exchange data only through the buffers, so devices keep
+searching at full rate even when the host lags.
+
+Two execution modes are provided by :class:`~repro.abs.solver.AdaptiveBulkSearch`:
+
+- ``"sync"`` — everything in one process, rounds interleaved
+  deterministically.  Reproducible; used by tests and TTS benchmarks.
+- ``"process"`` — one OS process per simulated GPU (the multi-GPU
+  configuration of Figure 5), weights shared via shared memory,
+  targets/solutions exchanged through queues.  Used by the Figure 8
+  scaling benchmark.
+"""
+
+from repro.abs.adaptive import WindowAdapter
+from repro.abs.checkpoint import load_engine, load_pool, save_engine, save_pool
+from repro.abs.config import AbsConfig, resolve_windows
+from repro.abs.decompose import (
+    DecompositionConfig,
+    DecompositionResult,
+    DecompositionSolver,
+)
+from repro.abs.buffers import SolutionBuffer, TargetBuffer
+from repro.abs.device import DeviceSimulator
+from repro.abs.host import Host
+from repro.abs.result import SolveResult
+from repro.abs.solver import AdaptiveBulkSearch
+
+__all__ = [
+    "WindowAdapter",
+    "DecompositionSolver",
+    "DecompositionConfig",
+    "DecompositionResult",
+    "save_engine",
+    "load_engine",
+    "save_pool",
+    "load_pool",
+    "AbsConfig",
+    "resolve_windows",
+    "TargetBuffer",
+    "SolutionBuffer",
+    "DeviceSimulator",
+    "Host",
+    "SolveResult",
+    "AdaptiveBulkSearch",
+]

@@ -1,0 +1,116 @@
+"""Adaptive per-block search-parameter tuning (paper §5, future work).
+
+The paper closes with: *"an application-agnostic universal QUBO solver
+can be considered.  To this end, each CUDA block would perform
+different algorithms and possibly they are changed automatically."*
+
+This module implements that idea for the one knob the Figure-2 policy
+exposes — the selection-window size ``l`` (the temperature analogue).
+A :class:`WindowAdapter` watches each block's per-round best energy
+and, every ``period`` rounds, reassigns the windows of the worst
+blocks:
+
+1. blocks are ranked by their mean round-best energy over the period;
+2. the bottom ``fraction`` of blocks each adopt the window of a random
+   top-``fraction`` block, multiplied or divided by 2 (clamped to
+   ``[1, n]``) so the ladder keeps exploring neighbouring temperatures;
+3. counters reset and the next period begins.
+
+The adaptation is deterministic given its RNG stream, so solver runs
+remain reproducible by seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+class WindowAdapter:
+    """Evolves per-block window sizes toward what is currently working.
+
+    Parameters
+    ----------
+    n:
+        Problem size (windows are clamped to ``[1, n]``).
+    n_blocks:
+        Number of blocks whose windows are managed.
+    period:
+        Rounds between adaptations.
+    fraction:
+        Share of blocks replaced (and imitated) per adaptation.
+    seed:
+        RNG stream for donor selection and perturbation direction.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        n_blocks: int,
+        *,
+        period: int = 4,
+        fraction: float = 0.25,
+        seed: SeedLike = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if n_blocks < 1:
+            raise ValueError(f"n_blocks must be >= 1, got {n_blocks}")
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        if not (0.0 < fraction <= 0.5):
+            raise ValueError(f"fraction must be in (0, 0.5], got {fraction}")
+        self.n = int(n)
+        self.B = int(n_blocks)
+        self.period = int(period)
+        self.fraction = float(fraction)
+        self._rng = as_generator(seed)
+        self._sums = np.zeros(self.B, dtype=np.float64)
+        self._rounds = 0
+        #: Total window reassignments performed (diagnostics).
+        self.adaptations = 0
+
+    def observe(self, round_best: np.ndarray) -> None:
+        """Record each block's best energy for the finished round."""
+        rb = np.asarray(round_best, dtype=np.float64)
+        if rb.shape != (self.B,):
+            raise ValueError(f"round_best must have shape ({self.B},), got {rb.shape}")
+        self._sums += rb
+        self._rounds += 1
+
+    @property
+    def ready(self) -> bool:
+        """Whether a full period has been observed."""
+        return self._rounds >= self.period
+
+    def adapt(self, windows: np.ndarray) -> np.ndarray:
+        """Return the adapted copy of ``windows`` and reset the period.
+
+        Call only when :attr:`ready`; raises otherwise.
+        """
+        if not self.ready:
+            raise RuntimeError(
+                f"adapt() called after {self._rounds}/{self.period} rounds"
+            )
+        w = np.asarray(windows, dtype=np.int64).copy()
+        if w.shape != (self.B,):
+            raise ValueError(f"windows must have shape ({self.B},), got {w.shape}")
+        k = max(1, int(self.B * self.fraction))
+        order = np.argsort(self._sums)  # ascending mean energy = best first
+        winners = order[:k]
+        losers = order[-k:]
+        donors = self._rng.choice(winners, size=k, replace=True)
+        factors = self._rng.choice((0.5, 1.0, 2.0), size=k)
+        new = np.clip((w[donors] * factors).astype(np.int64), 1, self.n)
+        w[losers] = np.maximum(new, 1)
+        self.adaptations += k
+        self._sums.fill(0.0)
+        self._rounds = 0
+        return w
+
+    def maybe_adapt(self, windows: np.ndarray) -> np.ndarray | None:
+        """``adapt`` if a period has elapsed, else ``None``."""
+        if not self.ready:
+            return None
+        return self.adapt(windows)

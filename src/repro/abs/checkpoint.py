@@ -1,0 +1,128 @@
+"""Checkpointing: persist and restore engine and pool state.
+
+Long solves (the paper's hard TSP instances, large decompositions)
+benefit from restartability.  Because the bulk engine's entire state is
+a handful of arrays and the walk is deterministic given that state, a
+checkpoint-restored engine continues **bit-for-bit identically** to an
+uninterrupted run — which the tests assert, making checkpointing safe
+to use mid-experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.ga.pool import SolutionPool
+from repro.gpusim.engine import BulkSearchEngine
+from repro.qubo.matrix import WeightsLike
+
+PathLike = Union[str, Path]
+
+_ENGINE_MAGIC = "repro-engine-checkpoint"
+_POOL_MAGIC = "repro-pool-checkpoint"
+
+
+class CheckpointError(ValueError):
+    """Raised for malformed or mismatched checkpoint files."""
+
+
+def save_engine(engine: BulkSearchEngine, path: PathLike) -> None:
+    """Write the engine's full mutable state as compressed ``.npz``.
+
+    The weight matrix is *not* stored (it is immutable input); pass the
+    same weights to :func:`load_engine`.
+    """
+    c = engine.counters
+    np.savez_compressed(
+        Path(path),
+        magic=np.array(_ENGINE_MAGIC),
+        n=np.array(engine.n),
+        B=np.array(engine.B),
+        X=engine.X,
+        delta=engine.delta,
+        energy=engine.energy,
+        best_energy=engine.best_energy,
+        best_x=engine.best_x,
+        windows=engine.windows,
+        offsets=engine.offsets,
+        counters=np.array(
+            [c.flips, c.evaluated, c.straight_flips, c.local_flips], dtype=np.int64
+        ),
+    )
+
+
+def load_engine(weights: WeightsLike, path: PathLike) -> BulkSearchEngine:
+    """Rebuild an engine from ``weights`` + a checkpoint.
+
+    Raises :class:`CheckpointError` if the file is not an engine
+    checkpoint or its dimensions do not match ``weights``.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        if str(data.get("magic", "")) != _ENGINE_MAGIC:
+            raise CheckpointError(f"{path}: not an engine checkpoint")
+        n = int(data["n"])
+        B = int(data["B"])
+        from repro.qubo.energy import weights_size
+
+        w_n = weights_size(weights)
+        if w_n != n:
+            raise CheckpointError(
+                f"{path}: checkpoint is for n={n}, weights have n={w_n}"
+            )
+        engine = BulkSearchEngine(
+            weights, B, windows=data["windows"], offsets=data["offsets"]
+        )
+        engine.X[:] = data["X"]
+        engine.delta[:] = data["delta"]
+        engine.energy[:] = data["energy"]
+        engine.best_energy[:] = data["best_energy"]
+        engine.best_x[:] = data["best_x"]
+        flips, evaluated, straight, local = (int(v) for v in data["counters"])
+        engine.counters.flips = flips
+        engine.counters.evaluated = evaluated
+        engine.counters.straight_flips = straight
+        engine.counters.local_flips = local
+    return engine
+
+
+def save_pool(pool: SolutionPool, path: PathLike) -> None:
+    """Write a solution pool as compressed ``.npz``.
+
+    ``+∞`` energies (unevaluated seeds) are stored as NaN and restored
+    as ``math.inf``.
+    """
+    entries = list(pool)
+    energies = np.array(
+        [math.nan if math.isinf(e.energy) else e.energy for e in entries],
+        dtype=np.float64,
+    )
+    if entries:
+        xs = np.stack([e.x for e in entries]).astype(np.uint8)
+    else:
+        xs = np.zeros((0, pool.n), dtype=np.uint8)
+    np.savez_compressed(
+        Path(path),
+        magic=np.array(_POOL_MAGIC),
+        n=np.array(pool.n),
+        capacity=np.array(pool.capacity),
+        energies=energies,
+        xs=xs,
+    )
+
+
+def load_pool(path: PathLike) -> SolutionPool:
+    """Rebuild a solution pool from a checkpoint."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        if str(data.get("magic", "")) != _POOL_MAGIC:
+            raise CheckpointError(f"{path}: not a pool checkpoint")
+        pool = SolutionPool(int(data["n"]), int(data["capacity"]))
+        for e, x in zip(data["energies"], data["xs"]):
+            pool.insert(x.astype(np.uint8), math.inf if math.isnan(e) else float(e))
+    pool.check_invariants()
+    return pool

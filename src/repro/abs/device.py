@@ -1,0 +1,100 @@
+"""One simulated GPU device executing the §3.2 loop.
+
+Device steps (paper §3.2), realized on a
+:class:`~repro.gpusim.engine.BulkSearchEngine`:
+
+1. initialize every block from the zero vector (done by the engine);
+2. read target solutions ``T``;
+3. reset each block's best solution/energy;
+4. (a) straight search from the current solution to ``T``,
+   (b) bulk local search from ``T`` with a fixed number of flips;
+5. report each block's best solution.
+
+:meth:`DeviceSimulator.round` performs Steps 2–5 once for all blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abs.adaptive import WindowAdapter
+from repro.abs.buffers import StoredSolution
+from repro.gpusim.engine import BulkSearchEngine
+from repro.qubo.matrix import WeightsLike
+
+
+class DeviceSimulator:
+    """Wraps a bulk engine as one ABS device.
+
+    Parameters
+    ----------
+    weights:
+        Problem weights.
+    n_blocks:
+        CUDA blocks simulated by this device.
+    windows:
+        Per-block Figure-2 window sizes (see
+        :func:`~repro.abs.config.resolve_windows`).
+    local_steps:
+        Fixed number of forced flips in Step 4b.
+    scan_neighbors:
+        Whether the straight-search phase also tracks the incumbent
+        over all exposed neighbors.
+    """
+
+    def __init__(
+        self,
+        weights: WeightsLike,
+        n_blocks: int,
+        *,
+        windows: int | np.ndarray = 16,
+        local_steps: int = 32,
+        scan_neighbors: bool = True,
+        adapter: WindowAdapter | None = None,
+    ) -> None:
+        if local_steps < 0:
+            raise ValueError(f"local_steps must be >= 0, got {local_steps}")
+        self.engine = BulkSearchEngine(weights, n_blocks, windows=windows)
+        self.local_steps = int(local_steps)
+        self.scan_neighbors = bool(scan_neighbors)
+        self.adapter = adapter
+        if adapter is not None and adapter.B != self.engine.B:
+            raise ValueError(
+                f"adapter manages {adapter.B} blocks, device has {self.engine.B}"
+            )
+        self.rounds = 0
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of simulated CUDA blocks."""
+        return self.engine.B
+
+    @property
+    def evaluated(self) -> int:
+        """Total solutions evaluated by this device (Definition 1)."""
+        return self.engine.counters.evaluated
+
+    def round(self, targets: np.ndarray) -> list[StoredSolution]:
+        """Steps 2–5 for every block; returns the stored solutions.
+
+        ``targets`` has shape ``(n_blocks, n)`` — one GA target per
+        block.  The walk position persists across rounds (iteration
+        ``i`` starts from the final solution of iteration ``i − 1``,
+        Figure 4), which is what keeps the search efficiency at O(1).
+        """
+        eng = self.engine
+        eng.reset_best()                                  # Step 3
+        eng.straight_to(targets, scan_neighbors=self.scan_neighbors)  # 4a
+        eng.local_steps(self.local_steps)                 # Step 4b
+        self.rounds += 1
+        if self.adapter is not None:
+            # Future-work feature: blocks whose searches underperform
+            # adopt (perturbed) windows from the best-performing blocks.
+            self.adapter.observe(eng.best_energy)
+            adapted = self.adapter.maybe_adapt(eng.windows)
+            if adapted is not None:
+                eng.windows = adapted
+        return [                                           # Step 5
+            StoredSolution(int(eng.best_energy[b]), eng.best_x[b].copy())
+            for b in range(eng.B)
+        ]

@@ -1,0 +1,80 @@
+"""The CPU host loop (paper §3.1).
+
+Host steps:
+
+1. initialize the solution pool (random bit vectors at energy +∞) and
+   the target buffer;
+2. wait for new solutions stored by devices (poll the counter);
+3. insert arrived solutions into the sorted, duplicate-free pool;
+4. generate and store as many new GA targets as solutions arrived.
+
+The host **never evaluates the energy function** — every energy it
+handles was computed by a device.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.abs.buffers import StoredSolution
+from repro.ga.host import GaConfig, TargetGenerator
+from repro.ga.pool import SolutionPool
+from repro.utils.rng import RngFactory
+
+
+class Host:
+    """Pool management + GA target generation for one solve."""
+
+    def __init__(
+        self,
+        n: int,
+        pool_capacity: int,
+        ga: GaConfig | None = None,
+        *,
+        rng_factory: RngFactory | None = None,
+    ) -> None:
+        factory = rng_factory or RngFactory(None)
+        self.pool = SolutionPool(n, pool_capacity)
+        self.pool.seed_random(factory.stream("pool-seed"))       # Step 1
+        self.generator = TargetGenerator(
+            self.pool, ga or GaConfig(), seed=factory.stream("ga")
+        )
+        #: Best device-reported solution ever seen (pool eviction-proof).
+        self.best_energy: float = math.inf
+        self.best_x: np.ndarray | None = None
+        self.absorbed = 0
+
+    @property
+    def n(self) -> int:
+        """Bits per solution."""
+        return self.pool.n
+
+    def initial_targets(self, count: int) -> list[np.ndarray]:
+        """Targets for the very first round: the seeded random pool.
+
+        The devices' first straight search therefore walks from the
+        zero vector to these random solutions, giving the pool its
+        first real energies.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return [self.pool[i % len(self.pool)].x.copy() for i in range(count)]
+
+    def absorb(self, solutions: Iterable[StoredSolution]) -> int:
+        """Step 3: pool every arrived solution; returns #inserted."""
+        inserted = 0
+        for sol in solutions:
+            self.absorbed += 1
+            if sol.energy < self.best_energy:
+                self.best_energy = sol.energy
+                self.best_x = sol.x.copy()
+            if self.pool.insert(sol.x, sol.energy):
+                inserted += 1
+        return inserted
+
+    def make_targets(self, count: int) -> list[np.ndarray]:
+        """Step 4: GA-generate ``count`` fresh targets."""
+        return self.generator.generate(count)

@@ -1,0 +1,64 @@
+"""Solve results and run statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one :class:`~repro.abs.solver.AdaptiveBulkSearch` run.
+
+    Attributes
+    ----------
+    best_x, best_energy:
+        The best solution found and its energy.
+    elapsed:
+        Wall-clock seconds spent searching (setup excluded).
+    rounds:
+        Completed device rounds (summed over devices).
+    evaluated:
+        Total solutions evaluated (Definition 1 denominator).
+    flips:
+        Total accepted bit flips across all blocks.
+    reached_target:
+        Whether ``target_energy`` was met (always ``False`` when no
+        target was set).
+    time_to_target:
+        Seconds until the target was first met (``None`` if never).
+    history:
+        ``(elapsed_seconds, best_energy)`` checkpoints, one per host
+        polling iteration — the solver's convergence trace.
+    n_gpus:
+        Devices that produced the result.
+    """
+
+    best_x: np.ndarray
+    best_energy: int
+    elapsed: float
+    rounds: int
+    evaluated: int
+    flips: int
+    reached_target: bool = False
+    time_to_target: float | None = None
+    history: list[tuple[float, int]] = field(default_factory=list)
+    n_gpus: int = 1
+
+    @property
+    def search_rate(self) -> float:
+        """Measured solutions/second (Definition 1 over the whole run)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.evaluated / self.elapsed
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        rate = self.search_rate
+        return (
+            f"best={self.best_energy} elapsed={self.elapsed:.3g}s "
+            f"rounds={self.rounds} evaluated={self.evaluated:.3g} "
+            f"rate={rate:.3g}/s gpus={self.n_gpus}"
+            + (" [target reached]" if self.reached_target else "")
+        )

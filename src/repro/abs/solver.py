@@ -1,0 +1,381 @@
+"""The top-level ABS solver: host + devices in sync or process mode.
+
+``"sync"`` mode interleaves the host loop and device rounds in one
+process — deterministic given a seed, and the mode every
+time-to-solution benchmark uses.  ``"process"`` mode launches one OS
+process per simulated GPU, mirroring the paper's multi-GPU deployment:
+the weight matrix lives in shared memory (one copy, like GPU global
+memory), targets flow host → device and solutions device → host through
+queues, and nobody blocks on anybody — a device that sees no fresh
+targets keeps searching from its current state, exactly the paper's
+asynchronous tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+import queue as queue_mod
+import time
+from multiprocessing import Event, Process, Queue, get_context
+
+import numpy as np
+
+from repro.abs.adaptive import WindowAdapter
+from repro.abs.buffers import SharedWeights, StoredSolution
+from repro.abs.config import AbsConfig, resolve_windows
+from repro.abs.device import DeviceSimulator
+from repro.abs.host import Host
+from repro.abs.result import SolveResult
+from repro.qubo.matrix import WeightsLike, as_weight_matrix
+from repro.utils.rng import RngFactory
+from repro.utils.timer import Stopwatch
+
+
+class AdaptiveBulkSearch:
+    """Adaptive Bulk Search over a QUBO instance.
+
+    Example
+    -------
+    >>> from repro.qubo import QuboMatrix
+    >>> from repro.abs import AdaptiveBulkSearch, AbsConfig
+    >>> q = QuboMatrix.random(64, seed=0)
+    >>> res = AdaptiveBulkSearch(q, AbsConfig(max_rounds=20, seed=1)).solve()
+    >>> res.best_energy <= 0
+    True
+    """
+
+    def __init__(self, weights: WeightsLike, config: AbsConfig | None = None) -> None:
+        from repro.qubo.sparse import SparseQubo
+
+        if isinstance(weights, SparseQubo):
+            self.W: object = weights
+            self.n = weights.n
+        else:
+            self.W = as_weight_matrix(weights)
+            self.n = self.W.shape[0]
+        if self.n < 1:
+            raise ValueError("problem must have at least one bit")
+        self.config = config or AbsConfig(max_rounds=100)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(self, mode: str = "sync") -> SolveResult:
+        """Run to a stopping criterion; returns the best found solution."""
+        if mode == "sync":
+            return self._solve_sync()
+        if mode == "process":
+            return self._solve_process()
+        raise ValueError(f"unknown mode {mode!r} (use 'sync' or 'process')")
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _met_target(self, energy: float) -> bool:
+        t = self.config.target_energy
+        return t is not None and energy <= t
+
+    def _device_windows(self, factory: RngFactory) -> list[np.ndarray]:
+        """Per-device window arrays; devices get rotated ladders so the
+        temperature spread differs across GPUs."""
+        cfg = self.config
+        base = resolve_windows(cfg.window, cfg.blocks_per_gpu, self.n)
+        return [np.roll(base, g) for g in range(cfg.n_gpus)]
+
+    @staticmethod
+    def _stack_targets(targets: list[np.ndarray]) -> np.ndarray:
+        return np.ascontiguousarray(np.stack(targets).astype(np.uint8))
+
+    def _make_adapter(self, factory: RngFactory, g: int) -> WindowAdapter | None:
+        cfg = self.config
+        if not cfg.adapt_windows:
+            return None
+        return WindowAdapter(
+            self.n,
+            cfg.blocks_per_gpu,
+            period=cfg.adapt_period,
+            fraction=cfg.adapt_fraction,
+            seed=factory.stream("adapt", g),
+        )
+
+    # ------------------------------------------------------------------
+    # Sync mode
+    # ------------------------------------------------------------------
+    def _solve_sync(self) -> SolveResult:
+        cfg = self.config
+        factory = RngFactory(cfg.seed)
+        host = Host(self.n, cfg.pool_capacity, cfg.ga, rng_factory=factory)
+        windows = self._device_windows(factory)
+        devices = [
+            DeviceSimulator(
+                self.W,
+                cfg.blocks_per_gpu,
+                windows=windows[g],
+                local_steps=cfg.local_steps,
+                scan_neighbors=cfg.scan_neighbors,
+                adapter=self._make_adapter(factory, g),
+            )
+            for g in range(cfg.n_gpus)
+        ]
+
+        watch = Stopwatch().start()
+        targets = host.initial_targets(cfg.total_blocks)
+        history: list[tuple[float, int]] = []
+        rounds = 0
+        flips = 0
+        time_to_target: float | None = None
+        done = False
+
+        while not done:
+            for g, device in enumerate(devices):
+                lo = g * cfg.blocks_per_gpu
+                batch = self._stack_targets(targets[lo : lo + cfg.blocks_per_gpu])
+                sols = device.round(batch)
+                host.absorb(sols)
+                rounds += 1
+                if self._met_target(host.best_energy):
+                    if time_to_target is None:
+                        time_to_target = watch.elapsed
+                    done = True
+                    break
+                if cfg.time_limit is not None and watch.elapsed >= cfg.time_limit:
+                    done = True
+                    break
+                if cfg.max_rounds is not None and rounds >= cfg.max_rounds:
+                    done = True
+                    break
+            if math.isfinite(host.best_energy):
+                history.append((watch.elapsed, int(host.best_energy)))
+            if not done:
+                targets = host.make_targets(cfg.total_blocks)
+
+        elapsed = watch.stop()
+        evaluated = sum(d.evaluated for d in devices)
+        flips = sum(d.engine.counters.flips for d in devices)
+        best_x = host.best_x if host.best_x is not None else np.zeros(self.n, np.uint8)
+        best_e = int(host.best_energy) if math.isfinite(host.best_energy) else 0
+        return SolveResult(
+            best_x=best_x,
+            best_energy=best_e,
+            elapsed=elapsed,
+            rounds=rounds,
+            evaluated=evaluated,
+            flips=flips,
+            reached_target=self._met_target(host.best_energy),
+            time_to_target=time_to_target,
+            history=history,
+            n_gpus=cfg.n_gpus,
+        )
+
+    # ------------------------------------------------------------------
+    # Process mode
+    # ------------------------------------------------------------------
+    def _solve_process(self) -> SolveResult:
+        cfg = self.config
+        factory = RngFactory(cfg.seed)
+        host = Host(self.n, cfg.pool_capacity, cfg.ga, rng_factory=factory)
+        windows = self._device_windows(factory)
+
+        from repro.qubo.sparse import SparseQubo
+
+        ctx = get_context("fork")
+        # Dense matrices go through shared memory (they are the bulk of
+        # the footprint — the analogue of GPU global memory).  Sparse
+        # problems are small; they ship to workers by pickling.
+        if isinstance(self.W, SparseQubo):
+            shared = None
+            weights_ref = ("sparse", self.W)
+        else:
+            shared = SharedWeights.create(
+                np.ascontiguousarray(self.W, dtype=np.int64)
+            )
+            weights_ref = ("shm", shared.descriptor)
+        stop_evt = ctx.Event()
+        result_q: Queue = ctx.Queue()
+        target_qs: list[Queue] = [ctx.Queue() for _ in range(cfg.n_gpus)]
+        procs: list[Process] = []
+        watch = Stopwatch().start()
+        history: list[tuple[float, int]] = []
+        rounds = 0
+        time_to_target: float | None = None
+        eval_by_worker = [0] * cfg.n_gpus
+        flips_by_worker = [0] * cfg.n_gpus
+
+        try:
+            for g in range(cfg.n_gpus):
+                p = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        g,
+                        weights_ref,
+                        cfg.blocks_per_gpu,
+                        windows[g],
+                        cfg.local_steps,
+                        cfg.scan_neighbors,
+                        (
+                            cfg.adapt_windows,
+                            cfg.adapt_period,
+                            cfg.adapt_fraction,
+                            int(factory.stream("adapt-seed", g).integers(2**62)),
+                        ),
+                        target_qs[g],
+                        result_q,
+                        stop_evt,
+                    ),
+                    daemon=True,
+                )
+                p.start()
+                procs.append(p)
+
+            targets = host.initial_targets(cfg.total_blocks)
+            for g in range(cfg.n_gpus):
+                lo = g * cfg.blocks_per_gpu
+                target_qs[g].put(
+                    self._stack_targets(targets[lo : lo + cfg.blocks_per_gpu])
+                )
+
+            done = False
+            while not done:
+                try:
+                    worker_id, energies, xs, evaluated, flips = result_q.get(timeout=0.25)
+                except queue_mod.Empty:
+                    if cfg.time_limit is not None and watch.elapsed >= cfg.time_limit:
+                        break
+                    if not any(p.is_alive() for p in procs):
+                        raise RuntimeError("all ABS workers died before finishing")
+                    continue
+                rounds += 1
+                eval_by_worker[worker_id] = evaluated
+                flips_by_worker[worker_id] = flips
+                host.absorb(
+                    StoredSolution(int(e), x) for e, x in zip(energies, xs)
+                )
+                if math.isfinite(host.best_energy):
+                    history.append((watch.elapsed, int(host.best_energy)))
+                if self._met_target(host.best_energy):
+                    if time_to_target is None:
+                        time_to_target = watch.elapsed
+                    done = True
+                elif cfg.time_limit is not None and watch.elapsed >= cfg.time_limit:
+                    done = True
+                elif cfg.max_rounds is not None and rounds >= cfg.max_rounds:
+                    done = True
+                else:
+                    # Step 4: as many fresh targets as solutions arrived.
+                    fresh = host.make_targets(cfg.blocks_per_gpu)
+                    target_qs[worker_id].put(self._stack_targets(fresh))
+        finally:
+            stop_evt.set()
+            deadline = time.monotonic() + 5.0
+            for p in procs:
+                p.join(timeout=max(0.1, deadline - time.monotonic()))
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=1.0)
+            # Drain queues so their feeder threads can exit.
+            for q in (*target_qs, result_q):
+                try:
+                    while True:
+                        q.get_nowait()
+                except (queue_mod.Empty, OSError, EOFError):
+                    pass
+            if shared is not None:
+                shared.unlink()
+
+        elapsed = watch.stop()
+        best_x = host.best_x if host.best_x is not None else np.zeros(self.n, np.uint8)
+        best_e = int(host.best_energy) if math.isfinite(host.best_energy) else 0
+        return SolveResult(
+            best_x=best_x,
+            best_energy=best_e,
+            elapsed=elapsed,
+            rounds=rounds,
+            evaluated=sum(eval_by_worker),
+            flips=sum(flips_by_worker),
+            reached_target=self._met_target(host.best_energy),
+            time_to_target=time_to_target,
+            history=history,
+            n_gpus=cfg.n_gpus,
+        )
+
+
+def _worker_main(
+    worker_id: int,
+    weights_ref: tuple,
+    n_blocks: int,
+    windows: np.ndarray,
+    local_steps: int,
+    scan_neighbors: bool,
+    adapt_params: tuple,
+    target_q: "Queue",
+    result_q: "Queue",
+    stop_evt: "Event",
+) -> None:
+    """Device-process entry point (module-level for picklability).
+
+    ``weights_ref`` is ``("shm", descriptor)`` for a dense matrix in
+    shared memory or ``("sparse", SparseQubo)`` shipped by pickle.
+    Runs rounds forever: refresh targets if any are queued (otherwise
+    keep the previous ones — the device never idles), run Steps 3–5,
+    ship the per-block bests with cumulative counters.
+    """
+    kind, payload = weights_ref
+    if kind == "shm":
+        shared = SharedWeights.attach(payload)
+        weights = shared.array
+    else:
+        shared = None
+        weights = payload
+    adapt_enabled, adapt_period, adapt_fraction, adapt_seed = adapt_params
+    adapter = (
+        WindowAdapter(
+            weights.n if hasattr(weights, "n") else weights.shape[0],
+            n_blocks,
+            period=adapt_period,
+            fraction=adapt_fraction,
+            seed=adapt_seed,
+        )
+        if adapt_enabled
+        else None
+    )
+    try:
+        device = DeviceSimulator(
+            weights,
+            n_blocks,
+            windows=windows,
+            local_steps=local_steps,
+            scan_neighbors=scan_neighbors,
+            adapter=adapter,
+        )
+        targets: np.ndarray | None = None
+        while targets is None and not stop_evt.is_set():
+            try:
+                targets = target_q.get(timeout=0.1)
+            except queue_mod.Empty:
+                continue
+        while not stop_evt.is_set():
+            sols = device.round(targets)
+            energies = np.fromiter(
+                (s.energy for s in sols), dtype=np.int64, count=len(sols)
+            )
+            xs = np.stack([s.x for s in sols])
+            result_q.put(
+                (
+                    worker_id,
+                    energies,
+                    xs,
+                    device.evaluated,
+                    device.engine.counters.flips,
+                )
+            )
+            try:
+                while True:  # keep only the freshest queued targets
+                    targets = target_q.get_nowait()
+            except queue_mod.Empty:
+                pass
+    except (KeyboardInterrupt, BrokenPipeError):  # parent went away
+        pass
+    finally:
+        if shared is not None:
+            shared.close()

@@ -1,0 +1,89 @@
+"""One-call convenience API.
+
+:func:`solve` wraps the full ABS pipeline for users who just want the
+best bit vector for a weight matrix; :func:`solve_ising` accepts an
+Ising model (the paper's framing: QUBO ⇔ ground state of an Ising
+model) and returns spins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.abs.config import AbsConfig, WindowSpec
+from repro.abs.result import SolveResult
+from repro.abs.solver import AdaptiveBulkSearch
+from repro.qubo.ising import IsingModel, ising_to_qubo, bits_to_spins
+
+
+def solve(
+    weights,
+    *,
+    time_limit: float | None = None,
+    max_rounds: int | None = None,
+    target_energy: int | None = None,
+    n_gpus: int = 1,
+    blocks_per_gpu: int = 32,
+    local_steps: int = 32,
+    window: WindowSpec = "spread",
+    adapt_windows: bool = False,
+    seed: int | None = None,
+    mode: str = "sync",
+) -> SolveResult:
+    """Solve a QUBO with Adaptive Bulk Search in one call.
+
+    ``weights`` may be a :class:`~repro.qubo.matrix.QuboMatrix`, a dense
+    symmetric integer ndarray, or a :class:`~repro.qubo.sparse.SparseQubo`.
+    At least one stopping criterion (``time_limit`` / ``max_rounds`` /
+    ``target_energy``) must be given; when none is, a 2-second budget is
+    applied.
+
+    >>> from repro import QuboMatrix
+    >>> from repro.api import solve
+    >>> res = solve(QuboMatrix.random(64, seed=0), max_rounds=20, seed=1)
+    >>> res.best_energy <= 0
+    True
+    """
+    if time_limit is None and max_rounds is None and target_energy is None:
+        time_limit = 2.0
+    config = AbsConfig(
+        n_gpus=n_gpus,
+        blocks_per_gpu=blocks_per_gpu,
+        local_steps=local_steps,
+        window=window,
+        adapt_windows=adapt_windows,
+        target_energy=target_energy,
+        time_limit=time_limit,
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+    return AdaptiveBulkSearch(weights, config).solve(mode)
+
+
+@dataclass(frozen=True)
+class IsingResult:
+    """Ising-view of a solve: spins and Hamiltonian value."""
+
+    spins: np.ndarray
+    hamiltonian: float
+    qubo_result: SolveResult
+
+
+def solve_ising(model: IsingModel, **solve_kwargs) -> IsingResult:
+    """Find a low-energy spin state of an Ising model via ABS.
+
+    The model is converted losslessly to QUBO (§1's equivalence),
+    solved, and the result mapped back: ``spins = 2x − 1`` and
+    ``hamiltonian = model.energy(spins)`` (offset included).  Accepts
+    the same keyword arguments as :func:`solve`.
+    """
+    qubo, constant = ising_to_qubo(model)
+    result = solve(qubo, **solve_kwargs)
+    spins = bits_to_spins(result.best_x)
+    return IsingResult(
+        spins=spins,
+        hamiltonian=float(result.best_energy + constant),
+        qubo_result=result,
+    )

@@ -1,0 +1,314 @@
+"""Command-line interface: ``python -m repro`` / ``abs-solve``.
+
+Subcommands
+-----------
+- ``solve``     — run ABS on a QUBO instance file (.qubo/.json/.npy)
+- ``maxcut``    — solve Max-Cut from a G-set file or synthetic catalog name
+- ``tsp``       — solve a TSPLIB file or synthetic catalog name as QUBO
+- ``random``    — generate a random 16-bit instance file
+- ``occupancy`` — print the Table 2 occupancy sweep for a problem size
+- ``rate``      — print modeled search rates (calibrated Table 2 model)
+- ``analyze``   — landscape anatomy of an instance (ruggedness, traps)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.utils.tables import Table
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.abs import AbsConfig, AdaptiveBulkSearch
+    from repro.qubo import io as qio
+
+    matrix = qio.load(args.instance)
+    config = AbsConfig(
+        n_gpus=args.gpus,
+        blocks_per_gpu=args.blocks,
+        local_steps=args.local_steps,
+        pool_capacity=args.pool,
+        adapt_windows=args.adapt,
+        target_energy=args.target,
+        time_limit=args.time_limit,
+        max_rounds=args.rounds,
+        seed=args.seed,
+    )
+    result = AdaptiveBulkSearch(matrix, config).solve(args.mode)
+    print(f"instance      : {matrix.name} (n={matrix.n})")
+    print(f"best energy   : {result.best_energy}")
+    print(f"elapsed       : {result.elapsed:.4g} s")
+    print(f"search rate   : {result.search_rate:.4g} solutions/s")
+    print(f"rounds        : {result.rounds}")
+    if args.target is not None:
+        status = "reached" if result.reached_target else "NOT reached"
+        print(f"target {args.target}: {status}")
+    if args.out:
+        import numpy as np
+
+        np.save(args.out, result.best_x)
+        print(f"best solution -> {args.out}")
+    return 0 if (args.target is None or result.reached_target) else 1
+
+
+def _cmd_maxcut(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.abs import AbsConfig, AdaptiveBulkSearch
+    from repro.problems import (
+        cut_value,
+        load_gset,
+        maxcut_to_qubo,
+        maxcut_to_sparse_qubo,
+        synthetic_gset,
+    )
+    from repro.problems.gset import GSET_CATALOG
+
+    if os.path.exists(args.graph):
+        graph = load_gset(args.graph)
+        source = f"file {args.graph}"
+    elif args.graph in GSET_CATALOG:
+        graph = synthetic_gset(args.graph)
+        source = f"synthetic analogue {args.graph}"
+    else:
+        raise ValueError(
+            f"{args.graph!r} is neither a file nor a catalog name "
+            f"(catalog: {sorted(GSET_CATALOG)})"
+        )
+    builder = maxcut_to_sparse_qubo if args.sparse else maxcut_to_qubo
+    qubo = builder(graph)
+    config = AbsConfig(
+        blocks_per_gpu=args.blocks,
+        local_steps=args.local_steps,
+        pool_capacity=args.pool,
+        time_limit=args.time_limit,
+        seed=args.seed,
+    )
+    result = AdaptiveBulkSearch(qubo, config).solve()
+    cut = -result.best_energy
+    print(f"graph       : {source}")
+    print(
+        f"              {graph.number_of_nodes()} vertices, "
+        f"{graph.number_of_edges()} edges"
+    )
+    print(f"best cut    : {cut} (verified {cut_value(graph, result.best_x)})")
+    print(f"elapsed     : {result.elapsed:.4g} s")
+    print(f"search rate : {result.search_rate:.4g} solutions/s")
+    return 0
+
+
+def _cmd_tsp(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.abs import AbsConfig, AdaptiveBulkSearch
+    from repro.problems import decode_tour, held_karp, tour_length, tsp_to_qubo, two_opt
+    from repro.problems.tsplib import TSPLIB_CATALOG, load_tsplib, synthetic_instance
+
+    if os.path.exists(args.instance):
+        inst = load_tsplib(args.instance)
+        source = f"file {args.instance}"
+    elif args.instance in TSPLIB_CATALOG:
+        inst = synthetic_instance(args.instance)
+        source = f"synthetic analogue {args.instance}"
+    else:
+        raise ValueError(
+            f"{args.instance!r} is neither a file nor a catalog name "
+            f"(catalog: {sorted(TSPLIB_CATALOG)})"
+        )
+    if inst.cities <= 17:
+        ref, _ = held_karp(inst.dist)
+        ref_kind = "exact optimum"
+    else:
+        ref, _ = two_opt(inst.dist, seed=0, restarts=4)
+        ref_kind = "2-opt reference"
+    tq = tsp_to_qubo(inst.dist, name=inst.name)
+    target_len = int(round(ref * (1 + args.slack)))
+    config = AbsConfig(
+        blocks_per_gpu=args.blocks,
+        local_steps=args.local_steps,
+        pool_capacity=args.pool,
+        target_energy=tq.length_to_energy(target_len),
+        time_limit=args.time_limit,
+        seed=args.seed,
+    )
+    result = AdaptiveBulkSearch(tq.qubo, config).solve()
+    print(f"instance    : {source} ({inst.cities} cities, {tq.n_bits} bits)")
+    print(f"reference   : {ref} ({ref_kind}); target {target_len} (+{args.slack:.0%})")
+    tour = decode_tour(result.best_x, inst.cities)
+    if tour is None:
+        print("best solution violates tour constraints — raise --time-limit")
+        return 1
+    length = tour_length(inst.dist, tour)
+    print(f"tour length : {length} (target {'reached' if result.reached_target else 'missed'})")
+    print(f"tour        : {' '.join(map(str, tour))}")
+    print(f"elapsed     : {result.elapsed:.4g} s")
+    return 0 if result.reached_target else 1
+
+
+def _cmd_random(args: argparse.Namespace) -> int:
+    from repro.problems.random_qubo import random_qubo
+    from repro.qubo import io as qio
+
+    matrix = random_qubo(args.n, args.seed)
+    qio.save(matrix, args.out)
+    print(f"wrote {matrix.name} (n={matrix.n}, 16-bit weights) -> {args.out}")
+    return 0
+
+
+def _cmd_occupancy(args: argparse.Namespace) -> int:
+    from repro.gpusim import sweep_bits_per_thread
+
+    if args.n < 1:
+        raise ValueError(f"n must be >= 1, got {args.n}")
+    table = Table(
+        ["bits/thread", "threads/block", "blocks/SM", "active blocks/GPU", "occupancy"],
+        title=f"Occupancy sweep for n={args.n} (RTX 2080 Ti model)",
+    )
+    for occ in sweep_bits_per_thread(args.n):
+        table.add_row(
+            [
+                occ.bits_per_thread,
+                occ.threads_per_block,
+                occ.blocks_per_sm,
+                occ.active_blocks,
+                f"{occ.occupancy:.0%}",
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_rate(args: argparse.Namespace) -> int:
+    from repro.gpusim.timing import calibrated_model, model_table2
+
+    model = calibrated_model()
+    table = Table(
+        ["n", "bits/thread", "threads/block", "active blocks", "modeled rate (T/s)"],
+        title=f"Modeled search rate, {args.gpus} GPU(s) (calibrated to paper Table 2)",
+    )
+    for row in model_table2(model, n_gpus=args.gpus):
+        table.add_row(
+            [row["n"], row["p"], row["threads"], row["blocks"], row["rate"] / 1e12]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.metrics.landscape import (
+        descent_statistics,
+        escape_radius,
+        random_walk_autocorrelation,
+    )
+    from repro.qubo import io as qio
+
+    matrix = qio.load(args.instance)
+    print(f"instance          : {matrix.name} (n={matrix.n}, "
+          f"density {matrix.density():.3f}, {matrix.weight_bits()}-bit weights)")
+    ac = random_walk_autocorrelation(
+        matrix, steps=args.walk_steps, seed=args.seed or 0
+    )
+    print(f"walk ρ(1)         : {ac.rho1:.4f}")
+    print(f"correlation length: {ac.correlation_length:.1f} flips")
+    ds = descent_statistics(matrix, descents=args.descents, seed=args.seed or 0)
+    print(
+        f"greedy descents   : {ds.distinct_endpoints}/{args.descents} distinct "
+        f"endpoints, best {ds.best:.6g}, mean {ds.mean:.6g}"
+    )
+    escapable = sum(
+        1
+        for i in range(args.descents)
+        if escape_radius(matrix, ds.endpoint_bits[i]) is not None
+    )
+    print(
+        f"2-flip escapable  : {escapable}/{args.descents} endpoints "
+        "(low values indicate penalty-cliff hardness, e.g. TSP QUBOs)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="abs-solve",
+        description="Adaptive Bulk Search QUBO solver (ICPP 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="solve a QUBO instance file")
+    p.add_argument("instance", help="path to a .qubo/.json/.npy instance")
+    p.add_argument("--gpus", type=int, default=1, help="simulated GPUs (default 1)")
+    p.add_argument("--blocks", type=int, default=32, help="blocks per GPU (default 32)")
+    p.add_argument("--local-steps", type=int, default=32, help="flips per round (default 32)")
+    p.add_argument("--pool", type=int, default=64, help="host pool capacity (default 64)")
+    p.add_argument("--target", type=int, default=None, help="stop at this energy")
+    p.add_argument("--time-limit", type=float, default=None, help="seconds budget")
+    p.add_argument("--rounds", type=int, default=None, help="round budget")
+    p.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    p.add_argument("--mode", choices=("sync", "process"), default="sync")
+    p.add_argument(
+        "--adapt",
+        action="store_true",
+        help="adapt per-block windows automatically (paper §5 future work)",
+    )
+    p.add_argument("--out", default=None, help="write best solution to .npy")
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("maxcut", help="solve Max-Cut (G-set file or catalog name)")
+    p.add_argument("graph", help="G-set file path or catalog name (G1, G6, …)")
+    p.add_argument("--sparse", action="store_true", help="use the sparse backend")
+    p.add_argument("--blocks", type=int, default=32)
+    p.add_argument("--local-steps", type=int, default=64)
+    p.add_argument("--pool", type=int, default=48)
+    p.add_argument("--time-limit", type=float, default=3.0)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_maxcut)
+
+    p = sub.add_parser("tsp", help="solve a TSP (TSPLIB file or catalog name)")
+    p.add_argument("instance", help="TSPLIB .tsp path or catalog name (ulysses16, …)")
+    p.add_argument("--slack", type=float, default=0.02, help="target = ref×(1+slack)")
+    p.add_argument("--blocks", type=int, default=48)
+    p.add_argument("--local-steps", type=int, default=40)
+    p.add_argument("--pool", type=int, default=64)
+    p.add_argument("--time-limit", type=float, default=20.0)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_tsp)
+
+    p = sub.add_parser("random", help="generate a random 16-bit instance")
+    p.add_argument("n", type=int, help="number of bits")
+    p.add_argument("out", help="output path (.qubo/.json/.npy)")
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_random)
+
+    p = sub.add_parser("occupancy", help="print the occupancy sweep for a size")
+    p.add_argument("n", type=int, help="number of bits")
+    p.set_defaults(func=_cmd_occupancy)
+
+    p = sub.add_parser("rate", help="print modeled search rates (Table 2)")
+    p.add_argument("--gpus", type=int, default=4)
+    p.set_defaults(func=_cmd_rate)
+
+    p = sub.add_parser("analyze", help="landscape anatomy of an instance")
+    p.add_argument("instance", help="path to a .qubo/.json/.npy instance")
+    p.add_argument("--walk-steps", type=int, default=2000)
+    p.add_argument("--descents", type=int, default=20)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_analyze)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

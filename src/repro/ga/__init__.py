@@ -1,0 +1,25 @@
+"""Host-side genetic algorithm (paper §2.2.1, §3.1).
+
+The CPU host maintains a :class:`~repro.ga.pool.SolutionPool` — sorted
+by energy, duplicate-free (the paper's defence against premature
+convergence) — and generates *target solutions* for the device local
+searches via mutation, uniform crossover, and copy
+(:mod:`~repro.ga.operators`).  The host **never evaluates the energy
+function**: solution energies arrive from the devices, and
+freshly-seeded random solutions carry energy +∞ until a device reports
+on them.
+"""
+
+from repro.ga.host import GaConfig, TargetGenerator
+from repro.ga.operators import crossover_uniform, mutate, select_parent
+from repro.ga.pool import PoolEntry, SolutionPool
+
+__all__ = [
+    "SolutionPool",
+    "PoolEntry",
+    "TargetGenerator",
+    "GaConfig",
+    "mutate",
+    "crossover_uniform",
+    "select_parent",
+]

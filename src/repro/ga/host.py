@@ -1,0 +1,91 @@
+"""Target-solution generation — the GA step of the host loop (§3.1 Step 4).
+
+Each time devices return solutions, the host generates the same number
+of fresh *target solutions* by applying a randomly chosen genetic
+operator (mutation / uniform crossover / copy) to pool members.  Copy
+is useful because the device restarts its best-tracking per target
+(§3.2 Step 3), so re-searching around a good solution still makes
+progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ga.operators import crossover_uniform, mutate, select_parent
+from repro.ga.pool import SolutionPool
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class GaConfig:
+    """Operator mix and parameters for target generation.
+
+    Attributes
+    ----------
+    p_mutation, p_crossover:
+        Probabilities of the two non-trivial operators; the remainder
+        is plain copy.  Must sum to at most 1.
+    mutation_flips:
+        Bits flipped per mutation (``None``: ``max(1, n // 16)``).
+    elite_bias:
+        Rank-selection bias (see :func:`~repro.ga.operators.select_parent`).
+    """
+
+    p_mutation: float = 0.45
+    p_crossover: float = 0.45
+    mutation_flips: int | None = None
+    elite_bias: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_probability(self.p_mutation, "p_mutation")
+        check_probability(self.p_crossover, "p_crossover")
+        if self.p_mutation + self.p_crossover > 1.0 + 1e-12:
+            raise ValueError(
+                "p_mutation + p_crossover must not exceed 1 "
+                f"(got {self.p_mutation} + {self.p_crossover})"
+            )
+        if self.elite_bias <= 0:
+            raise ValueError(f"elite_bias must be positive, got {self.elite_bias}")
+
+
+class TargetGenerator:
+    """Produces GA target solutions from a :class:`SolutionPool`."""
+
+    def __init__(
+        self,
+        pool: SolutionPool,
+        config: GaConfig | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.pool = pool
+        self.config = config or GaConfig()
+        self._rng = as_generator(seed)
+        #: Operator usage counters (diagnostics).
+        self.counts = {"mutation": 0, "crossover": 0, "copy": 0}
+
+    def generate_one(self) -> np.ndarray:
+        """One new target via a randomly chosen operator."""
+        cfg = self.config
+        rng = self._rng
+        u = rng.random()
+        parent = select_parent(self.pool, rng, elite_bias=cfg.elite_bias)
+        if u < cfg.p_mutation:
+            self.counts["mutation"] += 1
+            return mutate(parent, rng, cfg.mutation_flips)
+        if u < cfg.p_mutation + cfg.p_crossover and len(self.pool) >= 2:
+            self.counts["crossover"] += 1
+            other = select_parent(self.pool, rng, elite_bias=cfg.elite_bias)
+            return crossover_uniform(parent, other, rng)
+        self.counts["copy"] += 1
+        return parent.copy()
+
+    def generate(self, count: int) -> list[np.ndarray]:
+        """``count`` new targets (the paper matches the number of newly
+        arrived device solutions)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.generate_one() for _ in range(count)]

@@ -1,0 +1,64 @@
+"""Genetic operators: mutation, uniform crossover, parent selection.
+
+These follow §2.2.1 exactly: a mutation flips some random bits of one
+selected solution; a crossover builds a child by picking each bit from
+either of two parents uniformly at random.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ga.pool import SolutionPool
+from repro.utils.validation import check_bit_vector
+
+
+def mutate(x: np.ndarray, rng: np.random.Generator, flips: int | None = None) -> np.ndarray:
+    """Return a copy of ``x`` with ``flips`` random distinct bits flipped.
+
+    ``flips`` defaults to ``max(1, n // 16)`` — enough perturbation to
+    leave the parent's attraction basin while staying nearby.
+    """
+    xb = check_bit_vector(x)
+    n = xb.shape[0]
+    if n == 0:
+        return xb.copy()
+    if flips is None:
+        flips = max(1, n // 16)
+    if not (1 <= flips <= n):
+        raise ValueError(f"flips must be in [1, {n}], got {flips}")
+    child = xb.copy()
+    idx = rng.choice(n, size=flips, replace=False)
+    child[idx] ^= 1
+    return child
+
+
+def crossover_uniform(
+    a: np.ndarray, b: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform crossover: each child bit is drawn from either parent."""
+    ab = check_bit_vector(a)
+    bb = check_bit_vector(b, ab.shape[0], "b")
+    take_b = rng.integers(0, 2, size=ab.shape[0], dtype=np.uint8).astype(bool)
+    child = ab.copy()
+    child[take_b] = bb[take_b]
+    return child
+
+
+def select_parent(
+    pool: SolutionPool, rng: np.random.Generator, *, elite_bias: float = 2.0
+) -> np.ndarray:
+    """Rank-biased parent selection from the (sorted) pool.
+
+    Draws rank ``⌊m · u^elite_bias⌋`` with ``u ~ U[0,1)``: bias > 1
+    favours low-energy entries, bias = 1 is uniform.  The paper does
+    not pin down the selection rule; rank bias is the conventional
+    choice for sorted populations and is exposed as a parameter.
+    """
+    if len(pool) == 0:
+        raise IndexError("cannot select a parent from an empty pool")
+    if elite_bias <= 0:
+        raise ValueError(f"elite_bias must be positive, got {elite_bias}")
+    rank = int(len(pool) * rng.random() ** elite_bias)
+    rank = min(rank, len(pool) - 1)
+    return pool[rank].x

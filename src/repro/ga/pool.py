@@ -1,0 +1,181 @@
+"""The host's solution pool (paper §2.2.1, §3.1).
+
+The pool holds up to ``capacity`` solutions, kept **sorted by energy**
+and **pairwise distinct**.  Both invariants come straight from the
+paper: sortedness enables O(log m) binary-search insertion, and
+distinctness staves off premature convergence when an extremely good
+solution would otherwise flood the population.
+
+Energies of freshly seeded random solutions are ``+∞`` "in the sense
+that they are not computed" (§3.1 Step 1) — the host never evaluates
+the energy function; real energies only ever arrive from devices.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator, random_bits
+from repro.utils.validation import check_bit_vector
+
+
+@dataclass(frozen=True)
+class PoolEntry:
+    """One pooled solution; ``energy`` is ``math.inf`` until evaluated."""
+
+    energy: float
+    x: np.ndarray
+
+    def key(self) -> bytes:
+        """Hashable identity of the bit vector."""
+        return self.x.tobytes()
+
+
+class SolutionPool:
+    """Sorted, duplicate-free, bounded pool of solutions.
+
+    Parameters
+    ----------
+    n:
+        Bits per solution.
+    capacity:
+        Maximum number of pooled solutions (the paper's ``m``).
+
+    Notes
+    -----
+    Insertion uses :func:`bisect.bisect_left` on the energy array —
+    the paper's O(log m) binary search — then scans the (typically
+    tiny) equal-energy span for an identical bit vector.  A set of
+    bit-vector digests backs an O(1) duplicate fast path.
+    """
+
+    def __init__(self, n: int, capacity: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.n = int(n)
+        self.capacity = int(capacity)
+        self._energies: list[float] = []
+        self._solutions: list[np.ndarray] = []
+        self._keys: set[bytes] = set()
+        #: Monotone counters for diagnostics.
+        self.inserted = 0
+        self.rejected_duplicate = 0
+        self.rejected_worse = 0
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def seed_random(self, seed: SeedLike = None, count: int | None = None) -> int:
+        """Fill with up to ``count`` random distinct solutions at E = +∞.
+
+        Returns the number actually added (collisions are retried a
+        bounded number of times, so for tiny ``n`` fewer may fit).
+        """
+        rng = as_generator(seed)
+        want = self.capacity if count is None else count
+        added = 0
+        attempts = 0
+        while added < want and attempts < 20 * want + 20:
+            attempts += 1
+            x = random_bits(rng, self.n)
+            if self.insert(x, math.inf):
+                added += 1
+        return added
+
+    def insert(self, x: np.ndarray, energy: float) -> bool:
+        """Insert ``(x, energy)``; returns ``True`` if the pool changed.
+
+        Rejects exact duplicates (same bits) and, when the pool is full,
+        anything not better than the current worst.  When accepted into
+        a full pool, the worst entry is evicted (§2.2.1).
+        """
+        xb = check_bit_vector(x, self.n, "x")
+        key = xb.tobytes()
+        if key in self._keys:
+            self.rejected_duplicate += 1
+            return False
+        if len(self._energies) >= self.capacity:
+            if energy >= self._energies[-1]:
+                self.rejected_worse += 1
+                return False
+            worst = self._solutions.pop()
+            self._energies.pop()
+            self._keys.discard(worst.tobytes())
+        pos = bisect.bisect_left(self._energies, energy)
+        self._energies.insert(pos, float(energy))
+        stored = xb.copy()
+        stored.setflags(write=False)
+        self._solutions.insert(pos, stored)
+        self._keys.add(key)
+        self.inserted += 1
+        return True
+
+    def contains(self, x: np.ndarray) -> bool:
+        """Whether an identical bit vector is pooled."""
+        return check_bit_vector(x, self.n, "x").tobytes() in self._keys
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._energies)
+
+    def __iter__(self) -> Iterator[PoolEntry]:
+        for e, x in zip(self._energies, self._solutions):
+            yield PoolEntry(e, x)
+
+    def __getitem__(self, rank: int) -> PoolEntry:
+        """Entry at sorted position ``rank`` (0 = best)."""
+        return PoolEntry(self._energies[rank], self._solutions[rank])
+
+    def best(self) -> PoolEntry:
+        """The lowest-energy entry; raises :class:`IndexError` if empty."""
+        if not self._energies:
+            raise IndexError("pool is empty")
+        return self[0]
+
+    def worst(self) -> PoolEntry:
+        """The highest-energy entry; raises :class:`IndexError` if empty."""
+        if not self._energies:
+            raise IndexError("pool is empty")
+        return self[len(self._energies) - 1]
+
+    def energies(self) -> list[float]:
+        """Sorted energies (copy)."""
+        return list(self._energies)
+
+    def evaluated_fraction(self) -> float:
+        """Share of entries with a real (non-∞) energy."""
+        if not self._energies:
+            return 0.0
+        finite = sum(1 for e in self._energies if math.isfinite(e))
+        return finite / len(self._energies)
+
+    # ------------------------------------------------------------------
+    # Invariants (used by property-based tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert sortedness, distinctness, and capacity."""
+        assert len(self._energies) == len(self._solutions) == len(self._keys)
+        assert len(self._energies) <= self.capacity
+        assert all(
+            self._energies[i] <= self._energies[i + 1]
+            for i in range(len(self._energies) - 1)
+        ), "pool energies not sorted"
+        assert len({s.tobytes() for s in self._solutions}) == len(
+            self._solutions
+        ), "pool contains duplicate solutions"
+
+    def __repr__(self) -> str:
+        best = self._energies[0] if self._energies else None
+        return (
+            f"SolutionPool(n={self.n}, size={len(self)}/{self.capacity}, "
+            f"best={best})"
+        )

@@ -1,0 +1,46 @@
+"""A CUDA-like device substrate, in NumPy.
+
+The paper runs each search as one CUDA block on an NVIDIA RTX 2080 Ti;
+no GPU is available here, so this package simulates the relevant
+behaviour at two levels:
+
+- **Resource model** (:mod:`.device`, :mod:`.occupancy`, :mod:`.memory`)
+  — streaming-multiprocessor / thread / register / shared-memory
+  accounting for Turing-class devices, reproducing exactly the
+  bits-per-thread → threads-per-block → active-blocks arithmetic of the
+  paper's Table 2 and its 32 k-bit / 16-bit-weight capacity claims.
+- **Execution model** (:mod:`.engine`) — a *bulk engine* that runs B
+  independent Algorithm 4/5 searches as one batched NumPy computation,
+  each "CUDA block" being one row of the batched state.  It is
+  bit-for-bit equivalent to the scalar reference searches (tested).
+- **Timing model** (:mod:`.timing`) — an analytic search-rate model
+  calibrated against the paper's published Table 2, used to reproduce
+  the *shape* of the throughput results that raw Python cannot reach.
+"""
+
+from repro.gpusim.device import RTX_2080_TI, TESLA_V100, DeviceSpec, get_device
+from repro.gpusim.engine import BulkSearchEngine
+from repro.gpusim.memory import BlockMemoryPlan, plan_block_memory
+from repro.gpusim.occupancy import (
+    Occupancy,
+    compute_occupancy,
+    sweep_bits_per_thread,
+    valid_bits_per_thread,
+)
+from repro.gpusim.timing import ThroughputModel, calibrated_model
+
+__all__ = [
+    "DeviceSpec",
+    "RTX_2080_TI",
+    "TESLA_V100",
+    "get_device",
+    "Occupancy",
+    "compute_occupancy",
+    "sweep_bits_per_thread",
+    "valid_bits_per_thread",
+    "BlockMemoryPlan",
+    "plan_block_memory",
+    "BulkSearchEngine",
+    "ThroughputModel",
+    "calibrated_model",
+]

@@ -1,0 +1,104 @@
+"""Device specifications for the simulated GPUs.
+
+Numbers for the RTX 2080 Ti come from §3.2 of the paper (Turing,
+compute capability 7.5): 68 SMs, 1024 resident threads (32 warps) per
+SM, 64 K 32-bit registers per SM, 64 KB shared memory, 11 GB GDDR6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static resource description of one GPU.
+
+    Attributes mirror the CUDA occupancy-relevant limits; anything the
+    paper's implementation depends on is here.
+    """
+
+    name: str
+    sm_count: int
+    max_threads_per_sm: int
+    max_threads_per_block: int
+    warp_size: int
+    registers_per_sm: int          # 32-bit registers
+    shared_mem_per_sm: int         # bytes
+    global_mem: int                # bytes
+    compute_capability: str = ""
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "sm_count",
+            "max_threads_per_sm",
+            "max_threads_per_block",
+            "warp_size",
+            "registers_per_sm",
+            "shared_mem_per_sm",
+            "global_mem",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.max_threads_per_block > self.max_threads_per_sm:
+            raise ValueError(
+                "max_threads_per_block cannot exceed max_threads_per_sm"
+            )
+        if self.max_threads_per_sm % self.warp_size:
+            raise ValueError("max_threads_per_sm must be a warp multiple")
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        """Resident-warp limit per SM (32 for Turing)."""
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def registers_per_thread_at_full_occupancy(self) -> int:
+        """Registers each thread may use with every thread slot filled.
+
+        64 K regs / 1024 threads = 64 on Turing — the figure the paper
+        uses to bound bits-per-thread (hence the 32 k-bit limit).
+        """
+        return self.registers_per_sm // self.max_threads_per_sm
+
+
+#: The paper's device (§3.2).
+RTX_2080_TI = DeviceSpec(
+    name="NVIDIA GeForce RTX 2080 Ti",
+    sm_count=68,
+    max_threads_per_sm=1024,
+    max_threads_per_block=1024,
+    warp_size=32,
+    registers_per_sm=64 * 1024,
+    shared_mem_per_sm=64 * 1024,
+    global_mem=11 * 1024**3,
+    compute_capability="7.5",
+)
+
+#: The device of the simulated-bifurcation comparison row (Table 3).
+TESLA_V100 = DeviceSpec(
+    name="NVIDIA Tesla V100-SXM2",
+    sm_count=80,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    warp_size=32,
+    registers_per_sm=64 * 1024,
+    shared_mem_per_sm=96 * 1024,
+    global_mem=16 * 1024**3,
+    compute_capability="7.0",
+)
+
+_CATALOG = {spec.name: spec for spec in (RTX_2080_TI, TESLA_V100)}
+_CATALOG["rtx2080ti"] = RTX_2080_TI
+_CATALOG["v100"] = TESLA_V100
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by full or short name (case-insensitive short)."""
+    if name in _CATALOG:
+        return _CATALOG[name]
+    key = name.lower().replace(" ", "").replace("-", "")
+    for alias, spec in _CATALOG.items():
+        if alias.lower().replace(" ", "").replace("-", "") == key:
+            return spec
+    raise KeyError(f"unknown device {name!r}; known: {sorted(_CATALOG)}")

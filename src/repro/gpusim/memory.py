@@ -1,0 +1,73 @@
+"""Memory-placement accounting for the simulated kernel (paper §3.2).
+
+The paper stores, per CUDA block:
+
+- in the **register file**: the current solution ``X`` (1 bit each) and
+  all ``Δ_i`` values (32-bit);
+- in **shared memory**: the best solution ``B`` (packed bits) and the
+  energies ``E_B`` and ``E_X``;
+- in **global memory**: the weight matrix ``W`` (16-bit), the target
+  buffer, and the solution buffer.
+
+:func:`plan_block_memory` performs this placement for a given problem
+size and verifies it against a :class:`~repro.gpusim.device.DeviceSpec`,
+reproducing the capacity claims (32 k bits, 16-bit weights in 11 GB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import RTX_2080_TI, DeviceSpec
+from repro.gpusim.occupancy import Occupancy, compute_occupancy
+
+
+@dataclass(frozen=True)
+class BlockMemoryPlan:
+    """Per-block/per-GPU memory placement for an ``n``-bit kernel."""
+
+    n: int
+    bits_per_thread: int
+    #: registers per thread: p deltas (32-bit) + packed bits + overhead
+    registers_per_thread: int
+    #: shared bytes per block: packed best solution + E_B + E_X
+    shared_bytes_per_block: int
+    #: global bytes for the weight matrix at 16-bit weights
+    weight_bytes: int
+    #: global bytes for one target/solution slot (packed bits + energy)
+    slot_bytes: int
+    occupancy: Occupancy
+
+    def fits(self, device: DeviceSpec = RTX_2080_TI, *, n_slots: int = 0) -> bool:
+        """Whether the plan fits the device at full occupancy."""
+        shared_total = self.shared_bytes_per_block * self.occupancy.blocks_per_sm
+        if shared_total > device.shared_mem_per_sm:
+            return False
+        global_needed = self.weight_bytes + 2 * n_slots * self.slot_bytes
+        return global_needed <= device.global_mem
+
+
+def plan_block_memory(
+    n: int,
+    bits_per_thread: int,
+    device: DeviceSpec = RTX_2080_TI,
+    *,
+    weight_bytes_per_entry: int = 2,
+) -> BlockMemoryPlan:
+    """Compute the §3.2 memory placement for an ``n``-bit kernel.
+
+    Raises :class:`ValueError` (propagated from the occupancy
+    calculator) if the kernel cannot launch at all.
+    """
+    occ = compute_occupancy(n, bits_per_thread, device)
+    packed_solution = -(-n // 8)  # bits of B, packed
+    shared = packed_solution + 8 + 8  # + E_B and E_X as int64
+    return BlockMemoryPlan(
+        n=n,
+        bits_per_thread=bits_per_thread,
+        registers_per_thread=occ.registers_per_thread,
+        shared_bytes_per_block=shared,
+        weight_bytes=n * n * weight_bytes_per_entry,
+        slot_bytes=packed_solution + 8,
+        occupancy=occ,
+    )

@@ -1,0 +1,135 @@
+"""Occupancy arithmetic: bits/thread → threads/block → active blocks.
+
+This reproduces the left three columns of the paper's Table 2.  With
+``p`` bits handled per thread, an ``n``-bit problem needs
+``threads = n / p`` threads per block; at 100 % occupancy each SM hosts
+``max_threads_per_sm / threads`` such blocks, so one RTX 2080 Ti runs
+``68 · 1024 / threads`` blocks concurrently (e.g. n = 1 k, p = 16 →
+64 threads/block → 1088 active blocks, matching the table).
+
+Note: the published table lists "128" threads/block for n = 2 k, p = 8;
+that is arithmetically inconsistent with every other row (2048/8 = 256,
+and the stated 272 active blocks equals 68·1024/256).  We follow the
+arithmetic, and the Table 2 bench flags the discrepancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import RTX_2080_TI, DeviceSpec
+
+#: Registers a thread needs besides its p (32-bit) delta values: packed
+#: solution bits, loop counters, pointers, and min-reduction temporaries.
+#: Calibrated so the Turing budget of 64 registers/thread yields the
+#: paper's limits exactly: p ≤ 32 and max problem size 1024 · 32 = 32 k
+#: bits ("Since each thread has 64 registers, our system can support up
+#: to 32 k-bit QUBO problems", §3.2).
+_REGISTER_OVERHEAD = 32
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of an occupancy computation for one ``(n, p, device)``."""
+
+    n: int
+    bits_per_thread: int
+    threads_per_block: int
+    warps_per_block: int
+    blocks_per_sm: int
+    active_blocks: int          # per GPU
+    occupancy: float            # resident warps / max warps
+    registers_per_thread: int
+
+    @property
+    def full(self) -> bool:
+        """Whether the configuration reaches 100 % occupancy."""
+        return self.occupancy >= 1.0 - 1e-12
+
+
+def compute_occupancy(
+    n: int, bits_per_thread: int, device: DeviceSpec = RTX_2080_TI
+) -> Occupancy:
+    """Occupancy of an ``n``-bit search kernel at ``bits_per_thread``.
+
+    Raises :class:`ValueError` if the configuration cannot launch
+    (threads/block over the limit, below one warp, or register
+    pressure exceeding the per-SM file at full thread count).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    p = bits_per_thread
+    if p < 1:
+        raise ValueError(f"bits_per_thread must be >= 1, got {p}")
+    threads = -(-n // p)  # ceil division: every bit must be owned
+    if threads > device.max_threads_per_block:
+        raise ValueError(
+            f"n={n} at p={p} needs {threads} threads/block, over the "
+            f"{device.max_threads_per_block} limit — increase bits_per_thread"
+        )
+    if threads < device.warp_size:
+        raise ValueError(
+            f"n={n} at p={p} needs only {threads} threads/block, below one "
+            f"warp ({device.warp_size}) — decrease bits_per_thread"
+        )
+    regs = p + _REGISTER_OVERHEAD
+    if regs > device.registers_per_thread_at_full_occupancy:
+        raise ValueError(
+            f"p={p} needs ~{regs} registers/thread, over the "
+            f"{device.registers_per_thread_at_full_occupancy} available at "
+            "full occupancy"
+        )
+    blocks_per_sm = device.max_threads_per_sm // threads
+    resident_warps = blocks_per_sm * (threads // device.warp_size)
+    occupancy = resident_warps / device.max_warps_per_sm
+    return Occupancy(
+        n=n,
+        bits_per_thread=p,
+        threads_per_block=threads,
+        warps_per_block=threads // device.warp_size,
+        blocks_per_sm=blocks_per_sm,
+        active_blocks=blocks_per_sm * device.sm_count,
+        occupancy=occupancy,
+        registers_per_thread=regs,
+    )
+
+
+def valid_bits_per_thread(
+    n: int, device: DeviceSpec = RTX_2080_TI, *, powers_of_two: bool = True
+) -> list[int]:
+    """All launchable ``p`` values for an ``n``-bit problem.
+
+    With ``powers_of_two`` (the paper only evaluates powers of two),
+    returns the p ∈ {1, 2, 4, …} for which :func:`compute_occupancy`
+    succeeds, in increasing order.
+    """
+    result: list[int] = []
+    p = 1
+    while p <= max(n, 1):
+        try:
+            compute_occupancy(n, p, device)
+        except ValueError:
+            pass
+        else:
+            result.append(p)
+        p = p * 2 if powers_of_two else p + 1
+    return result
+
+
+def sweep_bits_per_thread(
+    n: int, device: DeviceSpec = RTX_2080_TI
+) -> list[Occupancy]:
+    """Occupancy for every valid power-of-two ``p`` (a Table 2 block)."""
+    return [compute_occupancy(n, p, device) for p in valid_bits_per_thread(n, device)]
+
+
+def max_supported_bits(device: DeviceSpec = RTX_2080_TI) -> int:
+    """Largest problem the register budget supports (paper: 32 k).
+
+    Each thread can own at most ``regs − overhead`` bits; with at most
+    ``max_threads_per_block`` threads that bounds n.
+    """
+    p_max = device.registers_per_thread_at_full_occupancy - _REGISTER_OVERHEAD
+    # For Turing: (64 − 32) = 32 bits/thread × 1024 threads = 32 k bits,
+    # exactly the paper's stated capacity.
+    return device.max_threads_per_block * p_max

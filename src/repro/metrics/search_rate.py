@@ -1,0 +1,92 @@
+"""Search-rate measurement (Definition 1 over wall-clock time).
+
+The search rate is the number of evaluated solutions per second — the
+metric of the paper's Table 2 and Figure 8 (and of the FPGA system it
+compares against).  :func:`measure_engine_rate` measures the bulk
+engine alone (the device kernel, as Table 2 does);
+:func:`measure_solver_rate` measures the full ABS stack including host
+GA and buffer traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.abs.config import AbsConfig
+from repro.abs.solver import AdaptiveBulkSearch
+from repro.gpusim.engine import BulkSearchEngine
+from repro.qubo.matrix import WeightsLike
+from repro.utils.timer import Stopwatch
+
+
+@dataclass(frozen=True)
+class RateMeasurement:
+    """A measured search rate."""
+
+    evaluated: int
+    elapsed: float
+    n_blocks: int
+    n: int
+
+    @property
+    def rate(self) -> float:
+        """Solutions per second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.evaluated / self.elapsed
+
+    @property
+    def flips_per_second(self) -> float:
+        """Flip rate (each flip evaluates ``n`` solutions)."""
+        return self.rate / self.n
+
+
+def measure_engine_rate(
+    weights: WeightsLike,
+    n_blocks: int,
+    *,
+    steps: int = 256,
+    warmup_steps: int = 16,
+    window: int = 16,
+) -> RateMeasurement:
+    """Measure the raw bulk-engine rate for one device configuration.
+
+    Runs ``warmup_steps`` unmeasured local steps first (first-touch
+    allocation and cache warm-up), then times ``steps`` steps.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if warmup_steps < 0:
+        raise ValueError(f"warmup_steps must be >= 0, got {warmup_steps}")
+    engine = BulkSearchEngine(weights, n_blocks, windows=window)
+    if warmup_steps:
+        engine.local_steps(warmup_steps)
+    before = engine.counters.evaluated
+    watch = Stopwatch().start()
+    engine.local_steps(steps)
+    elapsed = watch.stop()
+    return RateMeasurement(
+        evaluated=engine.counters.evaluated - before,
+        elapsed=elapsed,
+        n_blocks=n_blocks,
+        n=engine.n,
+    )
+
+
+def measure_solver_rate(
+    weights: WeightsLike,
+    config: AbsConfig,
+    *,
+    mode: str = "process",
+) -> RateMeasurement:
+    """Measure the end-to-end ABS rate (host + devices + buffers)."""
+    solver = AdaptiveBulkSearch(weights, config)
+    result = solver.solve(mode)
+    return RateMeasurement(
+        evaluated=result.evaluated,
+        elapsed=result.elapsed,
+        n_blocks=config.total_blocks,
+        n=solver.n,
+    )

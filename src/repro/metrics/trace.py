@@ -1,0 +1,94 @@
+"""Convergence-trace analysis for solver histories.
+
+A :class:`~repro.abs.result.SolveResult` carries ``history`` —
+``(elapsed_seconds, best_energy)`` checkpoints.  These helpers turn
+such traces into the summary quantities used when comparing anytime
+solvers: time-to-threshold, the step-function value at a time, and the
+anytime area under the curve.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+Trace = Sequence[tuple[float, float]]
+
+
+def _check_trace(history: Trace) -> list[tuple[float, float]]:
+    trace = [(float(t), float(e)) for t, e in history]
+    for i in range(len(trace) - 1):
+        if trace[i + 1][0] < trace[i][0]:
+            raise ValueError("history timestamps must be non-decreasing")
+    return trace
+
+
+def time_to_threshold(history: Trace, threshold: float) -> float | None:
+    """First timestamp at which the best energy reached ``threshold``.
+
+    Returns ``None`` if the trace never gets there.
+    """
+    for t, e in _check_trace(history):
+        if e <= threshold:
+            return t
+    return None
+
+
+def value_at(history: Trace, time: float) -> float:
+    """Best energy known at ``time`` (step interpolation).
+
+    ``inf`` before the first checkpoint.
+    """
+    if time < 0:
+        raise ValueError(f"time must be non-negative, got {time}")
+    best = math.inf
+    for t, e in _check_trace(history):
+        if t > time:
+            break
+        best = min(best, e)
+    return best
+
+
+def anytime_auc(history: Trace, t_end: float, *, baseline: float = 0.0) -> float:
+    """Area between the best-energy step function and ``baseline`` on
+    ``[first checkpoint, t_end]``.
+
+    Lower is better for minimization (the solver spends less time at
+    high energies).  Useful for comparing anytime behaviour of two
+    configurations whose final energies tie.
+    """
+    trace = _check_trace(history)
+    if not trace:
+        raise ValueError("history is empty")
+    if t_end < trace[0][0]:
+        raise ValueError(
+            f"t_end ({t_end}) precedes the first checkpoint ({trace[0][0]})"
+        )
+    area = 0.0
+    best = trace[0][1]
+    prev_t = trace[0][0]
+    for t, e in trace[1:]:
+        t = min(t, t_end)
+        area += (t - prev_t) * (best - baseline)
+        best = min(best, e)
+        prev_t = t
+        if prev_t >= t_end:
+            break
+    if prev_t < t_end:
+        area += (t_end - prev_t) * (best - baseline)
+    return area
+
+
+def mean_trace(histories: Sequence[Trace], times: Sequence[float]) -> list[float]:
+    """Mean best energy across runs, sampled at ``times``.
+
+    Runs that have no checkpoint yet at a sample time contribute
+    ``inf`` — the mean is then ``inf`` too, making warm-up visible.
+    """
+    if not histories:
+        raise ValueError("need at least one history")
+    out = []
+    for t in times:
+        vals = [value_at(h, t) for h in histories]
+        out.append(sum(vals) / len(vals) if all(map(math.isfinite, vals)) else math.inf)
+    return out

@@ -1,0 +1,87 @@
+"""Time-to-solution measurement (paper §4, Table 1).
+
+TTS is the wall-clock time until the solver first reaches a target
+energy; the paper reports the average of ten measurements.  Each repeat
+uses a distinct seed, so the average reflects the stochastic search,
+not one lucky trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+from repro.abs.config import AbsConfig
+from repro.abs.solver import AdaptiveBulkSearch
+from repro.qubo.matrix import WeightsLike
+
+
+@dataclass(frozen=True)
+class TtsResult:
+    """Aggregated time-to-solution over repeats."""
+
+    times: tuple[float, ...]       # per-successful-repeat seconds
+    successes: int
+    repeats: int
+    target_energy: int
+    best_energies: tuple[int, ...]
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of repeats that reached the target."""
+        return self.successes / self.repeats if self.repeats else 0.0
+
+    @property
+    def mean_time(self) -> float:
+        """Mean TTS over successful repeats (NaN if none succeeded)."""
+        if not self.times:
+            return math.nan
+        return sum(self.times) / len(self.times)
+
+    @property
+    def min_time(self) -> float:
+        """Fastest successful repeat (NaN if none)."""
+        return min(self.times) if self.times else math.nan
+
+
+def time_to_solution(
+    weights: WeightsLike,
+    target_energy: int,
+    config: AbsConfig,
+    *,
+    repeats: int = 10,
+    mode: str = "sync",
+) -> TtsResult:
+    """Measure TTS for ``target_energy`` over ``repeats`` seeded runs.
+
+    The provided ``config`` supplies everything but the target and the
+    per-repeat seed; its ``time_limit`` acts as the per-run timeout
+    (unreached targets count as failures, not infinite times).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if config.time_limit is None and config.max_rounds is None:
+        raise ValueError(
+            "config needs a time_limit or max_rounds as the per-repeat timeout"
+        )
+    times: list[float] = []
+    bests: list[int] = []
+    successes = 0
+    base_seed = config.seed if config.seed is not None else 0
+    for r in range(repeats):
+        cfg = dataclasses.replace(
+            config, target_energy=int(target_energy), seed=base_seed + 7919 * r
+        )
+        result = AdaptiveBulkSearch(weights, cfg).solve(mode)
+        bests.append(result.best_energy)
+        if result.reached_target and result.time_to_target is not None:
+            successes += 1
+            times.append(result.time_to_target)
+    return TtsResult(
+        times=tuple(times),
+        successes=successes,
+        repeats=repeats,
+        target_energy=int(target_energy),
+        best_energies=tuple(bests),
+    )

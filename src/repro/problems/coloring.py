@@ -1,0 +1,98 @@
+"""Graph k-coloring → QUBO (Lucas formulation; §5 "other applications").
+
+Bits ``x_{v,c}`` (vertex ``v`` gets colour ``c``), with penalty ``A``:
+
+``H = A·Σ_v (1 − Σ_c x_{v,c})² + A·Σ_{(u,v)∈E} Σ_c x_{u,c}·x_{v,c}``
+
+Dropping the constant ``A·|V|`` from the expanded one-hot terms, a
+*proper* k-colouring has QUBO energy exactly ``−A·|V|``; the returned
+``offset = A·|V|`` makes ``E(X) + offset == 0`` the feasibility
+certificate (and, in general, ``E + offset = A · (one-hot violations +
+monochromatic edges)`` for one-hot-satisfying assignments).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.qubo.matrix import QuboMatrix
+from repro.utils.validation import check_bit_vector
+
+
+def coloring_to_qubo(
+    graph: nx.Graph, colors: int, *, penalty: int = 2
+) -> tuple[QuboMatrix, int]:
+    """Compile a k-colouring instance into ``(qubo, offset)``.
+
+    Bit ``v·k + c`` means vertex ``v`` has colour ``c``.  ``penalty``
+    must be even so the expanded one-hot pair terms (2A) and conflict
+    terms (A) stay integral when split symmetrically; the default 2 is
+    the smallest valid choice.
+    """
+    if colors < 1:
+        raise ValueError(f"colors must be >= 1, got {colors}")
+    if penalty < 2 or penalty % 2:
+        raise ValueError(f"penalty must be a positive even integer, got {penalty}")
+    n_v = graph.number_of_nodes()
+    if sorted(graph.nodes()) != list(range(n_v)):
+        raise ValueError("graph nodes must be exactly 0..n-1")
+    A = int(penalty)
+    k = int(colors)
+    N = n_v * k
+    W = np.zeros((N, N), dtype=np.int64)
+
+    def bit(v: int, c: int) -> int:
+        return v * k + c
+
+    # One-hot per vertex: −A per bit (diagonal), +2A per same-vertex pair.
+    for v in range(n_v):
+        for c in range(k):
+            W[bit(v, c), bit(v, c)] = -A
+        for c1 in range(k):
+            for c2 in range(c1 + 1, k):
+                W[bit(v, c1), bit(v, c2)] += A
+                W[bit(v, c2), bit(v, c1)] += A
+    # Conflicts: +A per monochromatic edge (split A/2+A/2 symmetric).
+    half = A // 2
+    for u, v in graph.edges():
+        if u == v:
+            raise ValueError(f"self-loop on node {u} cannot be coloured")
+        for c in range(k):
+            W[bit(u, c), bit(v, c)] += half
+            W[bit(v, c), bit(u, c)] += half
+    qubo = QuboMatrix(W, copy=False, check=False, name=f"coloring-{n_v}v{k}c")
+    return qubo, A * n_v
+
+
+def decode_coloring(x: np.ndarray, n_vertices: int, colors: int) -> list[int] | None:
+    """Colour per vertex, or ``None`` if any one-hot constraint fails."""
+    xb = check_bit_vector(x, n_vertices * colors, "x").reshape(n_vertices, colors)
+    if not (xb.sum(axis=1) == 1).all():
+        return None
+    return [int(c) for c in np.argmax(xb, axis=1)]
+
+
+def is_proper_coloring(graph: nx.Graph, assignment: list[int]) -> bool:
+    """Whether no edge is monochromatic under ``assignment``."""
+    if len(assignment) != graph.number_of_nodes():
+        raise ValueError(
+            f"assignment has {len(assignment)} entries for "
+            f"{graph.number_of_nodes()} vertices"
+        )
+    return all(assignment[u] != assignment[v] for u, v in graph.edges())
+
+
+def count_violations(graph: nx.Graph, x: np.ndarray, colors: int) -> tuple[int, int]:
+    """``(one_hot_violations, monochromatic_edges)`` for any bit vector.
+
+    ``one_hot_violations`` counts, per vertex, ``(1 − Σ_c x_{v,c})²``
+    summed over vertices (0 when every vertex has exactly one colour).
+    """
+    n_v = graph.number_of_nodes()
+    xb = check_bit_vector(x, n_v * colors, "x").reshape(n_v, colors)
+    onehot = int(((1 - xb.sum(axis=1).astype(np.int64)) ** 2).sum())
+    mono = 0
+    for u, v in graph.edges():
+        mono += int((xb[u] & xb[v]).sum())
+    return onehot, mono

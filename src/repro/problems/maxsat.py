@@ -1,0 +1,133 @@
+"""MAX-2-SAT → QUBO (§5 "other applications").
+
+A clause of at most two literals is unsatisfied exactly when both
+literals are false; for literals with indicator ``v(x) = x`` (positive)
+or ``1 − x`` (negated), the unsatisfied-count contribution is the
+product ``(1 − v₁)(1 − v₂)`` — a quadratic polynomial with integer
+coefficients.  Minimizing the QUBO therefore minimizes the number of
+unsatisfied clauses; ``E(X)/scale + offset`` equals that count exactly
+(``scale`` from :meth:`~repro.qubo.matrix.QuboMatrix.energy_scale`).
+
+Clauses are tuples of nonzero ints in DIMACS convention: ``3`` means
+variable 2 (0-indexed) positive, ``-1`` means variable 0 negated.
+One-literal clauses are allowed; duplicates accumulate weight.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.qubo.matrix import QuboMatrix
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_bit_vector
+
+Clause = tuple[int, ...]
+
+
+def _check_clause(clause: Clause, n_vars: int) -> None:
+    if not (1 <= len(clause) <= 2):
+        raise ValueError(f"clauses must have 1 or 2 literals, got {clause!r}")
+    for lit in clause:
+        if lit == 0:
+            raise ValueError("literal 0 is invalid (DIMACS convention)")
+        if abs(lit) > n_vars:
+            raise IndexError(f"literal {lit} exceeds variable count {n_vars}")
+
+
+def max2sat_to_qubo(
+    n_vars: int, clauses: Sequence[Clause]
+) -> tuple[QuboMatrix, int]:
+    """Compile clauses into ``(qubo, offset)``.
+
+    ``E(X) / qubo.energy_scale() + offset`` equals the number of
+    unsatisfied clauses for every assignment ``X``.
+    """
+    if n_vars < 1:
+        raise ValueError(f"n_vars must be >= 1, got {n_vars}")
+    if not clauses:
+        raise ValueError("need at least one clause")
+    linear: dict[int, int] = {}
+    quadratic: dict[tuple[int, int], int] = {}
+    constant = 0
+    for clause in clauses:
+        _check_clause(clause, n_vars)
+        if len(clause) == 1:
+            (lit,) = clause
+            i = abs(lit) - 1
+            if lit > 0:
+                # unsat = 1 − x_i
+                constant += 1
+                linear[i] = linear.get(i, 0) - 1
+            else:
+                # unsat = x_i
+                linear[i] = linear.get(i, 0) + 1
+        else:
+            l1, l2 = clause
+            i, j = abs(l1) - 1, abs(l2) - 1
+            s1, s2 = l1 > 0, l2 > 0
+            if i == j:
+                # (x ∨ x) or (x ∨ ¬x) degenerate forms.
+                if s1 == s2:
+                    if s1:
+                        constant += 1
+                        linear[i] = linear.get(i, 0) - 1
+                    else:
+                        linear[i] = linear.get(i, 0) + 1
+                # (x ∨ ¬x) is a tautology: contributes nothing.
+                continue
+            # unsat = (1−v1)(1−v2) with v = x or 1−x:
+            # expand u1·u2 where u = (1−x) for positive lit, x for negated.
+            # u = a + b·x with (a,b) = (1,−1) positive / (0,1) negated.
+            a1, b1 = (1, -1) if s1 else (0, 1)
+            a2, b2 = (1, -1) if s2 else (0, 1)
+            # u1·u2 = a1a2 + a2b1·x_i + a1b2·x_j + b1b2·x_i x_j
+            constant += a1 * a2
+            linear[i] = linear.get(i, 0) + a2 * b1
+            linear[j] = linear.get(j, 0) + a1 * b2
+            key = (min(i, j), max(i, j))
+            quadratic[key] = quadratic.get(key, 0) + b1 * b2
+    quadratic = {k: v for k, v in quadratic.items() if v != 0}
+    linear = {k: v for k, v in linear.items() if v != 0}
+    if not linear and not quadratic and constant == 0:
+        # Only tautologies: every assignment satisfies everything.
+        raise ValueError("all clauses are tautologies; nothing to optimize")
+    qubo = QuboMatrix.from_terms(
+        n_vars, linear, quadratic, name=f"max2sat-{n_vars}v{len(clauses)}c"
+    )
+    return qubo, constant
+
+
+def count_unsatisfied(clauses: Sequence[Clause], x: np.ndarray) -> int:
+    """Direct count of unsatisfied clauses under assignment ``x``."""
+    xb = check_bit_vector(x)
+    unsat = 0
+    for clause in clauses:
+        satisfied = False
+        for lit in clause:
+            v = bool(xb[abs(lit) - 1])
+            if (lit > 0 and v) or (lit < 0 and not v):
+                satisfied = True
+                break
+        unsat += not satisfied
+    return unsat
+
+
+def random_max2sat(
+    n_vars: int, n_clauses: int, seed: SeedLike = None
+) -> list[Clause]:
+    """Uniform random 2-SAT clauses over distinct variables."""
+    if n_vars < 2:
+        raise ValueError(f"n_vars must be >= 2, got {n_vars}")
+    if n_clauses < 1:
+        raise ValueError(f"n_clauses must be >= 1, got {n_clauses}")
+    rng = as_generator(seed)
+    clauses: list[Clause] = []
+    for _ in range(n_clauses):
+        i, j = rng.choice(n_vars, size=2, replace=False) + 1
+        signs = rng.integers(0, 2, size=2)
+        clauses.append(
+            (int(i) if signs[0] else -int(i), int(j) if signs[1] else -int(j))
+        )
+    return clauses

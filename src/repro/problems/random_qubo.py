@@ -1,0 +1,65 @@
+"""Synthetic random QUBO problems (paper §4.1.3).
+
+Every weight is uniform in the signed 16-bit range
+``[−32768, 32767]``; matrices are dense and, as the paper observes,
+such instances are comparatively easy.  :data:`RANDOM_CATALOG` fixes
+one seeded instance per Table 1(c)/Table 2 size so benchmarks are
+repeatable.  (The paper's exact instances are not published, so
+best-known targets are re-derived by calibration runs; see
+``benchmarks/bench_table1c_random.py``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.qubo.matrix import WEIGHT16_MAX, WEIGHT16_MIN, QuboMatrix
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class RandomSpec:
+    """Recipe for one catalog instance."""
+
+    name: str
+    n: int
+    seed: int
+
+
+RANDOM_CATALOG: dict[str, RandomSpec] = {
+    "R1k": RandomSpec("R1k", 1024, seed=1024),
+    "R2k": RandomSpec("R2k", 2048, seed=2048),
+    "R4k": RandomSpec("R4k", 4096, seed=4096),
+    "R8k": RandomSpec("R8k", 8192, seed=8192),
+    "R16k": RandomSpec("R16k", 16384, seed=16384),
+    "R32k": RandomSpec("R32k", 32768, seed=32768),
+}
+
+
+def random_qubo(n: int, seed: SeedLike = None, *, name: str | None = None) -> QuboMatrix:
+    """A dense random instance with 16-bit weights (§4.1.3)."""
+    q = QuboMatrix.random(
+        n,
+        seed,
+        low=WEIGHT16_MIN,
+        high=WEIGHT16_MAX,
+        dtype="int32",
+        name=name or f"random16-{n}",
+    )
+    return q
+
+
+def catalog_instance(name: str) -> QuboMatrix:
+    """Materialize a :data:`RANDOM_CATALOG` entry.
+
+    Beware of memory for the largest entries: ``R32k`` is a dense
+    32768² int32 array (4 GiB) — benchmark harnesses only build the
+    big sizes when explicitly asked.
+    """
+    try:
+        spec = RANDOM_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown random instance {name!r}; available: {sorted(RANDOM_CATALOG)}"
+        ) from None
+    return random_qubo(spec.n, spec.seed, name=spec.name)

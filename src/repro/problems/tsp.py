@@ -1,0 +1,271 @@
+"""TSP → QUBO (paper §4.1.2) plus exact/heuristic tour references.
+
+A ``c``-city symmetric TSP becomes a ``(c − 1)²``-bit QUBO: city 0 is
+pinned to visit order 0 (the paper's Figure 7 omits one city for the
+same reason), and bit ``(i, j)`` (city ``i ∈ 1..c−1``, order
+``j ∈ 1..c−1``) means "city i is visited j-th".  One-hot row and column
+constraints carry a penalty ``A = 2 · max distance`` (paper §4.1.2);
+consecutive orders pay the travel distance, including the closing edges
+through the fixed city.
+
+Because QUBO weights must form a *symmetric integer* matrix, the whole
+objective is scaled by :data:`TSP_SCALE` = 2 (an unordered bit pair
+with objective coefficient ``q`` is stored as ``W_ij = W_ji = q``, so
+the energy picks up ``2q``).  :meth:`TspQubo.energy_to_length` and
+:meth:`TspQubo.length_to_energy` convert both ways.
+
+Valid tours are ≥ 4 bit flips apart (two rows and two columns must
+change), which is exactly why the paper calls TSP QUBOs hard instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.qubo.matrix import QuboMatrix
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_bit_vector
+
+#: Global energy scale: ``E(X) = TSP_SCALE · (objective + penalties + const)``.
+TSP_SCALE = 2
+
+
+def _check_distance_matrix(dist: np.ndarray) -> np.ndarray:
+    d = np.asarray(dist)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ValueError(f"distance matrix must be square, got shape {d.shape}")
+    if d.shape[0] < 3:
+        raise ValueError(f"TSP needs at least 3 cities, got {d.shape[0]}")
+    if not np.issubdtype(d.dtype, np.integer):
+        raise TypeError("distances must be integers (TSPLIB rounds to nint)")
+    if (d < 0).any():
+        raise ValueError("distances must be non-negative")
+    if np.any(np.diagonal(d) != 0):
+        raise ValueError("distance matrix diagonal must be zero")
+    if not np.array_equal(d, d.T):
+        raise ValueError("distance matrix must be symmetric")
+    return d.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class TspQubo:
+    """A TSP instance compiled to QUBO, with decode helpers."""
+
+    qubo: QuboMatrix
+    dist: np.ndarray
+    penalty: int
+
+    @property
+    def cities(self) -> int:
+        """Number of cities ``c``."""
+        return self.dist.shape[0]
+
+    @property
+    def n_bits(self) -> int:
+        """``(c − 1)²``."""
+        return (self.cities - 1) ** 2
+
+    @property
+    def constant(self) -> int:
+        """Constant dropped from the QUBO: ``2 · A · (c − 1)``.
+
+        Each of the ``2(c − 1)`` satisfied one-hot constraints
+        contributes ``−A`` through its expanded linear/quadratic terms,
+        so a valid tour's energy is
+        ``TSP_SCALE · (length − constant)``.
+        """
+        return 2 * self.penalty * (self.cities - 1)
+
+    def energy_to_length(self, energy: int) -> float:
+        """Tour length implied by a **valid** solution's energy."""
+        return energy / TSP_SCALE + self.constant
+
+    def length_to_energy(self, length: int) -> int:
+        """QUBO energy a valid tour of ``length`` attains (target maker)."""
+        return TSP_SCALE * (int(length) - self.constant)
+
+
+def tsp_to_qubo(dist: np.ndarray, *, penalty: int | None = None, name: str | None = None) -> TspQubo:
+    """Compile a symmetric integer distance matrix to a QUBO.
+
+    ``penalty`` defaults to the paper's ``2 · max distance``.
+    """
+    d = _check_distance_matrix(dist)
+    c = d.shape[0]
+    if penalty is None:
+        penalty = 2 * int(d.max())
+    if penalty <= 0:
+        raise ValueError(f"penalty must be positive, got {penalty}")
+    A = int(penalty)
+    m = c - 1  # movable cities == movable positions
+    N = m * m
+    W = np.zeros((N, N), dtype=np.int64)
+    Wv = W.reshape(m, m, m, m)  # axes: (city−1, pos−1, city'−1, pos'−1)
+
+    d_sub = d[1:, 1:]  # distances among movable cities (zero diagonal)
+    # Travel between consecutive interior positions j → j+1.
+    for p in range(m - 1):
+        Wv[:, p, :, p + 1] += d_sub
+        Wv[:, p + 1, :, p] += d_sub
+    # One-hot penalties: 2A on every same-row / same-column bit pair.
+    off_diag = 2 * A * (1 - np.eye(m, dtype=np.int64))
+    for i in range(m):
+        Wv[i, :, i, :] += off_diag  # city i visited once
+    for p in range(m):
+        Wv[:, p, :, p] += off_diag  # position p filled once
+    # Diagonal: linear terms ×TSP_SCALE.  Each bit belongs to one row
+    # and one column constraint (−A each); the first/last positions add
+    # the closing edges through the fixed city 0.
+    lin = np.full((m, m), -2 * A, dtype=np.int64)
+    lin[:, 0] += d[0, 1:]       # pos 1: edge from city 0
+    lin[:, m - 1] += d[1:, 0]   # pos c−1: edge back to city 0
+    diag = TSP_SCALE * lin.reshape(N)
+    W[np.arange(N), np.arange(N)] = diag
+
+    qubo = QuboMatrix(W, copy=False, check=False, name=name or f"tsp-{c}")
+    return TspQubo(qubo=qubo, dist=d, penalty=A)
+
+
+# ---------------------------------------------------------------------------
+# Encoding / decoding
+# ---------------------------------------------------------------------------
+
+def decode_tour(x: np.ndarray, cities: int) -> list[int] | None:
+    """Decode a bit vector into a tour ``[0, …]`` or ``None`` if invalid.
+
+    Valid means every movable city appears exactly once and every
+    position holds exactly one city.
+    """
+    m = cities - 1
+    xb = check_bit_vector(x, m * m, "x").reshape(m, m)
+    if not ((xb.sum(axis=1) == 1).all() and (xb.sum(axis=0) == 1).all()):
+        return None
+    order = np.argmax(xb, axis=0)  # position p → movable-city index
+    return [0] + [int(order[p]) + 1 for p in range(m)]
+
+
+def tour_to_bits(tour: list[int]) -> np.ndarray:
+    """Encode a tour starting at city 0 into the QUBO bit vector."""
+    c = len(tour)
+    if c < 3:
+        raise ValueError(f"tour must visit at least 3 cities, got {c}")
+    if tour[0] != 0:
+        raise ValueError("tour must start at the fixed city 0")
+    if sorted(tour) != list(range(c)):
+        raise ValueError("tour must visit every city exactly once")
+    m = c - 1
+    x = np.zeros((m, m), dtype=np.uint8)
+    for pos, city in enumerate(tour[1:]):
+        x[city - 1, pos] = 1
+    return x.reshape(m * m)
+
+
+def tour_length(dist: np.ndarray, tour: list[int]) -> int:
+    """Closed-tour length under a distance matrix."""
+    d = np.asarray(dist)
+    c = len(tour)
+    if sorted(tour) != list(range(d.shape[0])):
+        raise ValueError("tour must visit every city exactly once")
+    return int(sum(d[tour[i], tour[(i + 1) % c]] for i in range(c)))
+
+
+# ---------------------------------------------------------------------------
+# Reference solvers (for target values)
+# ---------------------------------------------------------------------------
+
+def held_karp(dist: np.ndarray) -> tuple[int, list[int]]:
+    """Exact TSP by Held–Karp dynamic programming (c ≤ 17).
+
+    O(2ᶜ·c²) time and O(2ᶜ·c) memory; provides the provably optimal
+    targets for the small Table 1(b) analogues.
+    """
+    d = _check_distance_matrix(dist)
+    c = d.shape[0]
+    if c > 17:
+        raise ValueError(f"held_karp supports c <= 17, got {c}")
+    m = c - 1
+    full = 1 << m
+    INF = np.iinfo(np.int64).max // 4
+    dp = np.full((full, m), INF, dtype=np.int64)
+    parent = np.full((full, m), -1, dtype=np.int32)
+    for j in range(m):
+        dp[1 << j, j] = d[0, j + 1]
+    for mask in range(1, full):
+        members = [j for j in range(m) if mask >> j & 1]
+        if len(members) < 2:
+            continue
+        for j in members:
+            prev_mask = mask ^ (1 << j)
+            cand = dp[prev_mask] + d[1:, j + 1]  # from every last city
+            cand = np.where(
+                [(prev_mask >> k) & 1 for k in range(m)], cand, INF
+            )
+            best = int(np.argmin(cand))
+            if cand[best] < dp[mask, j]:
+                dp[mask, j] = cand[best]
+                parent[mask, j] = best
+    closing = dp[full - 1] + d[1:, 0]
+    last = int(np.argmin(closing))
+    length = int(closing[last])
+    # Reconstruct the tour backwards through the parent table.
+    tour_rev = []
+    mask, j = full - 1, last
+    while j >= 0:
+        tour_rev.append(j + 1)
+        j2 = int(parent[mask, j])
+        mask ^= 1 << j
+        j = j2
+    tour = [0] + tour_rev[::-1]
+    return length, tour
+
+
+def two_opt(
+    dist: np.ndarray, *, seed: SeedLike = None, restarts: int = 4
+) -> tuple[int, list[int]]:
+    """Nearest-neighbour + 2-opt local search (reference for large c).
+
+    Not exact; used to set "best-known"-style targets for instances too
+    large for Held–Karp, in the same spirit as the paper's use of
+    best-known TSPLIB values.
+    """
+    d = _check_distance_matrix(dist)
+    c = d.shape[0]
+    if restarts < 1:
+        raise ValueError(f"restarts must be >= 1, got {restarts}")
+    rng = as_generator(seed)
+    best_len, best_tour = None, None
+    for _ in range(restarts):
+        # Nearest-neighbour construction from a random start.
+        start = int(rng.integers(c))
+        unvisited = set(range(c)) - {start}
+        tour = [start]
+        while unvisited:
+            last = tour[-1]
+            nxt = min(unvisited, key=lambda v: d[last, v])
+            tour.append(nxt)
+            unvisited.remove(nxt)
+        # 2-opt until no improving exchange remains.
+        improved = True
+        while improved:
+            improved = False
+            for i in range(1, c - 1):
+                a, b = tour[i - 1], tour[i]
+                # Vectorized gain over all j > i.
+                js = np.arange(i + 1, c)
+                cs = np.array([tour[j] for j in js])
+                ds_next = np.array([tour[(j + 1) % c] for j in js])
+                gain = (d[a, b] + d[cs, ds_next]) - (d[a, cs] + d[b, ds_next])
+                pos = int(np.argmax(gain))
+                if gain[pos] > 0:
+                    j = int(js[pos])
+                    tour[i : j + 1] = tour[i : j + 1][::-1]
+                    improved = True
+        # Rotate so city 0 leads (canonical form for tour_to_bits).
+        z = tour.index(0)
+        tour = tour[z:] + tour[:z]
+        length = tour_length(d, tour)
+        if best_len is None or length < best_len:
+            best_len, best_tour = length, tour
+    return int(best_len), list(best_tour)

@@ -1,0 +1,245 @@
+"""TSPLIB instances: file parsing and seeded synthetic analogues.
+
+:func:`load_tsplib` parses the classic TSPLIB95 ``.tsp`` format
+(EUC_2D, ATT, GEO, and EXPLICIT FULL_MATRIX / UPPER_ROW /
+LOWER_DIAG_ROW edge weights), so the paper's real instances work when
+their files are present.
+
+Without network access, :data:`TSPLIB_CATALOG` supplies **synthetic
+analogues** of the five Table 1(b) instances: the same city counts
+(16, 29, 42, 52, 70 → 225…4761 bits) with seeded uniform coordinates
+and TSPLIB EUC_2D rounding.  (The paper lists st70 as 4621 bits; (70−1)²
+is 4761 — presumably a typo, which the bench notes.)  Reference tour
+lengths come from Held–Karp (exact, c ≤ 17) or multi-restart 2-opt.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.problems.tsp import held_karp, two_opt
+from repro.utils.rng import as_generator
+
+PathLike = Union[str, Path]
+
+
+class TsplibFormatError(ValueError):
+    """Raised for malformed TSPLIB files."""
+
+
+@dataclass(frozen=True)
+class TspInstance:
+    """A TSP instance: name + integer distance matrix."""
+
+    name: str
+    dist: np.ndarray
+
+    @property
+    def cities(self) -> int:
+        """Number of cities."""
+        return self.dist.shape[0]
+
+    @property
+    def n_bits(self) -> int:
+        """QUBO size ``(c − 1)²``."""
+        return (self.cities - 1) ** 2
+
+    def reference_length(self, *, seed: int = 0) -> int:
+        """A strong reference tour length: exact for c ≤ 17, 2-opt above."""
+        if self.cities <= 17:
+            return held_karp(self.dist)[0]
+        return two_opt(self.dist, seed=seed, restarts=6)[0]
+
+
+# ---------------------------------------------------------------------------
+# Distance functions (TSPLIB95 definitions)
+# ---------------------------------------------------------------------------
+
+def euc_2d(coords: np.ndarray) -> np.ndarray:
+    """EUC_2D: rounded Euclidean distances (``nint``)."""
+    diff = coords[:, None, :] - coords[None, :, :]
+    return np.rint(np.sqrt((diff**2).sum(axis=2))).astype(np.int64)
+
+
+def ceil_2d(coords: np.ndarray) -> np.ndarray:
+    """CEIL_2D: Euclidean distances rounded up."""
+    diff = coords[:, None, :] - coords[None, :, :]
+    d = np.ceil(np.sqrt((diff**2).sum(axis=2))).astype(np.int64)
+    np.fill_diagonal(d, 0)
+    return d
+
+
+def man_2d(coords: np.ndarray) -> np.ndarray:
+    """MAN_2D: rounded Manhattan (L1) distances."""
+    diff = np.abs(coords[:, None, :] - coords[None, :, :])
+    return np.rint(diff.sum(axis=2)).astype(np.int64)
+
+
+def att_distance(coords: np.ndarray) -> np.ndarray:
+    """ATT: pseudo-Euclidean (ceiling-rounded scaled distance)."""
+    diff = coords[:, None, :] - coords[None, :, :]
+    r = np.sqrt((diff**2).sum(axis=2) / 10.0)
+    t = np.rint(r)
+    return np.where(t < r, t + 1, t).astype(np.int64)
+
+
+def geo_distance(coords: np.ndarray) -> np.ndarray:
+    """GEO: great-circle distance per the TSPLIB95 spec (DDD.MM input)."""
+    deg = np.trunc(coords)
+    minutes = coords - deg
+    rad = math.pi * (deg + 5.0 * minutes / 3.0) / 180.0
+    lat, lon = rad[:, 0], rad[:, 1]
+    rrr = 6378.388
+    q1 = np.cos(lon[:, None] - lon[None, :])
+    q2 = np.cos(lat[:, None] - lat[None, :])
+    q3 = np.cos(lat[:, None] + lat[None, :])
+    d = rrr * np.arccos(
+        np.clip(0.5 * ((1.0 + q1) * q2 - (1.0 - q1) * q3), -1.0, 1.0)
+    ) + 1.0
+    d = d.astype(np.int64)
+    np.fill_diagonal(d, 0)
+    return d
+
+
+_EDGE_WEIGHT_FUNCS = {
+    "EUC_2D": euc_2d,
+    "CEIL_2D": ceil_2d,
+    "MAN_2D": man_2d,
+    "ATT": att_distance,
+    "GEO": geo_distance,
+}
+
+
+# ---------------------------------------------------------------------------
+# TSPLIB parser
+# ---------------------------------------------------------------------------
+
+def load_tsplib(path: PathLike) -> TspInstance:
+    """Parse a TSPLIB95 ``.tsp`` file into a :class:`TspInstance`."""
+    path = Path(path)
+    name = path.stem
+    dimension: int | None = None
+    ew_type: str | None = None
+    ew_format: str | None = None
+    coords: dict[int, tuple[float, float]] = {}
+    weights: list[float] = []
+
+    lines = path.read_text().splitlines()
+    section: str | None = None
+    for raw in lines:
+        line = raw.strip()
+        if not line or line == "EOF":
+            section = None if line == "EOF" else section
+            continue
+        upper = line.upper()
+        if ":" in line and section is None:
+            key, _, value = line.partition(":")
+            key = key.strip().upper()
+            value = value.strip()
+            if key == "NAME":
+                name = value
+            elif key == "DIMENSION":
+                dimension = int(value)
+            elif key == "EDGE_WEIGHT_TYPE":
+                ew_type = value.upper()
+            elif key == "EDGE_WEIGHT_FORMAT":
+                ew_format = value.upper()
+            continue
+        if upper.startswith("NODE_COORD_SECTION") or upper.startswith("DISPLAY_DATA_SECTION"):
+            section = "coords" if upper.startswith("NODE") else None
+            continue
+        if upper.startswith("EDGE_WEIGHT_SECTION"):
+            section = "weights"
+            continue
+        if section == "coords":
+            parts = line.split()
+            if len(parts) < 3:
+                raise TsplibFormatError(f"{path}: bad coord line {line!r}")
+            coords[int(parts[0])] = (float(parts[1]), float(parts[2]))
+        elif section == "weights":
+            weights.extend(float(tok) for tok in line.split())
+
+    if dimension is None:
+        raise TsplibFormatError(f"{path}: missing DIMENSION")
+    if ew_type in _EDGE_WEIGHT_FUNCS:
+        if len(coords) != dimension:
+            raise TsplibFormatError(
+                f"{path}: expected {dimension} coords, got {len(coords)}"
+            )
+        xy = np.array([coords[i + 1] for i in range(dimension)], dtype=np.float64)
+        dist = _EDGE_WEIGHT_FUNCS[ew_type](xy)
+    elif ew_type == "EXPLICIT":
+        dist = _explicit_matrix(weights, dimension, ew_format or "FULL_MATRIX", path)
+    else:
+        raise TsplibFormatError(f"{path}: unsupported EDGE_WEIGHT_TYPE {ew_type!r}")
+    np.fill_diagonal(dist, 0)
+    return TspInstance(name=name, dist=dist)
+
+
+def _explicit_matrix(
+    weights: list[float], n: int, fmt: str, path: Path
+) -> np.ndarray:
+    d = np.zeros((n, n), dtype=np.int64)
+    vals = [int(round(v)) for v in weights]
+    if fmt == "FULL_MATRIX":
+        if len(vals) != n * n:
+            raise TsplibFormatError(f"{path}: FULL_MATRIX needs {n * n} values")
+        d[:] = np.asarray(vals).reshape(n, n)
+    elif fmt == "UPPER_ROW":
+        if len(vals) != n * (n - 1) // 2:
+            raise TsplibFormatError(f"{path}: UPPER_ROW needs {n * (n - 1) // 2} values")
+        iu = np.triu_indices(n, k=1)
+        d[iu] = vals
+        d += d.T
+    elif fmt == "LOWER_DIAG_ROW":
+        if len(vals) != n * (n + 1) // 2:
+            raise TsplibFormatError(
+                f"{path}: LOWER_DIAG_ROW needs {n * (n + 1) // 2} values"
+            )
+        il = np.tril_indices(n, k=0)
+        d[il] = vals
+        d = d + d.T - np.diag(np.diagonal(d))
+    else:
+        raise TsplibFormatError(f"{path}: unsupported EDGE_WEIGHT_FORMAT {fmt!r}")
+    return d
+
+
+# ---------------------------------------------------------------------------
+# Synthetic catalog (Table 1(b) analogues)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TsplibSpec:
+    """Recipe for a synthetic analogue of a TSPLIB instance."""
+
+    name: str
+    cities: int
+    seed: int
+    box: int = 1000  # coordinate range [0, box)
+
+
+TSPLIB_CATALOG: dict[str, TsplibSpec] = {
+    "ulysses16": TsplibSpec("ulysses16", 16, seed=216),
+    "bayg29": TsplibSpec("bayg29", 29, seed=229),
+    "dantzig42": TsplibSpec("dantzig42", 42, seed=242),
+    "berlin52": TsplibSpec("berlin52", 52, seed=252),
+    "st70": TsplibSpec("st70", 70, seed=270),
+}
+
+
+def synthetic_instance(name: str) -> TspInstance:
+    """Seeded EUC_2D analogue of a Table 1(b) instance (same city count)."""
+    try:
+        spec = TSPLIB_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown TSPLIB analogue {name!r}; available: {sorted(TSPLIB_CATALOG)}"
+        ) from None
+    rng = as_generator(spec.seed)
+    coords = rng.uniform(0, spec.box, size=(spec.cities, 2))
+    return TspInstance(name=spec.name, dist=euc_2d(coords))

@@ -1,0 +1,58 @@
+"""Minimum vertex cover → QUBO (a Lucas-catalog application).
+
+Minimize ``Σ_i x_i`` subject to every edge having a covered endpoint.
+With penalty ``P > 1`` per uncovered edge:
+
+``f(x) = Σ_i x_i + P · Σ_{(u,v)∈E} (1 − x_u)(1 − x_v)``
+
+which expands to linear terms ``1 − P·deg(i)`` and quadratic terms
+``P`` per edge (plus the constant ``P·|E|``, returned separately).
+:class:`~repro.qubo.matrix.QuboMatrix.from_terms` doubles the matrix
+when needed to stay integral, so check ``qubo.energy_scale()``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.qubo.matrix import QuboMatrix
+from repro.utils.validation import check_bit_vector
+
+
+def vertex_cover_to_qubo(graph: nx.Graph, *, penalty: int = 2) -> tuple[QuboMatrix, int]:
+    """Compile a graph into ``(qubo, offset)``.
+
+    For a bit vector that *is* a cover,
+    ``scale · (cover size) == E(X) + scale · 0`` and in general
+    ``E(X)/scale + offset == cover_size + P · uncovered_edges``
+    with ``scale = qubo.energy_scale()`` and ``offset = P·|E|``.
+    """
+    if penalty < 2:
+        raise ValueError(f"penalty must be >= 2 to dominate the objective, got {penalty}")
+    n = graph.number_of_nodes()
+    if sorted(graph.nodes()) != list(range(n)):
+        raise ValueError("graph nodes must be exactly 0..n-1")
+    linear = {i: 1 for i in range(n)}
+    quadratic: dict[tuple[int, int], int] = {}
+    for u, v in graph.edges():
+        if u == v:
+            raise ValueError(f"self-loop on node {u} is not coverable")
+        linear[u] -= penalty
+        linear[v] -= penalty
+        key = (min(u, v), max(u, v))
+        quadratic[key] = quadratic.get(key, 0) + penalty
+    qubo = QuboMatrix.from_terms(n, linear, quadratic, name=f"vertex-cover-{n}")
+    return qubo, penalty * graph.number_of_edges()
+
+
+def is_vertex_cover(graph: nx.Graph, x: np.ndarray) -> bool:
+    """Whether the selected vertices cover every edge."""
+    xb = check_bit_vector(x, graph.number_of_nodes(), "x")
+    return all(xb[u] or xb[v] for u, v in graph.edges())
+
+
+def decode_cover(x: np.ndarray) -> list[int]:
+    """Indices of the selected cover vertices."""
+    xb = check_bit_vector(x)
+    return [int(i) for i in np.flatnonzero(xb)]

@@ -1,0 +1,43 @@
+"""QUBO model core: weight matrices, the energy function, and the
+incremental (difference) computation identities from Section 2 of the
+paper.
+
+The central objects are:
+
+- :class:`~repro.qubo.matrix.QuboMatrix` — a validated symmetric integer
+  weight matrix ``W`` defining ``E(X) = XᵀWX`` (Eq. 1).
+- :class:`~repro.qubo.state.SearchState` — a solution ``X`` together with
+  its energy ``E(X)`` and the full delta vector ``Δ_k(X)`` (Eq. 4),
+  supporting the O(n) per-flip update of Eq. (6)/(16) that yields the
+  paper's O(1) search efficiency.
+- :mod:`~repro.qubo.ising` — lossless QUBO ↔ Ising conversions.
+"""
+
+from repro.qubo.energy import (
+    delta_single,
+    delta_vector,
+    energy,
+    energy_batch,
+    phi,
+    update_delta_after_flip,
+)
+from repro.qubo.ising import IsingModel, ising_to_qubo, qubo_to_ising
+from repro.qubo.matrix import QuboMatrix, as_weight_matrix
+from repro.qubo.sparse import SparseQubo
+from repro.qubo.state import SearchState
+
+__all__ = [
+    "QuboMatrix",
+    "SparseQubo",
+    "as_weight_matrix",
+    "SearchState",
+    "IsingModel",
+    "qubo_to_ising",
+    "ising_to_qubo",
+    "energy",
+    "energy_batch",
+    "delta_vector",
+    "delta_single",
+    "update_delta_after_flip",
+    "phi",
+]

@@ -1,0 +1,314 @@
+"""Reading and writing QUBO instances.
+
+Three interchange formats are supported:
+
+- **Coordinate text** (``.qubo``) — a qbsolv-compatible sparse format:
+  comment lines start with ``c``, a single header line
+  ``p qubo 0 <n> <nDiagonals> <nElements>`` precedes the data, and each
+  data line is ``i j value``.  Diagonal lines (``i == j``) carry
+  ``W_ii``; off-diagonal lines (written once per unordered pair with
+  ``i < j``) carry the *combined* coefficient ``W_ij + W_ji = 2·W_ij``,
+  matching qbsolv's convention that the file stores the coefficient of
+  the product ``x_i·x_j``.
+- **JSON** (``.json``) — dense or sparse with metadata (name, comments).
+- **NumPy** (``.npy``) — the raw dense array.
+- **Sparse NumPy** (``.npz``) — CSR components + diagonal for
+  :class:`~repro.qubo.sparse.SparseQubo` instances.
+
+Coordinate files can also be loaded directly into the sparse backend
+with :func:`load_qubo_sparse` — no dense materialization, so
+G-set-scale instances load in O(edges) memory.
+
+All loaders validate symmetry/integrality via the target class.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.qubo.matrix import QuboMatrix
+
+PathLike = Union[str, Path]
+
+
+class QuboFormatError(ValueError):
+    """Raised when an instance file is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Coordinate (.qubo) format
+# ---------------------------------------------------------------------------
+
+def save_qubo(matrix: QuboMatrix, path: PathLike, *, comment: str | None = None) -> None:
+    """Write ``matrix`` in qbsolv-style coordinate format."""
+    W = matrix.W
+    n = matrix.n
+    diag_idx = np.flatnonzero(np.diagonal(W))
+    iu, ju = np.triu_indices(n, k=1)
+    mask = W[iu, ju] != 0
+    iu, ju = iu[mask], ju[mask]
+    lines: list[str] = []
+    if comment:
+        for c_line in comment.splitlines():
+            lines.append(f"c {c_line}")
+    lines.append(f"c name: {matrix.name}")
+    lines.append(f"p qubo 0 {n} {len(diag_idx)} {len(iu)}")
+    for i in diag_idx:
+        lines.append(f"{i} {i} {int(W[i, i])}")
+    for i, j in zip(iu, ju):
+        lines.append(f"{i} {j} {2 * int(W[i, j])}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_qubo(path: PathLike) -> QuboMatrix:
+    """Load a coordinate-format instance written by :func:`save_qubo`
+    (or by qbsolv)."""
+    path = Path(path)
+    n: int | None = None
+    name = path.stem
+    entries: list[tuple[int, int, int]] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("c"):
+            rest = line[1:].strip()
+            if rest.startswith("name:"):
+                name = rest[len("name:"):].strip()
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) < 4 or parts[1].lower() != "qubo":
+                raise QuboFormatError(
+                    f"{path}:{lineno}: bad problem line {line!r}"
+                )
+            try:
+                n = int(parts[3])
+            except ValueError as exc:
+                raise QuboFormatError(
+                    f"{path}:{lineno}: bad node count in {line!r}"
+                ) from exc
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise QuboFormatError(f"{path}:{lineno}: expected 'i j value', got {line!r}")
+        try:
+            i, j, v = int(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise QuboFormatError(f"{path}:{lineno}: non-integer entry {line!r}") from exc
+        entries.append((i, j, v))
+    if n is None:
+        raise QuboFormatError(f"{path}: missing 'p qubo' header line")
+    W = np.zeros((n, n), dtype=np.int64)
+    for i, j, v in entries:
+        if not (0 <= i < n and 0 <= j < n):
+            raise QuboFormatError(f"{path}: index ({i},{j}) out of range [0,{n})")
+        if i == j:
+            W[i, i] += v
+        else:
+            if v % 2:
+                raise QuboFormatError(
+                    f"{path}: off-diagonal combined coefficient {v} for ({i},{j}) "
+                    "is odd; cannot split into a symmetric integer matrix"
+                )
+            W[i, j] += v // 2
+            W[j, i] += v // 2
+    return QuboMatrix(W, copy=False, check=True, name=name)
+
+
+def load_qubo_sparse(path: PathLike):
+    """Load a coordinate-format instance directly as a SparseQubo.
+
+    Never materializes the dense matrix: memory is O(entries), so this
+    is the loader to use for big sparse instances.
+    """
+    from repro.qubo.sparse import SparseQubo
+
+    path = Path(path)
+    n: int | None = None
+    name = path.stem
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[int] = []
+    diag: dict[int, int] = {}
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("c"):
+            rest = line[1:].strip()
+            if rest.startswith("name:"):
+                name = rest[len("name:"):].strip()
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) < 4 or parts[1].lower() != "qubo":
+                raise QuboFormatError(f"{path}:{lineno}: bad problem line {line!r}")
+            n = int(parts[3])
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise QuboFormatError(f"{path}:{lineno}: expected 'i j value', got {line!r}")
+        try:
+            i, j, v = int(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise QuboFormatError(f"{path}:{lineno}: non-integer entry {line!r}") from exc
+        if i == j:
+            diag[i] = diag.get(i, 0) + v
+        else:
+            if v % 2:
+                raise QuboFormatError(
+                    f"{path}: off-diagonal combined coefficient {v} for "
+                    f"({i},{j}) is odd; cannot split symmetrically"
+                )
+            rows.append(min(i, j))
+            cols.append(max(i, j))
+            vals.append(v // 2)
+    if n is None:
+        raise QuboFormatError(f"{path}: missing 'p qubo' header line")
+    for i in diag:
+        if not (0 <= i < n):
+            raise QuboFormatError(f"{path}: index ({i},{i}) out of range [0,{n})")
+    for i, j in zip(rows, cols):
+        if not (0 <= i < n and 0 <= j < n):
+            raise QuboFormatError(f"{path}: index ({i},{j}) out of range [0,{n})")
+    diag_vec = np.zeros(n, dtype=np.int64)
+    for i, v in diag.items():
+        diag_vec[i] = v
+    return SparseQubo.from_graph_terms(
+        n,
+        diag_vec,
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=np.int64),
+        name=name,
+    )
+
+
+def save_sparse_npz(sparse, path: PathLike) -> None:
+    """Write a :class:`~repro.qubo.sparse.SparseQubo` as compressed .npz."""
+    path = Path(path)
+    csr = sparse.csr
+    np.savez_compressed(
+        path,
+        format=np.array("repro-sparse-qubo"),
+        n=np.array(sparse.n),
+        name=np.array(sparse.name),
+        data=csr.data,
+        indices=csr.indices,
+        indptr=csr.indptr,
+        diag=sparse.diag,
+    )
+
+
+def load_sparse_npz(path: PathLike):
+    """Load a :class:`~repro.qubo.sparse.SparseQubo` from .npz."""
+    from scipy import sparse as sp
+
+    from repro.qubo.sparse import SparseQubo
+
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as payload:
+        if str(payload.get("format", "")) != "repro-sparse-qubo":
+            raise QuboFormatError(f"{path}: not a repro-sparse-qubo archive")
+        n = int(payload["n"])
+        csr = sp.csr_array(
+            (payload["data"], payload["indices"], payload["indptr"]), shape=(n, n)
+        )
+        return SparseQubo(csr, payload["diag"], name=str(payload["name"]))
+
+
+# ---------------------------------------------------------------------------
+# JSON format
+# ---------------------------------------------------------------------------
+
+def save_json(matrix: QuboMatrix, path: PathLike, *, metadata: dict | None = None) -> None:
+    """Write ``matrix`` as JSON with optional metadata."""
+    payload = {
+        "format": "repro-qubo",
+        "version": 1,
+        "name": matrix.name,
+        "n": matrix.n,
+        "weights": matrix.W.tolist(),
+        "metadata": metadata or {},
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_json(path: PathLike) -> QuboMatrix:
+    """Load a JSON instance written by :func:`save_json`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise QuboFormatError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != "repro-qubo":
+        raise QuboFormatError(f"{path}: not a repro-qubo JSON file")
+    W = np.asarray(payload["weights"], dtype=np.int64)
+    if W.shape != (payload["n"], payload["n"]):
+        raise QuboFormatError(
+            f"{path}: weights shape {W.shape} does not match n={payload['n']}"
+        )
+    return QuboMatrix(W, copy=False, check=True, name=payload.get("name"))
+
+
+# ---------------------------------------------------------------------------
+# NumPy format + dispatch
+# ---------------------------------------------------------------------------
+
+def save(matrix, path: PathLike) -> None:
+    """Save, dispatching on extension (.qubo / .json / .npy / .npz).
+
+    ``.npz`` stores a :class:`~repro.qubo.sparse.SparseQubo` (dense
+    matrices are converted); the other formats require a dense
+    :class:`QuboMatrix`.
+    """
+    from repro.qubo.sparse import SparseQubo
+
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".npz":
+        sparse = (
+            matrix
+            if isinstance(matrix, SparseQubo)
+            else SparseQubo.from_dense(matrix)
+        )
+        save_sparse_npz(sparse, path)
+        return
+    if isinstance(matrix, SparseQubo):
+        matrix = matrix.to_dense()
+    if suffix == ".qubo":
+        save_qubo(matrix, path)
+    elif suffix == ".json":
+        save_json(matrix, path)
+    elif suffix == ".npy":
+        np.save(path, matrix.W)
+    else:
+        raise QuboFormatError(
+            f"unsupported extension {suffix!r} (use .qubo/.json/.npy/.npz)"
+        )
+
+
+def load(path: PathLike):
+    """Load, dispatching on extension (.qubo / .json / .npy / .npz).
+
+    ``.npz`` yields a :class:`~repro.qubo.sparse.SparseQubo`; the other
+    formats yield a dense :class:`QuboMatrix`.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".qubo":
+        return load_qubo(path)
+    if suffix == ".json":
+        return load_json(path)
+    if suffix == ".npy":
+        return QuboMatrix(np.load(path), copy=False, check=True, name=path.stem)
+    if suffix == ".npz":
+        return load_sparse_npz(path)
+    raise QuboFormatError(
+        f"unsupported extension {suffix!r} (use .qubo/.json/.npy/.npz)"
+    )

@@ -1,0 +1,143 @@
+"""Lossless conversion between QUBO and Ising formulations.
+
+The paper (§1) notes the two are equivalent: a QUBO over bits
+``x ∈ {0,1}ⁿ`` maps to an Ising model over spins ``s ∈ {−1,+1}ⁿ`` with
+Hamiltonian ``H(s) = −Σ_{i<j} J_ij s_i s_j − Σ_i h_i s_i``.  With the
+substitution ``x_i = (1 + s_i)/2`` (so ``s = +1 ↦ x = 1``) one gets
+
+``E(X) = offset − Σ_{i<j} J_ij s_i s_j − Σ_i h_i s_i``
+
+with ``J_ij = −W_ij/2`` (i ≠ j), ``h_i = −(Σ_j W_ij)/2``, and
+``offset = (Σ_ij W_ij + Σ_i W_ii)/4``.  Coefficients are kept exact as
+multiples of ¼ by storing them as float64 (all values are k/4 with
+integer k, representable exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.qubo.matrix import QuboMatrix, WeightsLike, as_weight_matrix
+from repro.utils.validation import check_bit_vector
+
+
+@dataclass(frozen=True)
+class IsingModel:
+    """An Ising model ``H(s) = −Σ_{i<j} J_ij s_i s_j − Σ h_i s_i + offset``.
+
+    ``J`` is symmetric with a zero diagonal; ``offset`` is a constant so
+    that :meth:`energy` agrees exactly with the source QUBO's energy
+    under the spin map ``s = 2x − 1``.
+    """
+
+    J: np.ndarray
+    h: np.ndarray
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        J = np.asarray(self.J, dtype=np.float64)
+        h = np.asarray(self.h, dtype=np.float64)
+        if J.ndim != 2 or J.shape[0] != J.shape[1]:
+            raise ValueError(f"J must be square, got shape {J.shape}")
+        if h.shape != (J.shape[0],):
+            raise ValueError(
+                f"h must have shape ({J.shape[0]},), got {h.shape}"
+            )
+        if not np.allclose(J, J.T):
+            raise ValueError("J must be symmetric")
+        if np.any(np.diagonal(J) != 0):
+            raise ValueError("J must have a zero diagonal")
+        object.__setattr__(self, "J", J)
+        object.__setattr__(self, "h", h)
+
+    @property
+    def n(self) -> int:
+        """Number of spins."""
+        return self.J.shape[0]
+
+    def energy(self, s: np.ndarray) -> float:
+        """Hamiltonian value for a spin vector ``s ∈ {−1,+1}ⁿ``.
+
+        Includes the ``offset`` term so the value equals the source
+        QUBO energy of the corresponding bit vector.
+        """
+        s = np.asarray(s, dtype=np.float64)
+        if s.shape != (self.n,):
+            raise ValueError(f"s must have shape ({self.n},), got {s.shape}")
+        if not np.isin(s, (-1.0, 1.0)).all():
+            raise ValueError("spins must be ±1")
+        # Σ_{i<j} J_ij s_i s_j == (sᵀJs)/2 because diag(J) == 0.
+        coupling = float(s @ self.J @ s) / 2.0
+        return self.offset - coupling - float(self.h @ s)
+
+    def ground_state_bound(self) -> float:
+        """A trivial lower bound: offset − Σ|J|/2 − Σ|h|."""
+        return (
+            self.offset
+            - float(np.abs(self.J).sum()) / 2.0
+            - float(np.abs(self.h).sum())
+        )
+
+
+def spins_to_bits(s: np.ndarray) -> np.ndarray:
+    """Map spins ±1 to bits via ``x = (1 + s)/2`` (+1 ↦ 1)."""
+    s = np.asarray(s)
+    if not np.isin(s, (-1, 1)).all():
+        raise ValueError("spins must be ±1")
+    return ((1 + s) // 2).astype(np.uint8)
+
+
+def bits_to_spins(x: np.ndarray) -> np.ndarray:
+    """Map bits {0,1} to spins via ``s = 2x − 1`` (1 ↦ +1)."""
+    xb = check_bit_vector(x)
+    return (2 * xb.astype(np.int64) - 1).astype(np.int8)
+
+
+def qubo_to_ising(weights: WeightsLike) -> IsingModel:
+    """Convert a QUBO weight matrix to the equivalent Ising model.
+
+    The returned model satisfies ``ising.energy(2x − 1) == E(x)``
+    exactly for every bit vector ``x``.
+    """
+    W = as_weight_matrix(weights).astype(np.float64)
+    n = W.shape[0]
+    J = -W / 2.0
+    np.fill_diagonal(J, 0.0)
+    h = -W.sum(axis=1) / 2.0
+    offset = (W.sum() + np.trace(W)) / 4.0
+    return IsingModel(J=J, h=h, offset=float(offset))
+
+
+def ising_to_qubo(model: IsingModel, *, name: str | None = None) -> tuple[QuboMatrix, float]:
+    """Convert an Ising model back to a QUBO.
+
+    Returns ``(qubo, constant)`` such that for every bit vector ``x``
+    with spins ``s = 2x − 1``:
+
+    ``model.energy(s) == E_qubo(x) + constant``
+
+    The QUBO weights are integers when ``4·J`` and ``2·h`` are integral
+    (always true for matrices produced by :func:`qubo_to_ising`);
+    otherwise a :class:`ValueError` is raised — scale the model first.
+    """
+    n = model.n
+    # Invert the forward map: W_ij = −2 J_ij (i≠j); then choose the
+    # diagonal so the linear terms match: row_i = Σ_j W_ij and we need
+    # h_i = −row_i/2  ⇒  W_ii = −2 h_i − Σ_{j≠i} W_ij.
+    Wf = -2.0 * model.J
+    off_diag_rowsum = Wf.sum(axis=1)  # diag(J)=0 so this is Σ_{j≠i}
+    diag = -2.0 * model.h - off_diag_rowsum
+    np.fill_diagonal(Wf, diag)
+    if not np.allclose(Wf, np.round(Wf)):
+        raise ValueError(
+            "Ising coefficients do not yield integer QUBO weights; "
+            "rescale J and h so that 2J and 2h are integral"
+        )
+    W = np.round(Wf).astype(np.int64)
+    qubo = QuboMatrix(W, copy=False, check=True, name=name)
+    # Constant = model.offset − forward-offset of the produced W.
+    forward_offset = (W.sum() + np.trace(W)) / 4.0
+    constant = float(model.offset - forward_offset)
+    return qubo, constant

@@ -1,0 +1,242 @@
+"""The QUBO weight matrix.
+
+An instance of a QUBO problem is an ``n × n`` symmetric matrix of integer
+weights ``W`` (paper §1, Eq. 1).  The paper's GPU implementation supports
+16-bit weights and up to 32 k bits; we validate the former as an opt-in
+check (:meth:`QuboMatrix.weight_bits`) but store weights in whatever
+integer width they need, because derived formulations (Max-Cut's diagonal
+``-degree`` terms, TSP penalties) can exceed 16 bits for large inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+#: Inclusive weight range for the paper's 16-bit synthetic instances.
+WEIGHT16_MIN = -(2**15)
+WEIGHT16_MAX = 2**15 - 1
+
+WeightsLike = Union["QuboMatrix", np.ndarray, Iterable[Iterable[int]]]
+
+
+def as_weight_matrix(weights: WeightsLike) -> np.ndarray:
+    """Return the underlying ndarray of ``weights`` without copying.
+
+    Accepts a :class:`QuboMatrix` or anything convertible to a square
+    integer ndarray.  This is the permissive accessor used by hot-path
+    functions; full validation lives in :class:`QuboMatrix`.
+    """
+    if isinstance(weights, QuboMatrix):
+        return weights.W
+    arr = np.asarray(weights)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"weight matrix must be square, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"weights must be integers, got dtype {arr.dtype}")
+    return arr
+
+
+class QuboMatrix:
+    """A validated symmetric integer QUBO weight matrix.
+
+    Parameters
+    ----------
+    weights:
+        Square array-like of integers with ``W[i, j] == W[j, i]``.
+    copy:
+        Copy the input (default).  Pass ``False`` to adopt an existing
+        array; the matrix is then frozen via ``writeable=False``.
+    check:
+        Validate squareness/symmetry/dtype (default).  Disable only for
+        matrices produced by trusted internal code.
+
+    Notes
+    -----
+    The stored array is made read-only, so a :class:`QuboMatrix` can be
+    shared freely between the host GA and all simulated device workers.
+    """
+
+    __slots__ = ("_W", "name")
+
+    def __init__(
+        self,
+        weights: WeightsLike,
+        *,
+        copy: bool = True,
+        check: bool = True,
+        name: str | None = None,
+    ) -> None:
+        arr = np.array(weights, copy=copy) if copy else np.asarray(weights)
+        if check:
+            if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+                raise ValueError(
+                    f"weight matrix must be square, got shape {arr.shape}"
+                )
+            if not np.issubdtype(arr.dtype, np.integer):
+                raise TypeError(f"weights must be integers, got dtype {arr.dtype}")
+            if arr.size and not np.array_equal(arr, arr.T):
+                raise ValueError("weight matrix must be symmetric (W[i,j] == W[j,i])")
+        arr.setflags(write=False)
+        self._W = arr
+        self.name = name or f"qubo-{arr.shape[0]}"
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def W(self) -> np.ndarray:
+        """The read-only ``n × n`` weight array."""
+        return self._W
+
+    @property
+    def n(self) -> int:
+        """Number of bits (spins) in the problem."""
+        return self._W.shape[0]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Integer dtype of the stored weights."""
+        return self._W.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the weight array in bytes."""
+        return self._W.nbytes
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return (
+            f"QuboMatrix(name={self.name!r}, n={self.n}, dtype={self.dtype}, "
+            f"weight_bits={self.weight_bits()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuboMatrix):
+            return NotImplemented
+        return self.n == other.n and np.array_equal(self._W, other._W)
+
+    def __hash__(self) -> int:  # needed because __eq__ is defined
+        return hash((self.n, self._W.tobytes()))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, n: int, dtype: np.dtype = np.int32) -> "QuboMatrix":
+        """The all-zero problem on ``n`` bits (every X is optimal)."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        return cls(np.zeros((n, n), dtype=dtype), copy=False, check=False)
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        seed: SeedLike = None,
+        *,
+        low: int = WEIGHT16_MIN,
+        high: int = WEIGHT16_MAX,
+        dtype: np.dtype = np.int32,
+        name: str | None = None,
+    ) -> "QuboMatrix":
+        """A dense symmetric random matrix with weights in ``[low, high]``.
+
+        With the default bounds this matches the paper's synthetic random
+        benchmark (§4.1.3): every weight uniform in 16 bits.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if low > high:
+            raise ValueError(f"low ({low}) must not exceed high ({high})")
+        rng = as_generator(seed)
+        upper = rng.integers(low, high + 1, size=(n, n), dtype=np.int64)
+        sym = np.triu(upper) + np.triu(upper, 1).T
+        return cls(sym.astype(dtype), copy=False, check=False, name=name)
+
+    @classmethod
+    def from_terms(
+        cls,
+        n: int,
+        linear: Mapping[int, int] | None = None,
+        quadratic: Mapping[Tuple[int, int], int] | None = None,
+        *,
+        name: str | None = None,
+    ) -> "QuboMatrix":
+        """Build from sparse linear/quadratic coefficient dictionaries.
+
+        ``E(X) = Σ linear[i]·x_i + Σ quadratic[(i, j)]·x_i·x_j`` for
+        ``i ≠ j``.  Because ``W`` must be symmetric with integer entries,
+        each quadratic coefficient ``q`` is split as ``W_ij = W_ji =
+        q/2``; if any ``q`` is odd the **entire matrix is doubled** so
+        integrality is preserved.  The applied factor is recorded on the
+        returned matrix's ``name`` (``"...@x2"``) and reported by
+        :meth:`energy_scale`.
+        """
+        linear = dict(linear or {})
+        quadratic = dict(quadratic or {})
+        for i in linear:
+            if not (0 <= i < n):
+                raise IndexError(f"linear index {i} out of range [0, {n})")
+        for i, j in quadratic:
+            if not (0 <= i < n and 0 <= j < n):
+                raise IndexError(f"quadratic index ({i}, {j}) out of range [0, {n})")
+            if i == j:
+                raise ValueError(
+                    f"quadratic key ({i}, {j}) is diagonal; use `linear` for x_i "
+                    "(x_i² == x_i for bits)"
+                )
+        scale = 2 if any(q % 2 for q in quadratic.values()) else 1
+        W = np.zeros((n, n), dtype=np.int64)
+        for i, c in linear.items():
+            W[i, i] += scale * c
+        for (i, j), q in quadratic.items():
+            half = scale * q // 2
+            W[i, j] += half
+            W[j, i] += half
+        base = name or f"qubo-{n}"
+        if scale != 1:
+            base = f"{base}@x{scale}"
+        return cls(W, copy=False, check=False, name=base)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def energy_scale(self) -> int:
+        """Scale factor applied by :meth:`from_terms` (parsed from name)."""
+        if "@x" in self.name:
+            try:
+                return int(self.name.rsplit("@x", 1)[1])
+            except ValueError:
+                return 1
+        return 1
+
+    def weight_bits(self) -> int:
+        """Smallest signed-integer bit width holding every weight.
+
+        The paper's implementation supports 16-bit weights; instances
+        answering ``<= 16`` here fit that hardware profile.
+        """
+        if self.n == 0:
+            return 1
+        lo = int(self._W.min())
+        hi = int(self._W.max())
+        bits = 1
+        while not (-(2 ** (bits - 1)) <= lo and hi <= 2 ** (bits - 1) - 1):
+            bits += 1
+        return bits
+
+    def is_weight16(self) -> bool:
+        """Whether all weights fit the paper's 16-bit profile."""
+        return self.weight_bits() <= 16
+
+    def density(self) -> float:
+        """Fraction of nonzero entries (diagonal included)."""
+        if self.n == 0:
+            return 0.0
+        return float(np.count_nonzero(self._W)) / float(self.n * self.n)

@@ -1,0 +1,251 @@
+"""Sparse QUBO weight matrices.
+
+The paper's GPU implementation stores ``W`` dense (16-bit entries in
+global memory), but two of its three benchmark families are *sparse*:
+G-set graphs have average degree ≈ 5–50, so a dense 10 000² matrix
+spends 800 MB on mostly zeros.  :class:`SparseQubo` stores the
+off-diagonal weights in CSR form plus a dense diagonal, and provides
+the same energy/delta operations with per-flip cost O(degree) instead
+of O(n):
+
+- ``energy(x)``                    — O(nnz)
+- ``delta_vector(x)``              — O(nnz)
+- ``update_delta_after_flip``      — O(degree(k))  (vs Eq. 16's O(n))
+
+The bulk engine (:class:`repro.gpusim.engine.BulkSearchEngine`) accepts
+a :class:`SparseQubo` directly and switches its batched flip kernel to
+scatter-adds over the touched columns only.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.qubo.matrix import QuboMatrix
+from repro.utils.validation import check_bit_vector, check_index
+
+
+class SparseQubo:
+    """A symmetric integer QUBO in CSR form (off-diagonal) + diagonal.
+
+    Parameters
+    ----------
+    offdiag:
+        Square scipy sparse matrix of the off-diagonal weights; must be
+        symmetric with an empty diagonal.
+    diag:
+        Dense length-n integer vector of ``W_ii``.
+
+    Use :meth:`from_dense`, :meth:`from_qubo`, or :meth:`from_graph_terms`
+    rather than the raw constructor where possible.
+    """
+
+    __slots__ = ("_csr", "_diag", "name")
+
+    def __init__(
+        self,
+        offdiag: sp.spmatrix,
+        diag: np.ndarray,
+        *,
+        name: str | None = None,
+        check: bool = True,
+    ) -> None:
+        csr = sp.csr_array(offdiag)
+        diag = np.ascontiguousarray(diag, dtype=np.int64)
+        n = csr.shape[0]
+        if check:
+            if csr.shape[0] != csr.shape[1]:
+                raise ValueError(f"offdiag must be square, got {csr.shape}")
+            if diag.shape != (n,):
+                raise ValueError(f"diag must have shape ({n},), got {diag.shape}")
+            if not np.issubdtype(csr.dtype, np.integer):
+                raise TypeError(f"weights must be integers, got dtype {csr.dtype}")
+            if csr.diagonal().any():
+                raise ValueError("offdiag must have an empty diagonal (use `diag`)")
+            if (csr != csr.T).nnz != 0:
+                raise ValueError("offdiag must be symmetric")
+        csr = sp.csr_array(csr.astype(np.int64))
+        csr.sum_duplicates()
+        self._csr = csr
+        self._diag = diag
+        self.name = name or f"sparse-qubo-{n}"
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, weights, *, name: str | None = None) -> "SparseQubo":
+        """Build from a dense symmetric matrix or :class:`QuboMatrix`."""
+        if isinstance(weights, QuboMatrix):
+            W = weights.W
+            name = name or weights.name
+        else:
+            W = np.asarray(weights)
+        if W.ndim != 2 or W.shape[0] != W.shape[1]:
+            raise ValueError(f"weights must be square, got shape {W.shape}")
+        if not np.issubdtype(W.dtype, np.integer):
+            raise TypeError(f"weights must be integers, got dtype {W.dtype}")
+        if not np.array_equal(W, W.T):
+            raise ValueError("weights must be symmetric")
+        diag = np.diagonal(W).astype(np.int64)
+        off = W.astype(np.int64).copy()
+        np.fill_diagonal(off, 0)
+        return cls(sp.csr_array(off), diag, name=name, check=False)
+
+    # Alias kept for symmetry with QuboMatrix call sites.
+    from_qubo = from_dense
+
+    @classmethod
+    def from_graph_terms(
+        cls,
+        n: int,
+        diag: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        *,
+        name: str | None = None,
+    ) -> "SparseQubo":
+        """Build from COO triplets of the *upper* off-diagonal weights.
+
+        Each (row, col, val) with row < col contributes ``W_rc = W_cr =
+        val``.  Duplicate pairs accumulate.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.int64)
+        if not (rows.shape == cols.shape == vals.shape):
+            raise ValueError("rows/cols/vals must have equal shapes")
+        if rows.size and ((rows < 0).any() or (cols >= n).any() or (rows >= n).any() or (cols < 0).any()):
+            raise IndexError("triplet index out of range")
+        if (rows == cols).any():
+            raise ValueError("triplets must be strictly off-diagonal")
+        coo = sp.coo_array(
+            (
+                np.concatenate([vals, vals]),
+                (np.concatenate([rows, cols]), np.concatenate([cols, rows])),
+            ),
+            shape=(n, n),
+        )
+        return cls(coo.tocsr(), np.asarray(diag, dtype=np.int64), name=name, check=False)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of bits."""
+        return self._csr.shape[0]
+
+    @property
+    def diag(self) -> np.ndarray:
+        """The dense diagonal ``W_ii`` (int64)."""
+        return self._diag
+
+    @property
+    def csr(self) -> sp.csr_array:
+        """The off-diagonal CSR matrix (int64)."""
+        return self._csr
+
+    @property
+    def nnz(self) -> int:
+        """Stored off-diagonal nonzeros (both triangles)."""
+        return int(self._csr.nnz)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint in bytes."""
+        return (
+            self._csr.data.nbytes
+            + self._csr.indices.nbytes
+            + self._csr.indptr.nbytes
+            + self._diag.nbytes
+        )
+
+    def density(self) -> float:
+        """Fraction of nonzero entries including the diagonal."""
+        if self.n == 0:
+            return 0.0
+        nz = self.nnz + int(np.count_nonzero(self._diag))
+        return nz / float(self.n * self.n)
+
+    def weight_bits(self) -> int:
+        """Smallest signed bit width holding every stored weight
+        (mirrors :meth:`QuboMatrix.weight_bits`)."""
+        lo = hi = 0
+        if self._csr.data.size:
+            lo = int(self._csr.data.min())
+            hi = int(self._csr.data.max())
+        if self._diag.size:
+            lo = min(lo, int(self._diag.min()))
+            hi = max(hi, int(self._diag.max()))
+        bits = 1
+        while not (-(2 ** (bits - 1)) <= lo and hi <= 2 ** (bits - 1) - 1):
+            bits += 1
+        return bits
+
+    def is_weight16(self) -> bool:
+        """Whether all weights fit the paper's 16-bit profile."""
+        return self.weight_bits() <= 16
+
+    def to_dense(self) -> QuboMatrix:
+        """Materialize as a dense :class:`QuboMatrix` (beware memory)."""
+        W = np.asarray(self._csr.todense(), dtype=np.int64)
+        W[np.arange(self.n), np.arange(self.n)] = self._diag
+        return QuboMatrix(W, copy=False, check=False, name=self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseQubo(name={self.name!r}, n={self.n}, nnz={self.nnz}, "
+            f"density={self.density():.4f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Energy / delta operations
+    # ------------------------------------------------------------------
+    def energy(self, x: np.ndarray) -> int:
+        """``E(X) = XᵀWX`` in O(nnz)."""
+        xb = check_bit_vector(x, self.n, "x").astype(np.int64)
+        coupling = int(xb @ (self._csr @ xb))
+        return coupling + int(self._diag @ xb)
+
+    def delta_vector(self, x: np.ndarray) -> np.ndarray:
+        """All ``Δ_k(X)`` (Eq. 4) in O(nnz)."""
+        xb = check_bit_vector(x, self.n, "x").astype(np.int64)
+        row = self._csr @ xb  # Σ_{j≠k} W_kj x_j (diagonal is separate)
+        inner = 2 * row + self._diag
+        return (1 - 2 * xb) * inner
+
+    def row(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(columns, values)`` of off-diagonal row ``k``."""
+        check_index(k, self.n, "k")
+        lo, hi = self._csr.indptr[k], self._csr.indptr[k + 1]
+        return self._csr.indices[lo:hi], self._csr.data[lo:hi]
+
+    def update_delta_after_flip(
+        self, x: np.ndarray, delta: np.ndarray, k: int
+    ) -> int:
+        """Eq. (16) restricted to the neighbors of ``k`` — O(degree(k)).
+
+        Same contract as :func:`repro.qubo.energy.update_delta_after_flip`:
+        mutates ``x`` and ``delta`` in place, returns the applied Δ.
+        """
+        check_index(k, self.n, "k")
+        if x.shape != (self.n,) or delta.shape != (self.n,):
+            raise ValueError("x and delta must have length n")
+        if delta.dtype != np.int64:
+            raise TypeError(f"delta must be int64, got {delta.dtype}")
+        applied = int(delta[k])
+        cols, vals = self.row(k)
+        sk = 1 - 2 * int(x[k])
+        signs = (1 - 2 * x[cols].astype(np.int64)) * sk
+        delta[cols] += 2 * vals * signs
+        delta[k] = -applied
+        x[k] ^= 1
+        return applied
+
+
+WeightsAny = Union[QuboMatrix, np.ndarray, SparseQubo]

@@ -1,0 +1,180 @@
+"""Mutable search state: a solution, its energy, and its delta vector.
+
+A :class:`SearchState` is the CPU-side analogue of what one CUDA block
+keeps in its register file in the paper's implementation (§3.2): the
+current bit vector ``X``, the tracked energy ``E(X)``, and ``Δ_i(X)``
+for every ``i``.  Flipping a bit costs O(n) and keeps all three
+consistent, which is precisely the mechanism behind the paper's O(1)
+search efficiency (Theorem 1): each O(n) step exposes the energies of
+all ``n`` Hamming-1 neighbors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.qubo.energy import (
+    delta_vector,
+    energy,
+    update_delta_after_flip,
+    weights_size,
+)
+from repro.qubo.matrix import QuboMatrix, WeightsLike, as_weight_matrix
+from repro.utils.validation import check_bit_vector, check_index
+
+
+def _canonical_weights(weights):
+    """Dense ndarray view, or the SparseQubo itself — whatever the
+    energy-module dispatch functions accept."""
+    from repro.qubo.sparse import SparseQubo
+
+    if isinstance(weights, SparseQubo):
+        return weights
+    return as_weight_matrix(weights)
+
+
+class SearchState:
+    """A QUBO solution with incrementally maintained energy and deltas.
+
+    Parameters
+    ----------
+    weights:
+        The problem's weight matrix (shared, never copied).
+    x:
+        Initial bit vector (copied).
+    energy_value, delta:
+        Optional known energy/delta for ``x``; when omitted they are
+        computed from scratch at O(n²).
+
+    Attributes
+    ----------
+    x : numpy.ndarray
+        Current bit vector (uint8, owned by the state).
+    energy : int
+        ``E(x)``, maintained incrementally.
+    delta : numpy.ndarray
+        ``Δ_k(x)`` for all k (int64), maintained incrementally.
+    flips : int
+        Number of flips applied so far (each one evaluates ``n``
+        neighbor solutions, per Definition 1).
+    """
+
+    __slots__ = ("_W", "x", "energy", "delta", "flips")
+
+    def __init__(
+        self,
+        weights: WeightsLike,
+        x: np.ndarray,
+        *,
+        energy_value: Optional[int] = None,
+        delta: Optional[np.ndarray] = None,
+    ) -> None:
+        self._W = _canonical_weights(weights)
+        n = weights_size(self._W)
+        self.x = check_bit_vector(x, n).copy()
+        if (energy_value is None) != (delta is None):
+            raise ValueError("energy_value and delta must be given together")
+        if energy_value is None:
+            self.energy = energy(self._W, self.x)
+            self.delta = delta_vector(self._W, self.x)
+        else:
+            self.energy = int(energy_value)
+            d = np.asarray(delta)
+            if d.shape != (n,):
+                raise ValueError(f"delta must have shape ({n},), got {d.shape}")
+            self.delta = d.astype(np.int64).copy()
+        self.flips = 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, weights: WeightsLike) -> "SearchState":
+        """The all-zero start state the paper initializes devices with.
+
+        ``E(0) = 0`` and ``Δ_i(0) = W_ii``, so no O(n²) evaluation is
+        ever needed (§2.1, §3.2 Step 1).
+        """
+        W = _canonical_weights(weights)
+        from repro.qubo.sparse import SparseQubo
+
+        n = weights_size(W)
+        diag = W.diag if isinstance(W, SparseQubo) else np.diagonal(W)
+        return cls(
+            W,
+            np.zeros(n, dtype=np.uint8),
+            energy_value=0,
+            delta=diag.astype(np.int64),
+        )
+
+    @classmethod
+    def from_bits(cls, weights: WeightsLike, x: np.ndarray) -> "SearchState":
+        """Full O(n²) initialization from an arbitrary bit vector."""
+        return cls(weights, x)
+
+    def copy(self) -> "SearchState":
+        """An independent copy sharing only the (read-only) weights."""
+        clone = SearchState(
+            self._W, self.x, energy_value=self.energy, delta=self.delta
+        )
+        clone.flips = self.flips
+        return clone
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of bits."""
+        return weights_size(self._W)
+
+    @property
+    def weights(self):
+        """The shared weight matrix (dense ndarray or SparseQubo)."""
+        return self._W
+
+    def flip(self, k: int) -> int:
+        """Flip bit ``k`` with the O(n) Eq. (16) update.
+
+        Returns the applied energy change ``Δ_k``.
+        """
+        check_index(k, self.n, "k")
+        applied = update_delta_after_flip(self._W, self.x, self.delta, k)
+        self.energy += applied
+        self.flips += 1
+        return applied
+
+    def neighbor_energies(self) -> np.ndarray:
+        """Energies of all ``n`` Hamming-1 neighbors: ``E + Δ`` (Eq. 5)."""
+        return self.energy + self.delta
+
+    def best_neighbor(self) -> tuple[int, int]:
+        """``(k, E(flip_k))`` for the lowest-energy neighbor (greedy)."""
+        k = int(np.argmin(self.delta))
+        return k, self.energy + int(self.delta[k])
+
+    def hamming_to(self, other: np.ndarray) -> int:
+        """Hamming distance from the current solution to ``other``."""
+        ob = check_bit_vector(other, self.n, "other")
+        return int(np.count_nonzero(self.x ^ ob))
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Recompute energy and deltas from scratch and compare.
+
+        Raises :class:`AssertionError` on any inconsistency.  O(n²);
+        intended for tests and debugging, never for hot paths.
+        """
+        e = energy(self._W, self.x)
+        d = delta_vector(self._W, self.x)
+        assert e == self.energy, f"tracked energy {self.energy} != actual {e}"
+        assert np.array_equal(d, self.delta), "tracked delta vector diverged"
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchState(n={self.n}, energy={self.energy}, flips={self.flips})"
+        )

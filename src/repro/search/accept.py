@@ -1,0 +1,66 @@
+"""Acceptance rules for the ``Accept`` hook in Algorithms 1–2.
+
+The paper leaves ``Accept`` open ("depending on metaheuristics", Alg. 1)
+and spells out the simulated-annealing rule Eq. (7).  These small rule
+objects are shared by the naive/one-step searches and the SA baseline.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+
+class AcceptRule(abc.ABC):
+    """Decides whether to accept a move with energy change ``delta_e``."""
+
+    @abc.abstractmethod
+    def accept(self, delta_e: int, rng: np.random.Generator) -> bool:
+        """Return ``True`` to take the move."""
+
+    def step(self) -> None:
+        """Advance any internal schedule (no-op by default)."""
+
+
+class AlwaysAccept(AcceptRule):
+    """Accept every move (pure random walk)."""
+
+    def accept(self, delta_e: int, rng: np.random.Generator) -> bool:
+        return True
+
+
+class DescentAccept(AcceptRule):
+    """Accept only non-increasing moves (strict local descent)."""
+
+    def accept(self, delta_e: int, rng: np.random.Generator) -> bool:
+        return delta_e <= 0
+
+
+class MetropolisAccept(AcceptRule):
+    """The SA rule of Eq. (7): ``p = exp(−ΔE / (k_B·t))`` for ΔE > 0.
+
+    ``temperature`` may be updated externally (by a cooling schedule)
+    between steps; :meth:`step` is a hook the SA driver calls once per
+    iteration.
+    """
+
+    def __init__(self, temperature: float, k_b: float = 1.0) -> None:
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        if k_b <= 0:
+            raise ValueError(f"k_b must be positive, got {k_b}")
+        self.temperature = float(temperature)
+        self.k_b = float(k_b)
+
+    def probability(self, delta_e: int) -> float:
+        """Acceptance probability for an energy change of ``delta_e``."""
+        if delta_e <= 0:
+            return 1.0
+        return math.exp(-delta_e / (self.k_b * self.temperature))
+
+    def accept(self, delta_e: int, rng: np.random.Generator) -> bool:
+        if delta_e <= 0:
+            return True
+        return rng.random() < self.probability(delta_e)

@@ -1,0 +1,105 @@
+"""Common interface and result record for all local searches.
+
+Every search in this package reports two instrumentation counters so
+that the paper's *search efficiency* (Definition 1) can be measured, not
+just asserted:
+
+- ``ops`` — arithmetic operations spent on energy bookkeeping (a full
+  O(n²) evaluation counts n², an Eq. (10) single delta counts n, an
+  Eq. (16) delta-vector refresh counts n).
+- ``evaluated`` — number of distinct solutions whose energy the search
+  learned (Algorithm 4 learns all n neighbors per flip).
+
+``efficiency = ops / evaluated`` then reproduces Lemmas 1–3 and
+Theorem 1 empirically.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.qubo.matrix import WeightsLike, as_weight_matrix
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_bit_vector
+
+
+@dataclass
+class SearchRecord:
+    """Outcome and instrumentation of one local-search run.
+
+    Attributes
+    ----------
+    best_x, best_energy:
+        The best solution visited and its energy.
+    final_x, final_energy:
+        Where the walk ended (Algorithm 4 intentionally separates the
+        walk position from the best-so-far).
+    steps:
+        Search-step iterations executed.
+    flips:
+        Accepted bit flips (== steps for forced-flip searches).
+    evaluated:
+        Solutions whose energy became known (Definition 1 denominator).
+    ops:
+        Energy-bookkeeping operation count (Definition 1 numerator).
+    history:
+        Optional per-step best-energy trace (populated on request).
+    """
+
+    best_x: np.ndarray
+    best_energy: int
+    final_x: np.ndarray
+    final_energy: int
+    steps: int
+    flips: int
+    evaluated: int
+    ops: int
+    history: list[int] = field(default_factory=list)
+
+    @property
+    def efficiency(self) -> float:
+        """Measured search efficiency: operations per evaluated solution."""
+        if self.evaluated == 0:
+            return float("nan")
+        return self.ops / self.evaluated
+
+
+class LocalSearch(abc.ABC):
+    """Abstract base class for single-walk local searches.
+
+    Subclasses implement :meth:`run`; the base class provides input
+    canonicalization shared by all of them.
+    """
+
+    #: Human-readable algorithm name (used in benchmark tables).
+    name: str = "local-search"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        weights: WeightsLike,
+        x0: np.ndarray,
+        steps: int,
+        seed: SeedLike = None,
+        *,
+        record_history: bool = False,
+    ) -> SearchRecord:
+        """Run ``steps`` search iterations starting from ``x0``."""
+
+    @staticmethod
+    def _prepare(
+        weights: WeightsLike, x0: np.ndarray, steps: int, seed: SeedLike
+    ) -> tuple[np.ndarray, np.ndarray, np.random.Generator]:
+        """Validate inputs; returns ``(W, x0_copy, rng)``."""
+        W = as_weight_matrix(weights)
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        x = check_bit_vector(x0, W.shape[0], "x0").copy()
+        return W, x, as_generator(seed)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,83 @@
+"""Algorithm 1 — the naive local search with O(n²) search efficiency.
+
+Each iteration picks a random bit, re-evaluates the flipped solution's
+energy from scratch with Eq. (1), and applies the acceptance rule.  It
+exists as the baseline rung of the efficiency ladder (Lemma 1) and as a
+slow-but-obviously-correct oracle for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qubo.energy import energy
+from repro.qubo.matrix import WeightsLike
+from repro.search.accept import AcceptRule, DescentAccept
+from repro.search.base import LocalSearch, SearchRecord
+from repro.utils.rng import SeedLike
+
+
+class NaiveLocalSearch(LocalSearch):
+    """Algorithm 1: full O(n²) re-evaluation per candidate.
+
+    Parameters
+    ----------
+    accept:
+        Acceptance rule for the ``Accept`` hook (default: strict
+        descent, the simplest metaheuristic).
+    """
+
+    name = "naive (Alg. 1)"
+
+    def __init__(self, accept: AcceptRule | None = None) -> None:
+        self.accept_rule = accept or DescentAccept()
+
+    def run(
+        self,
+        weights: WeightsLike,
+        x0: np.ndarray,
+        steps: int,
+        seed: SeedLike = None,
+        *,
+        record_history: bool = False,
+    ) -> SearchRecord:
+        W, x, rng = self._prepare(weights, x0, steps, seed)
+        n = W.shape[0]
+
+        e = energy(W, x)
+        ops = n * n  # initial full evaluation
+        evaluated = 1
+        best_x = x.copy()
+        best_e = e
+        flips = 0
+        history: list[int] = []
+
+        for _ in range(steps):
+            k = int(rng.integers(n))
+            x[k] ^= 1
+            e_new = energy(W, x)  # O(n²) from scratch — the point of Alg. 1
+            ops += n * n
+            evaluated += 1
+            if self.accept_rule.accept(e_new - e, rng):
+                e = e_new
+                flips += 1
+                if e < best_e:
+                    best_e = e
+                    best_x = x.copy()
+            else:
+                x[k] ^= 1  # reject: undo
+            self.accept_rule.step()
+            if record_history:
+                history.append(best_e)
+
+        return SearchRecord(
+            best_x=best_x,
+            best_energy=best_e,
+            final_x=x,
+            final_energy=e,
+            steps=steps,
+            flips=flips,
+            evaluated=evaluated,
+            ops=ops,
+            history=history,
+        )

@@ -1,0 +1,99 @@
+"""Bit-selection policies for the forced-flip search (Algorithm 4).
+
+Algorithm 4 *always* flips a bit; the policy decides which.  The paper's
+policy (Figure 2) extracts a window of ``l`` consecutive bits starting
+at a rotating offset and flips the one with minimum Δ:
+
+- ``l == n``  → plain greedy (best neighbor always taken),
+- ``l == 1``  → the offset bit is flipped unconditionally,
+- in between → ``l`` acts like an (inverse) SA temperature, and — like
+  parallel tempering — different searches can run different ``l``.
+
+The windowed policy needs **no random numbers**, which is what makes the
+GPU kernel cheap; a uniformly random policy is provided for ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.qubo.state import SearchState
+
+
+class SelectionPolicy(abc.ABC):
+    """Chooses the next bit to flip given the current search state."""
+
+    @abc.abstractmethod
+    def select(self, state: SearchState, rng: np.random.Generator) -> int:
+        """Return the index of the bit to flip."""
+
+    def reset(self) -> None:
+        """Reset internal position state (e.g. the window offset)."""
+
+    def clone(self) -> "SelectionPolicy":
+        """A fresh, reset copy (each search walk owns its own policy)."""
+        import copy
+
+        dup = copy.copy(self)
+        dup.reset()
+        return dup
+
+
+class WindowMinDeltaPolicy(SelectionPolicy):
+    """The paper's Figure-2 policy: min-Δ inside a rotating window.
+
+    With offset ``a``, bits ``x_a … x_{a+l−1}`` (indices mod n) are
+    extracted, the one with minimum Δ is flipped, and the offset
+    advances to ``(a + l) mod n``.
+
+    Parameters
+    ----------
+    window:
+        Number of extracted bits ``l`` (1 ≤ l ≤ n at selection time).
+    offset:
+        Initial offset ``a`` (default 0).
+    """
+
+    def __init__(self, window: int, offset: int = 0) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        self.window = int(window)
+        self._offset0 = int(offset)
+        self.offset = int(offset)
+
+    def reset(self) -> None:
+        self.offset = self._offset0
+
+    def select(self, state: SearchState, rng: np.random.Generator) -> int:
+        n = state.n
+        l = min(self.window, n)
+        a = self.offset % n
+        idx = np.arange(a, a + l) % n  # window may wrap around
+        k = int(idx[np.argmin(state.delta[idx])])
+        self.offset = (a + l) % n
+        return k
+
+    def __repr__(self) -> str:
+        return f"WindowMinDeltaPolicy(window={self.window}, offset={self.offset})"
+
+
+class GreedyPolicy(SelectionPolicy):
+    """Always flip the globally best (minimum-Δ) bit — the ``l = n`` limit."""
+
+    def select(self, state: SearchState, rng: np.random.Generator) -> int:
+        return int(np.argmin(state.delta))
+
+
+class RandomPolicy(SelectionPolicy):
+    """Flip a uniformly random bit — the high-temperature limit.
+
+    Unlike the paper's ``l = 1`` window (which cycles deterministically),
+    this consumes randomness; it exists for ablation comparisons.
+    """
+
+    def select(self, state: SearchState, rng: np.random.Generator) -> int:
+        return int(rng.integers(state.n))

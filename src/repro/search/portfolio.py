@@ -1,0 +1,117 @@
+"""Algorithm-portfolio meta-search.
+
+The paper's conclusion sketches an "application-agnostic universal QUBO
+solver" where different blocks run different algorithms.  At the scalar
+level this module provides the simplest robust version of that idea: a
+**portfolio** that splits a step budget across several local searches,
+runs each from the same start, and returns the best result — no
+per-instance tuning needed, at the cost of dividing the budget.
+
+The classic guarantee holds by construction: the portfolio's best
+energy is at least as good as any member restricted to its share of
+the budget, and on a *family* of instances where different members win,
+the portfolio beats every fixed choice run at full budget whenever the
+winners' margins exceed the budget split (measured in
+``benchmarks``-level tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.qubo.matrix import WeightsLike
+from repro.search.base import LocalSearch, SearchRecord
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class PortfolioOutcome:
+    """Best record plus the per-member breakdown."""
+
+    best: SearchRecord
+    winner: str
+    records: dict[str, SearchRecord]
+
+
+class PortfolioSearch(LocalSearch):
+    """Run several local searches on a split budget; keep the best.
+
+    Parameters
+    ----------
+    members:
+        The competing searches.  Names must be unique
+        (:attr:`LocalSearch.name` disambiguated with an index suffix
+        when needed).
+    weights_budget:
+        Optional per-member budget fractions (default: equal split).
+    """
+
+    name = "portfolio"
+
+    def __init__(
+        self,
+        members: list[LocalSearch],
+        weights_budget: list[float] | None = None,
+    ) -> None:
+        if not members:
+            raise ValueError("portfolio needs at least one member")
+        self.members = list(members)
+        if weights_budget is None:
+            weights_budget = [1.0 / len(members)] * len(members)
+        if len(weights_budget) != len(members):
+            raise ValueError(
+                f"{len(weights_budget)} budget weights for {len(members)} members"
+            )
+        if any(w <= 0 for w in weights_budget):
+            raise ValueError("budget weights must be positive")
+        total = sum(weights_budget)
+        self.fractions = [w / total for w in weights_budget]
+        # Unique display names.
+        names: list[str] = []
+        seen: dict[str, int] = {}
+        for m in self.members:
+            base = m.name
+            k = seen.get(base, 0)
+            seen[base] = k + 1
+            names.append(base if k == 0 else f"{base} #{k + 1}")
+        self.member_names = names
+
+    def run_portfolio(
+        self,
+        weights: WeightsLike,
+        x0: np.ndarray,
+        steps: int,
+        seed: SeedLike = None,
+        *,
+        record_history: bool = False,
+    ) -> PortfolioOutcome:
+        """Run all members on their budget shares; full breakdown."""
+        _, x0c, rng = self._prepare(weights, x0, steps, seed)
+        records: dict[str, SearchRecord] = {}
+        for name, member, frac in zip(self.member_names, self.members, self.fractions):
+            share = max(1, int(steps * frac)) if steps > 0 else 0
+            records[name] = member.run(
+                weights,
+                x0c,
+                share,
+                seed=int(rng.integers(2**62)),
+                record_history=record_history,
+            )
+        winner = min(records, key=lambda k: records[k].best_energy)
+        return PortfolioOutcome(best=records[winner], winner=winner, records=records)
+
+    def run(
+        self,
+        weights: WeightsLike,
+        x0: np.ndarray,
+        steps: int,
+        seed: SeedLike = None,
+        *,
+        record_history: bool = False,
+    ) -> SearchRecord:
+        """LocalSearch interface: the winning member's record."""
+        return self.run_portfolio(
+            weights, x0, steps, seed, record_history=record_history
+        ).best

@@ -1,0 +1,72 @@
+"""Algorithm 5 — straight search from a known solution to a GA target.
+
+Combining the host GA with the local search would normally break the
+difference computation, because each GA generation hands the device a
+*new* solution whose delta vector is unknown (an O(n²) recomputation).
+The straight search avoids this: starting from the current solution
+``C`` (whose deltas are live), it repeatedly flips the differing bit
+with minimum Δ until it reaches the target ``T``.  The number of flips
+equals the Hamming distance, the delta vector stays valid throughout,
+and the walk itself is a greedy local search that can escape local
+minima (revisiting is impossible since flipped bits never differ again).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qubo.state import SearchState
+from repro.utils.validation import check_bit_vector
+
+
+def straight_search(
+    state: SearchState,
+    target: np.ndarray,
+    *,
+    scan_neighbors: bool = False,
+) -> tuple[np.ndarray, int, int]:
+    """Walk ``state`` to ``target`` greedily along minimum-Δ differing bits.
+
+    Parameters
+    ----------
+    state:
+        Live search state (mutated in place; ends equal to ``target``).
+    target:
+        The GA-proposed solution ``T``.
+    scan_neighbors:
+        When ``True``, track the best solution over *all* n neighbors at
+        each step (Algorithm 4's inner check); when ``False`` (the
+        literal Algorithm 5), only visited solutions are candidates.
+
+    Returns
+    -------
+    (best_x, best_energy, flips):
+        Best solution encountered (including the start), its energy,
+        and the number of flips performed (== initial Hamming distance).
+    """
+    tgt = check_bit_vector(target, state.n, "target")
+    best_x = state.x.copy()
+    best_e = state.energy
+
+    diff = np.flatnonzero(state.x ^ tgt).astype(np.int64)
+    flips = 0
+    # Maintain the set of still-differing bit indices; each iteration
+    # greedily flips the one with minimum Δ (the paper's line 3).
+    remaining = list(diff)
+    while remaining:
+        deltas = state.delta[remaining]
+        pos = int(np.argmin(deltas))
+        k = int(remaining.pop(pos))
+        state.flip(k)
+        flips += 1
+        if scan_neighbors:
+            j = int(np.argmin(state.delta))
+            cand = state.energy + int(state.delta[j])
+            if cand < best_e:
+                best_e = cand
+                best_x = state.x.copy()
+                best_x[j] ^= 1
+        if state.energy < best_e:
+            best_e = state.energy
+            best_x = state.x.copy()
+    return best_x, best_e, flips

@@ -1,0 +1,30 @@
+"""Shared utilities: seeded RNG management, timing, table rendering, logging.
+
+Nothing in here is QUBO-specific; these helpers keep the rest of the
+package deterministic (explicit :class:`numpy.random.Generator` plumbing,
+no global RNG state) and make benchmark output uniform.
+"""
+
+from repro.utils.rng import RngFactory, as_generator, spawn
+from repro.utils.tables import Table, render_table
+from repro.utils.timer import Stopwatch, format_duration
+from repro.utils.validation import (
+    check_bit_vector,
+    check_index,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn",
+    "Table",
+    "render_table",
+    "Stopwatch",
+    "format_duration",
+    "check_bit_vector",
+    "check_index",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,85 @@
+"""Tiny ASCII plotting helpers for examples and benchmark reports.
+
+Terminal-friendly substitutes for matplotlib (not available offline):
+a unicode sparkline for convergence traces and a labelled scatter/line
+chart for e.g. the Figure 8 scaling curve.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """Render ``values`` as a one-line unicode sparkline.
+
+    Values are min-max normalized; NaNs render as spaces.  When
+    ``width`` is given, the series is resampled to that many columns.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if len(vals) > width:
+            step = len(vals) / width
+            vals = [vals[min(int(i * step), len(vals) - 1)] for i in range(width)]
+    finite = [v for v in vals if math.isfinite(v)]
+    if not finite:
+        return " " * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in vals:
+        if not math.isfinite(v):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_SPARK_LEVELS[0])
+        else:
+            idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+            chars.append(_SPARK_LEVELS[idx])
+    return "".join(chars)
+
+
+def line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str | None = None,
+    marker: str = "*",
+) -> str:
+    """Render an (x, y) series as a coarse ASCII chart with axis labels."""
+    if len(xs) != len(ys):
+        raise ValueError(f"xs and ys must have equal length ({len(xs)} vs {len(ys)})")
+    if not xs:
+        return title or ""
+    if width < 8 or height < 3:
+        raise ValueError("width must be >= 8 and height >= 3")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = marker
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_hi = f"{y_hi:.4g}"
+    label_lo = f"{y_lo:.4g}"
+    pad = max(len(label_hi), len(label_lo))
+    for r, row in enumerate(grid):
+        label = label_hi if r == 0 else (label_lo if r == height - 1 else "")
+        lines.append(f"{label:>{pad}} |{''.join(row)}")
+    lines.append(f"{'':>{pad}} +{'-' * width}")
+    x_axis = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}"
+    lines.append(f"{'':>{pad}}  {x_axis}")
+    return "\n".join(lines)

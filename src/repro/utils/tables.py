@@ -1,0 +1,69 @@
+"""ASCII table rendering for benchmark harness output.
+
+Every benchmark prints the same rows the paper's tables report; this
+module renders them with aligned columns so the paper-vs-measured
+comparison in EXPERIMENTS.md can be eyeballed directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["graph", "bits", "time (s)"], title="Table 1(a)")
+    >>> t.add_row(["G1", 800, 0.0723])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    headers: Sequence[str]
+    title: str | None = None
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append a row; values are stringified with 4-sig-fig floats."""
+        cells = [_cell(v) for v in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table as a string with a rule under the header."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Iterable[Any]], title: str | None = None
+) -> str:
+    """One-shot convenience wrapper around :class:`Table`."""
+    table = Table(headers, title=title)
+    for row in rows:
+        table.add_row(row)
+    return table.render()

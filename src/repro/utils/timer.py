@@ -1,0 +1,67 @@
+"""Wall-clock measurement helpers used by the TTS and throughput harnesses."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way the paper's tables do (3 sig figs, s/ms/µs)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds >= 1.0:
+        return f"{seconds:.3g} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3g} ms"
+    return f"{seconds * 1e6:.3g} µs"
+
+
+@dataclass
+class Stopwatch:
+    """A restartable stopwatch with split support.
+
+    ``Stopwatch`` accumulates elapsed time across ``start``/``stop``
+    pairs, which lets the solver exclude setup (problem generation,
+    buffer allocation) from the time-to-solution it reports.
+    """
+
+    _started_at: float | None = field(default=None, repr=False)
+    _accumulated: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the watch.  Idempotent while running."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Pause the watch and return the total elapsed seconds so far."""
+        if self._started_at is not None:
+            self._accumulated += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self._accumulated
+
+    def reset(self) -> None:
+        """Zero the watch (stops it if running)."""
+        self._started_at = None
+        self._accumulated = 0.0
+
+    @property
+    def running(self) -> bool:
+        """Whether the watch is currently accumulating time."""
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total elapsed seconds, including the in-progress span if running."""
+        total = self._accumulated
+        if self._started_at is not None:
+            total += time.perf_counter() - self._started_at
+        return total
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

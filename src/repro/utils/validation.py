@@ -1,0 +1,48 @@
+"""Small argument-validation helpers shared across the package.
+
+These raise early with actionable messages instead of letting NumPy
+broadcasting silently accept malformed input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_probability(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``0 <= value <= 1``."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_index(index: int, n: int, name: str = "index") -> None:
+    """Raise :class:`IndexError` unless ``0 <= index < n``."""
+    if not (0 <= index < n):
+        raise IndexError(f"{name} must be in [0, {n}), got {index}")
+
+
+def check_bit_vector(x: np.ndarray, n: int | None = None, name: str = "x") -> np.ndarray:
+    """Validate and canonicalize a bit vector.
+
+    Returns a contiguous ``uint8`` array of zeros and ones.  Raises
+    :class:`ValueError` for wrong dimensionality, wrong length (when
+    ``n`` is given), or entries outside {0, 1}.
+    """
+    arr = np.ascontiguousarray(x)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if n is not None and arr.shape[0] != n:
+        raise ValueError(f"{name} must have length {n}, got {arr.shape[0]}")
+    if arr.dtype != np.uint8:
+        if not np.isin(arr, (0, 1)).all():
+            raise ValueError(f"{name} must contain only 0/1 entries")
+        arr = arr.astype(np.uint8)
+    elif arr.size and arr.max() > 1:
+        raise ValueError(f"{name} must contain only 0/1 entries")
+    return arr

@@ -1,0 +1,132 @@
+"""Tests for the adaptive window tuner (paper §5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.abs import AbsConfig, AdaptiveBulkSearch, WindowAdapter
+from repro.abs.device import DeviceSimulator
+from repro.qubo import QuboMatrix
+
+
+class TestWindowAdapter:
+    def test_not_ready_before_period(self):
+        a = WindowAdapter(64, 8, period=3, seed=0)
+        a.observe(np.zeros(8))
+        a.observe(np.zeros(8))
+        assert not a.ready
+        assert a.maybe_adapt(np.full(8, 16)) is None
+        with pytest.raises(RuntimeError):
+            a.adapt(np.full(8, 16))
+
+    def test_adapt_replaces_worst_with_winner_derived(self):
+        a = WindowAdapter(64, 8, period=1, fraction=0.25, seed=1)
+        energies = np.array([-100, -90, -80, -70, -60, -50, -40, 10])
+        a.observe(energies)
+        windows = np.array([2, 4, 8, 16, 32, 64, 5, 7], dtype=np.int64)
+        new = a.adapt(windows)
+        k = 2  # 25 % of 8
+        # Winners (lowest energy) keep their windows.
+        assert np.array_equal(new[:6], windows[:6])
+        # Losers got windows derived from winners' {2, 4} by ×{0.5,1,2}.
+        allowed = {1, 2, 4, 8}
+        assert set(new[6:].tolist()) <= allowed
+        assert a.adaptations == k
+
+    def test_windows_clamped_to_range(self):
+        a = WindowAdapter(8, 4, period=1, fraction=0.5, seed=2)
+        a.observe(np.array([-10, -9, 0, 1]))
+        new = a.adapt(np.array([8, 8, 1, 1], dtype=np.int64))
+        assert (new >= 1).all() and (new <= 8).all()
+
+    def test_period_resets_after_adapt(self):
+        a = WindowAdapter(64, 4, period=2, seed=3)
+        a.observe(np.zeros(4))
+        a.observe(np.zeros(4))
+        a.adapt(np.full(4, 8))
+        assert not a.ready
+
+    def test_deterministic_by_seed(self):
+        def run(seed):
+            a = WindowAdapter(64, 8, period=1, seed=seed)
+            a.observe(np.arange(8, dtype=float))
+            return a.adapt(np.full(8, 16, dtype=np.int64))
+
+        assert np.array_equal(run(5), run(5))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0, "n_blocks": 2},
+            {"n": 4, "n_blocks": 0},
+            {"n": 4, "n_blocks": 2, "period": 0},
+            {"n": 4, "n_blocks": 2, "fraction": 0.0},
+            {"n": 4, "n_blocks": 2, "fraction": 0.9},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WindowAdapter(**{"n": 4, "n_blocks": 2, **kwargs})
+
+    def test_observe_shape_checked(self):
+        a = WindowAdapter(16, 4, seed=0)
+        with pytest.raises(ValueError):
+            a.observe(np.zeros(5))
+
+
+class TestDeviceIntegration:
+    def test_device_adapts_windows_over_rounds(self):
+        q = QuboMatrix.random(32, seed=1)
+        adapter = WindowAdapter(32, 8, period=2, seed=4)
+        dev = DeviceSimulator(
+            q, 8, windows=np.full(8, 4, dtype=np.int64),
+            local_steps=8, adapter=adapter,
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            dev.round(rng.integers(0, 2, (8, 32), dtype=np.uint8))
+        assert adapter.adaptations > 0
+
+    def test_block_count_mismatch_rejected(self):
+        q = QuboMatrix.random(16, seed=2)
+        adapter = WindowAdapter(16, 4, seed=0)
+        with pytest.raises(ValueError, match="blocks"):
+            DeviceSimulator(q, 8, adapter=adapter)
+
+
+class TestSolverIntegration:
+    def test_sync_solver_with_adaptation(self):
+        q = QuboMatrix.random(48, seed=3)
+        cfg = AbsConfig(
+            blocks_per_gpu=8, local_steps=16, max_rounds=20,
+            adapt_windows=True, adapt_period=2, seed=6,
+        )
+        res = AdaptiveBulkSearch(q, cfg).solve("sync")
+        from repro.qubo import energy
+
+        assert res.best_energy == energy(q, res.best_x)
+
+    def test_adaptation_deterministic_by_seed(self):
+        q = QuboMatrix.random(48, seed=3)
+        cfg = AbsConfig(
+            blocks_per_gpu=8, local_steps=16, max_rounds=15,
+            adapt_windows=True, adapt_period=2, seed=9,
+        )
+        a = AdaptiveBulkSearch(q, cfg).solve("sync")
+        b = AdaptiveBulkSearch(q, cfg).solve("sync")
+        assert a.best_energy == b.best_energy
+        assert np.array_equal(a.best_x, b.best_x)
+
+    def test_process_mode_with_adaptation(self):
+        q = QuboMatrix.random(32, seed=4)
+        cfg = AbsConfig(
+            blocks_per_gpu=4, local_steps=8, max_rounds=6, time_limit=30.0,
+            adapt_windows=True, adapt_period=2, seed=10,
+        )
+        res = AdaptiveBulkSearch(q, cfg).solve("process")
+        assert res.rounds >= 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AbsConfig(max_rounds=1, adapt_period=0)
+        with pytest.raises(ValueError):
+            AbsConfig(max_rounds=1, adapt_fraction=0.8)

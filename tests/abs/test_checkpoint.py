@@ -1,0 +1,117 @@
+"""Tests for engine/pool checkpointing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.abs.checkpoint import (
+    CheckpointError,
+    load_engine,
+    load_pool,
+    save_engine,
+    save_pool,
+)
+from repro.ga.pool import SolutionPool
+from repro.gpusim import BulkSearchEngine
+from repro.qubo import QuboMatrix
+
+
+@pytest.fixture
+def problem():
+    return QuboMatrix.random(32, seed=321)
+
+
+class TestEngineCheckpoint:
+    def test_resumed_run_is_bit_identical(self, problem, tmp_path, rng):
+        """Interrupting + restoring must not change the trajectory."""
+        eng = BulkSearchEngine(problem, 4, windows=np.array([2, 4, 8, 16]))
+        eng.straight_to(rng.integers(0, 2, (4, 32), dtype=np.uint8))
+        eng.local_steps(25)
+        ckpt = tmp_path / "eng.npz"
+        save_engine(eng, ckpt)
+
+        # Reference: the uninterrupted run.
+        eng.local_steps(40)
+
+        resumed = load_engine(problem, ckpt)
+        resumed.local_steps(40)
+        assert np.array_equal(resumed.X, eng.X)
+        assert np.array_equal(resumed.delta, eng.delta)
+        assert np.array_equal(resumed.energy, eng.energy)
+        assert np.array_equal(resumed.best_energy, eng.best_energy)
+        assert np.array_equal(resumed.best_x, eng.best_x)
+        assert resumed.counters == eng.counters
+
+    def test_counters_restored(self, problem, tmp_path):
+        eng = BulkSearchEngine(problem, 2)
+        eng.local_steps(10)
+        ckpt = tmp_path / "eng.npz"
+        save_engine(eng, ckpt)
+        resumed = load_engine(problem, ckpt)
+        assert resumed.counters == eng.counters
+
+    def test_sparse_weights_supported(self, tmp_path, rng):
+        from repro.qubo import SparseQubo
+
+        dense = QuboMatrix.random(24, seed=5)
+        sq = SparseQubo.from_dense(dense)
+        eng = BulkSearchEngine(sq, 3)
+        eng.local_steps(15)
+        ckpt = tmp_path / "eng.npz"
+        save_engine(eng, ckpt)
+        resumed = load_engine(sq, ckpt)
+        resumed.validate()
+        assert np.array_equal(resumed.X, eng.X)
+
+    def test_dimension_mismatch_rejected(self, problem, tmp_path):
+        eng = BulkSearchEngine(problem, 2)
+        ckpt = tmp_path / "eng.npz"
+        save_engine(eng, ckpt)
+        other = QuboMatrix.random(16, seed=0)
+        with pytest.raises(CheckpointError, match="n="):
+            load_engine(other, ckpt)
+
+    def test_wrong_file_rejected(self, problem, tmp_path):
+        p = tmp_path / "junk.npz"
+        np.savez(p, whatever=np.zeros(3))
+        with pytest.raises(CheckpointError, match="engine checkpoint"):
+            load_engine(problem, p)
+
+
+class TestPoolCheckpoint:
+    def test_roundtrip_with_infinite_energies(self, tmp_path):
+        pool = SolutionPool(8, capacity=6)
+        pool.seed_random(seed=0, count=3)  # +∞ entries
+        pool.insert(np.ones(8, dtype=np.uint8), -42)
+        p = tmp_path / "pool.npz"
+        save_pool(pool, p)
+        loaded = load_pool(p)
+        assert len(loaded) == len(pool)
+        assert loaded.best().energy == -42
+        assert loaded.evaluated_fraction() == pool.evaluated_fraction()
+        assert math.isinf(loaded.worst().energy)
+
+    def test_empty_pool(self, tmp_path):
+        pool = SolutionPool(4, capacity=3)
+        p = tmp_path / "pool.npz"
+        save_pool(pool, p)
+        loaded = load_pool(p)
+        assert len(loaded) == 0
+        assert loaded.capacity == 3
+
+    def test_sorted_order_preserved(self, tmp_path):
+        pool = SolutionPool(4, capacity=8)
+        for i, e in enumerate([5, -3, 9, 0]):
+            x = np.array([(i >> k) & 1 for k in range(4)], dtype=np.uint8)
+            pool.insert(x, e)
+        p = tmp_path / "pool.npz"
+        save_pool(pool, p)
+        loaded = load_pool(p)
+        assert loaded.energies() == pool.energies()
+
+    def test_wrong_file_rejected(self, tmp_path):
+        p = tmp_path / "junk.npz"
+        np.savez(p, whatever=np.zeros(3))
+        with pytest.raises(CheckpointError, match="pool checkpoint"):
+            load_pool(p)

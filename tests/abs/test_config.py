@@ -1,0 +1,72 @@
+"""Tests for AbsConfig and window resolution."""
+
+import numpy as np
+import pytest
+
+from repro.abs.config import AbsConfig, resolve_windows
+
+
+class TestResolveWindows:
+    def test_scalar_broadcast(self):
+        w = resolve_windows(8, 4, 100)
+        assert np.array_equal(w, [8, 8, 8, 8])
+
+    def test_spread_is_ladder(self):
+        w = resolve_windows("spread", 16, 1024)
+        assert len(w) == 16
+        assert len(set(w.tolist())) > 1
+        assert w.min() >= 1 and w.max() <= 1024
+
+    def test_spread_small_problem(self):
+        w = resolve_windows("spread", 4, 8)
+        assert (w <= 8).all() and (w >= 1).all()
+
+    def test_explicit_sequence(self):
+        w = resolve_windows([1, 2, 3], 3, 10)
+        assert np.array_equal(w, [1, 2, 3])
+
+    def test_sequence_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            resolve_windows([1, 2], 3, 10)
+
+    def test_out_of_range_values(self):
+        with pytest.raises(ValueError):
+            resolve_windows(0, 2, 10)
+        with pytest.raises(ValueError):
+            resolve_windows([1, 11], 2, 10)
+
+    def test_unknown_string(self):
+        with pytest.raises(ValueError, match="spread"):
+            resolve_windows("chaos", 2, 10)
+
+    def test_invalid_block_count(self):
+        with pytest.raises(ValueError):
+            resolve_windows(4, 0, 10)
+
+
+class TestAbsConfig:
+    def test_defaults_with_stop_criterion(self):
+        cfg = AbsConfig(max_rounds=10)
+        assert cfg.total_blocks == cfg.n_gpus * cfg.blocks_per_gpu
+
+    def test_requires_some_stop_criterion(self):
+        with pytest.raises(ValueError, match="stopping"):
+            AbsConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_gpus": 0, "max_rounds": 1},
+            {"blocks_per_gpu": 0, "max_rounds": 1},
+            {"local_steps": -1, "max_rounds": 1},
+            {"pool_capacity": 0, "max_rounds": 1},
+            {"time_limit": 0.0},
+            {"max_rounds": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AbsConfig(**kwargs)
+
+    def test_target_energy_alone_is_enough(self):
+        AbsConfig(target_energy=-100)

@@ -1,0 +1,139 @@
+"""Tests for the qbsolv-style decomposition solver."""
+
+import numpy as np
+import pytest
+
+from repro.abs.decompose import (
+    DecompositionConfig,
+    DecompositionResult,
+    DecompositionSolver,
+)
+from repro.problems.maxcut import maxcut_to_sparse_qubo, random_graph
+from repro.qubo import QuboMatrix, energy
+from repro.search import solve_exact
+
+
+class TestSubproblemConstruction:
+    """The conditioned sub-QUBO must satisfy the energy identity
+    E(x with S←y) − E(x with S←0) == E_sub(y) for every y."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_energy_identity_dense(self, seed):
+        q = QuboMatrix.random(20, seed=seed)
+        solver = DecompositionSolver(q, DecompositionConfig(subproblem_size=6, seed=0))
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 2, 20, dtype=np.uint8)
+        subset = rng.choice(20, size=6, replace=False)
+        sub = solver.build_subproblem(x, subset)
+        base = x.copy()
+        base[subset] = 0
+        e_base = energy(q, base)
+        for _ in range(10):
+            y = rng.integers(0, 2, 6, dtype=np.uint8)
+            full = x.copy()
+            full[subset] = y
+            assert energy(q, full) - e_base == energy(sub, y)
+
+    def test_energy_identity_sparse(self):
+        g = random_graph(30, 90, weighted=True, seed=4)
+        sq = maxcut_to_sparse_qubo(g)
+        solver = DecompositionSolver(sq, DecompositionConfig(subproblem_size=8, seed=0))
+        rng = np.random.default_rng(4)
+        x = rng.integers(0, 2, 30, dtype=np.uint8)
+        subset = rng.choice(30, size=8, replace=False)
+        sub = solver.build_subproblem(x, subset)
+        base = x.copy()
+        base[subset] = 0
+        e_base = sq.energy(base)
+        for _ in range(10):
+            y = rng.integers(0, 2, 8, dtype=np.uint8)
+            full = x.copy()
+            full[subset] = y
+            assert sq.energy(full) - e_base == energy(sub, y)
+
+
+class TestSolve:
+    def test_full_subset_equals_direct_solve(self):
+        """With k = n the first iteration already solves the whole
+        problem; the result must reach the exact optimum."""
+        q = QuboMatrix.random(14, seed=5)
+        opt = solve_exact(q).energy
+        cfg = DecompositionConfig(
+            subproblem_size=14, iterations=6, inner_rounds=40,
+            inner_blocks=16, seed=1,
+        )
+        res = DecompositionSolver(q, cfg).solve()
+        assert res.best_energy == opt
+
+    def test_small_subproblems_reach_optimum(self):
+        q = QuboMatrix.random(24, seed=6)
+        opt = solve_exact(q).energy
+        cfg = DecompositionConfig(
+            subproblem_size=10, iterations=40, inner_rounds=20, seed=2,
+        )
+        res = DecompositionSolver(q, cfg).solve()
+        assert res.best_energy == opt
+        assert energy(q, res.best_x) == res.best_energy
+
+    def test_history_monotone_and_improvements_counted(self):
+        q = QuboMatrix.random(40, seed=7)
+        cfg = DecompositionConfig(subproblem_size=12, iterations=15, seed=3)
+        res = DecompositionSolver(q, cfg).solve()
+        energies = [e for _, e in res.history]
+        assert all(energies[i + 1] <= energies[i] for i in range(len(energies) - 1))
+        assert res.improvements >= 1
+        assert res.iterations == 15
+
+    def test_patience_stops_early(self):
+        # An already-optimal incumbent cannot improve: patience triggers.
+        q = QuboMatrix.zeros(16)  # every solution optimal at 0
+        cfg = DecompositionConfig(
+            subproblem_size=4, iterations=50, patience=3, seed=4,
+        )
+        res = DecompositionSolver(q, cfg).solve()
+        assert res.iterations <= 4 + 3
+
+    def test_random_selection_mode(self):
+        q = QuboMatrix.random(30, seed=8)
+        cfg = DecompositionConfig(
+            subproblem_size=10, iterations=10, selection="random", seed=5,
+        )
+        res = DecompositionSolver(q, cfg).solve()
+        assert energy(q, res.best_x) == res.best_energy
+
+    def test_sparse_backend_solve(self):
+        g = random_graph(60, 200, weighted=True, seed=9)
+        sq = maxcut_to_sparse_qubo(g)
+        cfg = DecompositionConfig(subproblem_size=16, iterations=15, seed=6)
+        res = DecompositionSolver(sq, cfg).solve()
+        assert sq.energy(res.best_x) == res.best_energy
+        assert res.best_energy < 0  # found some cut
+
+    def test_deterministic_by_seed(self):
+        q = QuboMatrix.random(30, seed=10)
+        cfg = DecompositionConfig(subproblem_size=10, iterations=8, seed=7)
+        a = DecompositionSolver(q, cfg).solve()
+        b = DecompositionSolver(q, cfg).solve()
+        assert a.best_energy == b.best_energy
+        assert np.array_equal(a.best_x, b.best_x)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"subproblem_size": 1},
+            {"iterations": 0},
+            {"selection": "psychic"},
+            {"inner_rounds": 0},
+            {"patience": 0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DecompositionConfig(**kwargs)
+
+    def test_subproblem_larger_than_problem(self):
+        q = QuboMatrix.random(8, seed=0)
+        with pytest.raises(ValueError, match="exceeds"):
+            DecompositionSolver(q, DecompositionConfig(subproblem_size=16))

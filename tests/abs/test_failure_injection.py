@@ -1,0 +1,63 @@
+"""Failure-injection tests for the multi-process solver."""
+
+import numpy as np
+import pytest
+
+import repro.abs.solver as solver_mod
+from repro.abs import AbsConfig, AdaptiveBulkSearch
+from repro.abs.buffers import SharedWeights
+from repro.qubo import QuboMatrix
+
+
+class TestWorkerDeath:
+    def test_all_workers_dying_raises(self, monkeypatch):
+        """If every device process exits without producing results, the
+        host must fail loudly instead of spinning forever."""
+
+        def _suicidal_worker(*args, **kwargs):
+            raise SystemExit(1)
+
+        monkeypatch.setattr(solver_mod, "_worker_main", _suicidal_worker)
+        q = QuboMatrix.random(16, seed=0)
+        cfg = AbsConfig(blocks_per_gpu=4, local_steps=4, max_rounds=5, seed=1)
+        with pytest.raises(RuntimeError, match="workers died"):
+            AdaptiveBulkSearch(q, cfg).solve("process")
+
+    def test_shared_memory_cleaned_after_worker_death(self, monkeypatch):
+        import glob
+
+        def _suicidal_worker(*args, **kwargs):
+            raise SystemExit(1)
+
+        monkeypatch.setattr(solver_mod, "_worker_main", _suicidal_worker)
+        before = set(glob.glob("/dev/shm/*"))
+        q = QuboMatrix.random(16, seed=0)
+        cfg = AbsConfig(blocks_per_gpu=4, local_steps=4, max_rounds=5, seed=1)
+        with pytest.raises(RuntimeError):
+            AdaptiveBulkSearch(q, cfg).solve("process")
+        after = set(glob.glob("/dev/shm/*"))
+        assert after <= before
+
+
+class TestSharedWeightsFailures:
+    def test_attach_to_missing_segment(self):
+        with pytest.raises(FileNotFoundError):
+            SharedWeights.attach(("nonexistent-segment-xyz", (2, 2), "int64"))
+
+    def test_attach_after_unlink(self):
+        owner = SharedWeights.create(np.zeros((2, 2), dtype=np.int64))
+        desc = owner.descriptor
+        owner.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedWeights.attach(desc)
+
+
+class TestBadInputsToSolver:
+    def test_asymmetric_weights_rejected_at_construction(self):
+        W = np.array([[0, 1], [2, 0]])
+        with pytest.raises(ValueError):
+            AdaptiveBulkSearch(QuboMatrix(W), AbsConfig(max_rounds=1))
+
+    def test_float_ndarray_rejected(self):
+        with pytest.raises(TypeError):
+            AdaptiveBulkSearch(np.eye(4), AbsConfig(max_rounds=1))

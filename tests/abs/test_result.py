@@ -1,0 +1,46 @@
+"""Tests for SolveResult bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.abs.result import SolveResult
+
+
+def make_result(**overrides):
+    base = dict(
+        best_x=np.array([1, 0, 1], dtype=np.uint8),
+        best_energy=-7,
+        elapsed=2.0,
+        rounds=4,
+        evaluated=1000,
+        flips=100,
+    )
+    base.update(overrides)
+    return SolveResult(**base)
+
+
+class TestSearchRate:
+    def test_rate(self):
+        assert make_result().search_rate == 500.0
+
+    def test_zero_elapsed(self):
+        assert make_result(elapsed=0.0).search_rate == 0.0
+
+
+class TestSummary:
+    def test_contains_key_fields(self):
+        s = make_result().summary()
+        assert "best=-7" in s
+        assert "rounds=4" in s
+        assert "gpus=1" in s
+        assert "[target reached]" not in s
+
+    def test_target_marker(self):
+        s = make_result(reached_target=True).summary()
+        assert "[target reached]" in s
+
+    def test_history_default_empty(self):
+        assert make_result().history == []
+
+    def test_time_to_target_default_none(self):
+        assert make_result().time_to_target is None

@@ -1,0 +1,60 @@
+"""Tests for the multi-process ABS solver (the multi-GPU simulation)."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.abs import AbsConfig, AdaptiveBulkSearch
+from repro.qubo import QuboMatrix, energy
+from repro.search import solve_exact
+
+
+@pytest.fixture
+def small():
+    return QuboMatrix.random(16, seed=909)
+
+
+class TestSolveProcess:
+    def test_reaches_exact_optimum(self, small):
+        opt = solve_exact(small).energy
+        cfg = AbsConfig(
+            n_gpus=2,
+            blocks_per_gpu=8,
+            local_steps=16,
+            pool_capacity=16,
+            target_energy=opt,
+            time_limit=30.0,
+            seed=13,
+        )
+        res = AdaptiveBulkSearch(small, cfg).solve("process")
+        assert res.reached_target
+        assert res.best_energy == opt
+
+    def test_result_self_consistent(self, small):
+        cfg = AbsConfig(max_rounds=6, blocks_per_gpu=4, time_limit=30.0, seed=1)
+        res = AdaptiveBulkSearch(small, cfg).solve("process")
+        assert res.best_energy == energy(small, res.best_x)
+        assert res.evaluated > 0
+        assert res.rounds >= 1
+
+    def test_time_limit_honoured(self, small):
+        cfg = AbsConfig(time_limit=0.5, blocks_per_gpu=4, seed=2)
+        res = AdaptiveBulkSearch(small, cfg).solve("process")
+        assert res.elapsed < 10.0
+
+    def test_multi_worker_counters_aggregate(self, small):
+        cfg = AbsConfig(
+            n_gpus=2, blocks_per_gpu=4, max_rounds=8, time_limit=30.0, seed=3
+        )
+        res = AdaptiveBulkSearch(small, cfg).solve("process")
+        assert res.n_gpus == 2
+        assert res.evaluated > 0
+        assert res.flips > 0
+
+    def test_no_shared_memory_leak(self, small):
+        before = set(glob.glob("/dev/shm/*"))
+        cfg = AbsConfig(max_rounds=4, blocks_per_gpu=4, time_limit=30.0, seed=4)
+        AdaptiveBulkSearch(small, cfg).solve("process")
+        after = set(glob.glob("/dev/shm/*"))
+        assert after <= before  # nothing new left behind

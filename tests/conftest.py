@@ -1,0 +1,39 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One moderate profile for CI speed; property tests are numerous, so
+# each keeps its example count modest and skips the shrink deadline.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for ad-hoc randomness in tests."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_qubo():
+    """A 16-bit random instance small enough for exhaustive checking."""
+    from repro.qubo import QuboMatrix
+
+    return QuboMatrix.random(12, seed=12345)
+
+
+@pytest.fixture
+def medium_qubo():
+    """A 64-bit instance for walk-based tests."""
+    from repro.qubo import QuboMatrix
+
+    return QuboMatrix.random(64, seed=54321)

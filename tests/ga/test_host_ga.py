@@ -1,0 +1,82 @@
+"""Tests for GA target generation (host Step 4)."""
+
+import numpy as np
+import pytest
+
+from repro.ga.host import GaConfig, TargetGenerator
+from repro.ga.pool import SolutionPool
+
+
+def seeded_pool(n=16, capacity=8, seed=0):
+    pool = SolutionPool(n, capacity)
+    rng = np.random.default_rng(seed)
+    for i in range(capacity):
+        x = rng.integers(0, 2, n, dtype=np.uint8)
+        pool.insert(x, int(rng.integers(-100, 100)))
+    return pool
+
+
+class TestGaConfig:
+    def test_defaults_valid(self):
+        GaConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"p_mutation": -0.1},
+        {"p_crossover": 1.2},
+        {"p_mutation": 0.7, "p_crossover": 0.7},
+        {"elite_bias": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            GaConfig(**kwargs)
+
+
+class TestTargetGenerator:
+    def test_generates_requested_count(self):
+        gen = TargetGenerator(seeded_pool(), seed=1)
+        targets = gen.generate(12)
+        assert len(targets) == 12
+        assert all(t.shape == (16,) and t.dtype == np.uint8 for t in targets)
+
+    def test_negative_count_rejected(self):
+        gen = TargetGenerator(seeded_pool(), seed=1)
+        with pytest.raises(ValueError):
+            gen.generate(-1)
+
+    def test_operator_counters_advance(self):
+        gen = TargetGenerator(seeded_pool(), seed=2)
+        gen.generate(100)
+        assert sum(gen.counts.values()) == 100
+        assert gen.counts["mutation"] > 0
+        assert gen.counts["crossover"] > 0
+
+    def test_copy_only_config(self):
+        cfg = GaConfig(p_mutation=0.0, p_crossover=0.0)
+        pool = seeded_pool()
+        gen = TargetGenerator(pool, cfg, seed=3)
+        targets = gen.generate(10)
+        assert gen.counts["copy"] == 10
+        keys = {p.x.tobytes() for p in pool}
+        assert all(t.tobytes() in keys for t in targets)
+
+    def test_mutation_only_produces_nearby_targets(self):
+        cfg = GaConfig(p_mutation=1.0, p_crossover=0.0, mutation_flips=2)
+        pool = seeded_pool()
+        gen = TargetGenerator(pool, cfg, seed=4)
+        for t in gen.generate(10):
+            dists = [int((t ^ p.x).sum()) for p in pool]
+            assert min(dists) <= 2
+
+    def test_single_member_pool_falls_back_to_copy_or_mutation(self):
+        pool = SolutionPool(8, capacity=4)
+        pool.insert(np.ones(8, dtype=np.uint8), 5)
+        cfg = GaConfig(p_mutation=0.0, p_crossover=1.0)
+        gen = TargetGenerator(pool, cfg, seed=5)
+        targets = gen.generate(5)  # crossover impossible with one parent
+        assert len(targets) == 5
+        assert gen.counts["crossover"] == 0
+
+    def test_reproducible_by_seed(self):
+        a = TargetGenerator(seeded_pool(), seed=6).generate(8)
+        b = TargetGenerator(seeded_pool(), seed=6).generate(8)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))

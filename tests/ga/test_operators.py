@@ -1,0 +1,112 @@
+"""Tests for genetic operators."""
+
+import numpy as np
+import pytest
+
+from repro.ga.operators import crossover_uniform, mutate, select_parent
+from repro.ga.pool import SolutionPool
+
+
+class TestMutate:
+    def test_flips_exact_count(self, rng):
+        x = np.zeros(64, dtype=np.uint8)
+        child = mutate(x, rng, flips=5)
+        assert int((child ^ x).sum()) == 5
+
+    def test_parent_unchanged(self, rng):
+        x = np.zeros(16, dtype=np.uint8)
+        mutate(x, rng, flips=3)
+        assert not x.any()
+
+    def test_default_flip_count(self, rng):
+        x = np.zeros(64, dtype=np.uint8)
+        child = mutate(x, rng)
+        assert int((child ^ x).sum()) == 4  # 64 // 16
+
+    def test_small_vector_default_is_one(self, rng):
+        x = np.zeros(4, dtype=np.uint8)
+        assert int((mutate(x, rng) ^ x).sum()) == 1
+
+    def test_empty_vector(self, rng):
+        assert mutate(np.zeros(0, dtype=np.uint8), rng).shape == (0,)
+
+    @pytest.mark.parametrize("flips", [0, 100])
+    def test_invalid_flip_count(self, rng, flips):
+        with pytest.raises(ValueError):
+            mutate(np.zeros(8, dtype=np.uint8), rng, flips=flips)
+
+    def test_distinct_bits_flipped(self, rng):
+        x = np.ones(10, dtype=np.uint8)
+        child = mutate(x, rng, flips=10)
+        assert not child.any()  # all ten flipped exactly once
+
+
+class TestCrossover:
+    def test_child_bits_come_from_parents(self, rng):
+        a = np.zeros(32, dtype=np.uint8)
+        b = np.ones(32, dtype=np.uint8)
+        child = crossover_uniform(a, b, rng)
+        assert set(np.unique(child)) <= {0, 1}
+
+    def test_identical_parents_identical_child(self, rng):
+        a = np.array([1, 0, 1, 1], dtype=np.uint8)
+        child = crossover_uniform(a, a.copy(), rng)
+        assert np.array_equal(child, a)
+
+    def test_agreeing_positions_preserved(self, rng):
+        a = np.array([1, 0, 1, 0, 1, 1], dtype=np.uint8)
+        b = np.array([1, 1, 1, 0, 0, 1], dtype=np.uint8)
+        child = crossover_uniform(a, b, rng)
+        agree = a == b
+        assert np.array_equal(child[agree], a[agree])
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            crossover_uniform(
+                np.zeros(3, dtype=np.uint8), np.zeros(4, dtype=np.uint8), rng
+            )
+
+    def test_mixes_both_parents(self):
+        rng = np.random.default_rng(7)
+        a = np.zeros(64, dtype=np.uint8)
+        b = np.ones(64, dtype=np.uint8)
+        child = crossover_uniform(a, b, rng)
+        assert 0 < child.sum() < 64
+
+
+class TestSelectParent:
+    def _pool(self):
+        pool = SolutionPool(4, capacity=8)
+        for i in range(8):
+            x = np.array([(i >> k) & 1 for k in range(4)], dtype=np.uint8)
+            pool.insert(x, i * 10)
+        return pool
+
+    def test_empty_pool_rejected(self, rng):
+        with pytest.raises(IndexError):
+            select_parent(SolutionPool(4, capacity=2), rng)
+
+    def test_invalid_bias(self, rng):
+        with pytest.raises(ValueError):
+            select_parent(self._pool(), rng, elite_bias=0)
+
+    def test_elite_bias_prefers_low_energy(self):
+        rng = np.random.default_rng(0)
+        pool = self._pool()
+        picks = [select_parent(pool, rng, elite_bias=3.0) for _ in range(400)]
+        # Rank of each picked solution: best solutions picked far more.
+        ranks = [
+            next(i for i in range(len(pool)) if np.array_equal(pool[i].x, p))
+            for p in picks
+        ]
+        assert np.mean(ranks) < 2.0
+
+    def test_uniform_bias_spreads(self):
+        rng = np.random.default_rng(0)
+        pool = self._pool()
+        picks = [select_parent(pool, rng, elite_bias=1.0) for _ in range(400)]
+        ranks = [
+            next(i for i in range(len(pool)) if np.array_equal(pool[i].x, p))
+            for p in picks
+        ]
+        assert 2.5 < np.mean(ranks) < 4.5  # ~uniform over 8 ranks

@@ -1,0 +1,156 @@
+"""Tests for the sorted, duplicate-free solution pool."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ga.pool import SolutionPool
+
+
+def bits(*vals):
+    return np.array(vals, dtype=np.uint8)
+
+
+class TestBasics:
+    def test_insert_and_best(self):
+        pool = SolutionPool(3, capacity=4)
+        assert pool.insert(bits(1, 0, 0), 5)
+        assert pool.insert(bits(0, 1, 0), 2)
+        assert pool.best().energy == 2
+        assert pool.worst().energy == 5
+        assert len(pool) == 2
+
+    def test_sorted_iteration(self):
+        pool = SolutionPool(3, capacity=8)
+        for e, x in [(4, bits(1, 0, 0)), (1, bits(0, 1, 0)), (3, bits(0, 0, 1))]:
+            pool.insert(x, e)
+        assert pool.energies() == [1, 3, 4]
+        assert [p.energy for p in pool] == [1, 3, 4]
+
+    def test_duplicate_bits_rejected(self):
+        pool = SolutionPool(3, capacity=4)
+        assert pool.insert(bits(1, 1, 0), 5)
+        assert not pool.insert(bits(1, 1, 0), 2)  # same bits, better energy
+        assert pool.rejected_duplicate == 1
+        assert len(pool) == 1
+
+    def test_eviction_of_worst(self):
+        pool = SolutionPool(2, capacity=2)
+        pool.insert(bits(1, 0), 10)
+        pool.insert(bits(0, 1), 20)
+        assert pool.insert(bits(1, 1), 5)
+        assert len(pool) == 2
+        assert pool.energies() == [5, 10]
+        assert not pool.contains(bits(0, 1))
+
+    def test_rejects_worse_than_worst_when_full(self):
+        pool = SolutionPool(2, capacity=2)
+        pool.insert(bits(1, 0), 10)
+        pool.insert(bits(0, 1), 20)
+        assert not pool.insert(bits(1, 1), 30)
+        assert pool.rejected_worse == 1
+
+    def test_infinite_energy_entries_sort_last(self):
+        pool = SolutionPool(2, capacity=3)
+        pool.insert(bits(1, 0), math.inf)
+        pool.insert(bits(0, 1), 7)
+        assert pool.best().energy == 7
+        assert pool.worst().energy == math.inf
+
+    def test_contains(self):
+        pool = SolutionPool(2, capacity=2)
+        pool.insert(bits(1, 0), 1)
+        assert pool.contains(bits(1, 0))
+        assert not pool.contains(bits(0, 1))
+
+    def test_empty_pool_access(self):
+        pool = SolutionPool(2, capacity=2)
+        with pytest.raises(IndexError):
+            pool.best()
+        with pytest.raises(IndexError):
+            pool.worst()
+
+    def test_getitem_by_rank(self):
+        pool = SolutionPool(2, capacity=4)
+        pool.insert(bits(1, 0), 9)
+        pool.insert(bits(0, 1), 3)
+        assert pool[0].energy == 3
+        assert pool[1].energy == 9
+
+    def test_stored_solution_readonly_copy(self):
+        pool = SolutionPool(2, capacity=2)
+        x = bits(1, 0)
+        pool.insert(x, 1)
+        x[0] = 0  # caller mutation must not corrupt the pool
+        assert pool.contains(bits(1, 0))
+        with pytest.raises(ValueError):
+            pool.best().x[0] = 0
+
+
+class TestValidation:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SolutionPool(3, capacity=0)
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            SolutionPool(-1, capacity=2)
+
+    def test_wrong_length_insert(self):
+        pool = SolutionPool(3, capacity=2)
+        with pytest.raises(ValueError):
+            pool.insert(bits(1, 0), 1)
+
+
+class TestSeedRandom:
+    def test_fills_to_capacity(self):
+        pool = SolutionPool(32, capacity=16)
+        added = pool.seed_random(seed=0)
+        assert added == 16
+        assert len(pool) == 16
+        assert pool.evaluated_fraction() == 0.0
+
+    def test_tiny_space_saturates(self):
+        pool = SolutionPool(1, capacity=10)
+        added = pool.seed_random(seed=0)
+        assert added == 2  # only two distinct 1-bit vectors exist
+        pool.check_invariants()
+
+    def test_partial_count(self):
+        pool = SolutionPool(16, capacity=10)
+        assert pool.seed_random(seed=1, count=4) == 4
+        assert len(pool) == 4
+
+
+class TestInvariantsPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-100, 100), st.integers(0, 255)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=30)
+    def test_random_insert_stream_keeps_invariants(self, stream):
+        pool = SolutionPool(8, capacity=10)
+        for e, code in stream:
+            x = np.array([(code >> i) & 1 for i in range(8)], dtype=np.uint8)
+            pool.insert(x, e)
+            pool.check_invariants()
+        # Every stored solution is distinct and energies are sorted.
+        pool.check_invariants()
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=40))
+    @settings(max_examples=30)
+    def test_best_is_min_of_accepted(self, codes):
+        pool = SolutionPool(4, capacity=5)
+        best_seen = {}
+        for code in codes:
+            x = np.array([(code >> i) & 1 for i in range(4)], dtype=np.uint8)
+            e = code * 3 - 20
+            if pool.insert(x, e):
+                best_seen[x.tobytes()] = e
+        if best_seen:
+            assert pool.best().energy == min(best_seen.values())

@@ -1,0 +1,85 @@
+"""Tests for the asynchrony-benefit simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.async_sim import (
+    async_speedup,
+    asynchronous_makespan,
+    sample_round_work,
+    synchronized_makespan,
+)
+from repro.qubo import QuboMatrix
+
+
+class TestMakespans:
+    def test_uniform_work_no_speedup(self):
+        work = np.full((4, 5), 7.0)
+        assert synchronized_makespan(work) == 35.0
+        assert asynchronous_makespan(work) == 35.0
+        assert async_speedup(work) == 1.0
+
+    def test_heterogeneous_work_speedup(self):
+        # One slow block per round, rotating — barriers always pay max.
+        work = np.ones((4, 4))
+        work[np.arange(4), np.arange(4)] = 10.0
+        assert synchronized_makespan(work) == 40.0
+        assert asynchronous_makespan(work) == 13.0
+        assert async_speedup(work) == pytest.approx(40.0 / 13.0)
+
+    def test_single_block_no_speedup(self):
+        work = np.array([[3.0, 5.0, 2.0]])
+        assert async_speedup(work) == 1.0
+
+    def test_zero_work(self):
+        assert async_speedup(np.zeros((3, 3))) == 1.0
+
+    @given(
+        st.integers(2, 6),
+        st.integers(2, 6),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30)
+    def test_speedup_at_least_one(self, b, r, seed):
+        work = np.random.default_rng(seed).uniform(0.1, 10.0, size=(b, r))
+        assert async_speedup(work) >= 1.0 - 1e-12
+        # Sync makespan is an upper bound on any schedule of the same work.
+        assert synchronized_makespan(work) >= asynchronous_makespan(work)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synchronized_makespan(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            asynchronous_makespan(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            synchronized_makespan(np.array([[-1.0]]))
+
+
+class TestSampleRoundWork:
+    def test_shape_and_bounds(self):
+        q = QuboMatrix.random(48, seed=11)
+        work = sample_round_work(q, 6, 5, local_steps=16, seed=0)
+        assert work.shape == (6, 5)
+        # Work = hamming + local_steps ∈ [local_steps, n + local_steps].
+        assert (work >= 16).all()
+        assert (work <= 48 + 16).all()
+
+    def test_real_run_shows_heterogeneity(self):
+        """GA targets land at varying Hamming distances, so real ABS
+        rounds are heterogeneous — the paper's asynchrony argument."""
+        q = QuboMatrix.random(64, seed=12)
+        work = sample_round_work(q, 8, 8, local_steps=8, seed=1)
+        assert async_speedup(work) > 1.0
+
+    def test_deterministic(self):
+        q = QuboMatrix.random(32, seed=13)
+        a = sample_round_work(q, 4, 4, seed=5)
+        b = sample_round_work(q, 4, 4, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        q = QuboMatrix.random(16, seed=0)
+        with pytest.raises(ValueError):
+            sample_round_work(q, 0, 3)

@@ -1,0 +1,90 @@
+"""Tests for device specifications."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpusim.device import RTX_2080_TI, TESLA_V100, DeviceSpec, get_device
+
+
+class TestDeviceSpec:
+    def test_rtx_2080_ti_matches_paper(self):
+        """§3.2: 64 KB shared, 1024 threads (32 warps), 64 K registers
+        per SM, 11 GB global, 68 SMs."""
+        d = RTX_2080_TI
+        assert d.sm_count == 68
+        assert d.max_threads_per_sm == 1024
+        assert d.max_warps_per_sm == 32
+        assert d.registers_per_sm == 65536
+        assert d.shared_mem_per_sm == 65536
+        assert d.global_mem == 11 * 1024**3
+        assert d.registers_per_thread_at_full_occupancy == 64
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RTX_2080_TI.sm_count = 1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("sm_count", 0),
+            ("warp_size", -1),
+            ("global_mem", 0),
+        ],
+    )
+    def test_positive_validation(self, field, value):
+        kwargs = dict(
+            name="x",
+            sm_count=1,
+            max_threads_per_sm=64,
+            max_threads_per_block=64,
+            warp_size=32,
+            registers_per_sm=1024,
+            shared_mem_per_sm=1024,
+            global_mem=1024,
+        )
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            DeviceSpec(**kwargs)
+
+    def test_block_cannot_exceed_sm(self):
+        with pytest.raises(ValueError, match="max_threads_per_block"):
+            DeviceSpec(
+                name="x",
+                sm_count=1,
+                max_threads_per_sm=64,
+                max_threads_per_block=128,
+                warp_size=32,
+                registers_per_sm=1024,
+                shared_mem_per_sm=1024,
+                global_mem=1024,
+            )
+
+    def test_warp_multiple_required(self):
+        with pytest.raises(ValueError, match="warp"):
+            DeviceSpec(
+                name="x",
+                sm_count=1,
+                max_threads_per_sm=100,
+                max_threads_per_block=64,
+                warp_size=32,
+                registers_per_sm=1024,
+                shared_mem_per_sm=1024,
+                global_mem=1024,
+            )
+
+
+class TestGetDevice:
+    def test_short_names(self):
+        assert get_device("rtx2080ti") is RTX_2080_TI
+        assert get_device("v100") is TESLA_V100
+
+    def test_full_name(self):
+        assert get_device("NVIDIA GeForce RTX 2080 Ti") is RTX_2080_TI
+
+    def test_normalized_lookup(self):
+        assert get_device("RTX 2080 TI") is RTX_2080_TI
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_device("tpu-v9")

@@ -1,0 +1,168 @@
+"""Tests for the bulk engine — including exact equivalence with the
+scalar reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.engine import BulkSearchEngine
+from repro.qubo import QuboMatrix, SearchState
+from repro.search.policies import WindowMinDeltaPolicy
+from repro.search.straight import straight_search
+
+
+@pytest.fixture
+def problem():
+    return QuboMatrix.random(40, seed=2718)
+
+
+class TestConstruction:
+    def test_initial_state_is_zero_vector(self, problem):
+        eng = BulkSearchEngine(problem, 4)
+        assert not eng.X.any()
+        assert (eng.energy == 0).all()
+        assert np.array_equal(eng.delta[0], np.diagonal(problem.W))
+
+    def test_window_broadcast(self, problem):
+        eng = BulkSearchEngine(problem, 3, windows=8)
+        assert np.array_equal(eng.windows, [8, 8, 8])
+
+    def test_per_block_windows(self, problem):
+        eng = BulkSearchEngine(problem, 3, windows=np.array([2, 4, 8]))
+        assert np.array_equal(eng.windows, [2, 4, 8])
+
+    def test_staggered_default_offsets(self, problem):
+        eng = BulkSearchEngine(problem, 4)
+        assert len(set(eng.offsets.tolist())) > 1
+
+    @pytest.mark.parametrize("bad_windows", [0, 41, [1, 0]])
+    def test_invalid_windows(self, problem, bad_windows):
+        with pytest.raises(ValueError):
+            if isinstance(bad_windows, list):
+                BulkSearchEngine(problem, 2, windows=np.array(bad_windows))
+            else:
+                BulkSearchEngine(problem, 2, windows=bad_windows)
+
+    def test_invalid_offsets(self, problem):
+        with pytest.raises(ValueError):
+            BulkSearchEngine(problem, 2, offsets=np.array([0, 40]))
+
+    def test_invalid_block_count(self, problem):
+        with pytest.raises(ValueError):
+            BulkSearchEngine(problem, 0)
+
+
+class TestScalarEquivalence:
+    """Block b of the engine must walk exactly like the scalar code."""
+
+    @pytest.mark.parametrize("window", [1, 4, 16, 40])
+    def test_local_steps_match_scalar_policy(self, problem, window):
+        eng = BulkSearchEngine(
+            problem, 2, windows=window, offsets=np.zeros(2, dtype=np.int64)
+        )
+        eng.local_steps(60)
+        st = SearchState.zeros(problem)
+        pol = WindowMinDeltaPolicy(window)
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            st.flip(pol.select(st, rng))
+        assert np.array_equal(eng.X[0], st.x)
+        assert eng.energy[0] == st.energy
+        assert np.array_equal(eng.delta[0], st.delta)
+
+    def test_straight_matches_scalar(self, problem, rng):
+        B = 3
+        targets = rng.integers(0, 2, (B, problem.n), dtype=np.uint8)
+        eng = BulkSearchEngine(problem, B)
+        flips = eng.straight_to(targets)
+        assert (eng.X == targets).all()
+        assert flips == int(targets.sum())  # from zero: distance = popcount
+        for b in range(B):
+            st = SearchState.zeros(problem)
+            bx, be, _ = straight_search(st, targets[b], scan_neighbors=True)
+            assert st.energy == eng.energy[b]
+            assert np.array_equal(st.delta, eng.delta[b])
+            assert be == eng.best_energy[b]
+
+    def test_state_stays_valid_through_mixed_usage(self, problem, rng):
+        eng = BulkSearchEngine(problem, 4, windows=np.array([2, 4, 8, 16]))
+        eng.straight_to(rng.integers(0, 2, (4, problem.n), dtype=np.uint8))
+        eng.local_steps(30)
+        eng.straight_to(rng.integers(0, 2, (4, problem.n), dtype=np.uint8))
+        eng.local_steps(30)
+        eng.validate()
+
+
+class TestBestTracking:
+    def test_best_energy_matches_best_x(self, problem, rng):
+        eng = BulkSearchEngine(problem, 4)
+        eng.straight_to(rng.integers(0, 2, (4, problem.n), dtype=np.uint8))
+        eng.local_steps(50)
+        from repro.qubo import energy
+
+        for b in range(4):
+            e, x = eng.block_best(b)
+            assert e == energy(problem, x)
+
+    def test_reset_best_forgets(self, problem, rng):
+        eng = BulkSearchEngine(problem, 2)
+        eng.straight_to(rng.integers(0, 2, (2, problem.n), dtype=np.uint8))
+        assert (eng.best_energy < np.iinfo(np.int64).max).all()
+        eng.reset_best()
+        assert (eng.best_energy == np.iinfo(np.int64).max).all()
+
+    def test_global_best_is_min_over_blocks(self, problem, rng):
+        eng = BulkSearchEngine(problem, 4)
+        eng.straight_to(rng.integers(0, 2, (4, problem.n), dtype=np.uint8))
+        eng.local_steps(20)
+        e, x = eng.global_best()
+        assert e == eng.best_energy.min()
+
+    def test_block_best_index_check(self, problem):
+        eng = BulkSearchEngine(problem, 2)
+        with pytest.raises(IndexError):
+            eng.block_best(2)
+
+
+class TestCounters:
+    def test_flip_and_evaluated_counts(self, problem):
+        eng = BulkSearchEngine(problem, 3)
+        eng.local_steps(10)
+        assert eng.counters.flips == 30
+        assert eng.counters.evaluated == 30 * problem.n
+        assert eng.counters.local_flips == 30
+
+    def test_straight_counts(self, problem, rng):
+        targets = rng.integers(0, 2, (3, problem.n), dtype=np.uint8)
+        eng = BulkSearchEngine(problem, 3)
+        flips = eng.straight_to(targets)
+        assert eng.counters.straight_flips == flips
+
+    def test_negative_steps_rejected(self, problem):
+        with pytest.raises(ValueError):
+            BulkSearchEngine(problem, 1).local_steps(-1)
+
+    def test_target_shape_check(self, problem):
+        eng = BulkSearchEngine(problem, 2)
+        with pytest.raises(ValueError):
+            eng.straight_to(np.zeros((3, problem.n), dtype=np.uint8))
+
+
+class TestSetState:
+    def test_set_state_recomputes(self, problem, rng):
+        eng = BulkSearchEngine(problem, 2)
+        x = rng.integers(0, 2, problem.n, dtype=np.uint8)
+        eng.set_state(1, x)
+        eng.validate()
+        assert np.array_equal(eng.X[1], x)
+
+    def test_blocks_retire_independently(self, problem):
+        """Blocks at different Hamming distances finish at different
+        iterations but all end exactly at their targets."""
+        eng = BulkSearchEngine(problem, 3)
+        targets = np.zeros((3, problem.n), dtype=np.uint8)
+        targets[0, :1] = 1
+        targets[1, :20] = 1
+        targets[2, :] = 1
+        eng.straight_to(targets)
+        assert (eng.X == targets).all()
+        eng.validate()

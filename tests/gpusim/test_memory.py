@@ -1,0 +1,45 @@
+"""Tests for kernel memory placement."""
+
+import pytest
+
+from repro.gpusim.device import RTX_2080_TI
+from repro.gpusim.memory import plan_block_memory
+
+
+class TestPlanBlockMemory:
+    def test_paper_capacity_32k_fits(self):
+        """32 k bits at 16-bit weights fit the RTX 2080 Ti (§3.2)."""
+        plan = plan_block_memory(32768, 32)
+        assert plan.weight_bytes == 32768 * 32768 * 2  # 2 GiB
+        assert plan.fits(RTX_2080_TI, n_slots=68)
+
+    def test_shared_memory_holds_packed_best(self):
+        plan = plan_block_memory(1024, 16)
+        # 1024 bits packed = 128 bytes, + two int64 energies.
+        assert plan.shared_bytes_per_block == 128 + 16
+
+    def test_registers_match_occupancy(self):
+        plan = plan_block_memory(2048, 16)
+        assert plan.registers_per_thread == plan.occupancy.registers_per_thread
+
+    def test_shared_memory_overflow_detected(self):
+        # A hypothetical giant block count at large n would blow the
+        # 64 KB shared budget; verify fits() notices via blocks_per_sm.
+        plan = plan_block_memory(32768, 32)
+        # 32768/8 + 16 = 4112 bytes/block, 1 block/SM fits easily.
+        assert plan.fits(RTX_2080_TI)
+
+    def test_global_memory_limit_respected(self):
+        plan = plan_block_memory(32768, 32, weight_bytes_per_entry=8)
+        # 8-byte weights need 8 GiB — still fits 11 GB without slots,
+        assert plan.fits(RTX_2080_TI, n_slots=0)
+        # but an absurd number of buffer slots pushes it over.
+        assert not plan.fits(RTX_2080_TI, n_slots=400_000)
+
+    def test_invalid_config_propagates(self):
+        with pytest.raises(ValueError):
+            plan_block_memory(4096, 1)  # 4096 threads/block impossible
+
+    def test_slot_bytes(self):
+        plan = plan_block_memory(64, 2)
+        assert plan.slot_bytes == 64 // 8 + 8

@@ -1,0 +1,93 @@
+"""CLI integration tests (in-process via main())."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.qubo import QuboMatrix, energy
+from repro.qubo import io as qio
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    q = QuboMatrix.random(24, seed=99)
+    p = tmp_path / "inst.qubo"
+    qio.save(q, p)
+    return p, q
+
+
+class TestSolveCommand:
+    def test_basic_solve(self, instance_file, capsys):
+        path, _ = instance_file
+        rc = main(["solve", str(path), "--rounds", "5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best energy" in out
+
+    def test_solve_with_output_file(self, instance_file, tmp_path, capsys):
+        path, q = instance_file
+        out_path = tmp_path / "best.npy"
+        rc = main(
+            [
+                "solve", str(path), "--rounds", "5", "--seed", "1",
+                "--out", str(out_path),
+            ]
+        )
+        assert rc == 0
+        x = np.load(out_path)
+        out = capsys.readouterr().out
+        reported = int(out.split("best energy   :")[1].splitlines()[0])
+        assert energy(q, x.astype(np.uint8)) == reported
+
+    def test_unreached_target_exit_code(self, instance_file, capsys):
+        path, _ = instance_file
+        rc = main(
+            [
+                "solve", str(path), "--rounds", "1", "--seed", "1",
+                "--target", "-99999999999",
+            ]
+        )
+        assert rc == 1
+
+    def test_missing_file_is_error(self, capsys):
+        rc = main(["solve", "/nonexistent/path.qubo", "--rounds", "1"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_random_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "r.qubo"
+        rc = main(["random", "32", str(out), "--seed", "3"])
+        assert rc == 0
+        assert qio.load(out).n == 32
+
+    def test_occupancy_prints_table(self, capsys):
+        rc = main(["occupancy", "1024"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1088" in out  # the p=16 row
+
+    def test_rate_prints_model(self, capsys):
+        rc = main(["rate", "--gpus", "4"])
+        assert rc == 0
+        assert "32768" in capsys.readouterr().out
+
+    def test_bad_occupancy_size(self, capsys):
+        rc = main(["occupancy", "-5"])
+        assert rc == 2
+
+    def test_analyze_instance(self, instance_file, capsys):
+        path, _ = instance_file
+        rc = main(
+            ["analyze", str(path), "--walk-steps", "300", "--descents", "5",
+             "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "correlation length" in out
+        assert "2-flip escapable" in out
+
+    def test_analyze_missing_file(self, capsys):
+        rc = main(["analyze", "/no/such/file.qubo"])
+        assert rc == 2

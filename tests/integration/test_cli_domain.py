@@ -1,0 +1,59 @@
+"""CLI integration tests for the domain subcommands (maxcut / tsp)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.problems import random_graph, save_gset
+
+
+class TestMaxcutCommand:
+    def test_catalog_name(self, capsys):
+        rc = main(["maxcut", "G1", "--time-limit", "0.5", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best cut" in out
+        assert "800 vertices" in out
+
+    def test_sparse_flag(self, capsys):
+        rc = main(["maxcut", "G1", "--sparse", "--time-limit", "0.5", "--seed", "1"])
+        assert rc == 0
+
+    def test_gset_file(self, tmp_path, capsys):
+        g = random_graph(40, 120, weighted=True, seed=3)
+        p = tmp_path / "tiny.gset"
+        save_gset(g, p)
+        rc = main(["maxcut", str(p), "--time-limit", "0.3", "--seed", "2"])
+        assert rc == 0
+        assert "40 vertices" in capsys.readouterr().out
+
+    def test_unknown_name(self, capsys):
+        rc = main(["maxcut", "G999", "--time-limit", "0.1"])
+        assert rc == 2
+        assert "catalog" in capsys.readouterr().err
+
+
+class TestTspCommand:
+    def test_catalog_instance_with_slack(self, capsys):
+        rc = main(
+            ["tsp", "ulysses16", "--slack", "0.15", "--time-limit", "20",
+             "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert "exact optimum" in out
+        assert rc == 0
+        assert "tour length" in out
+
+    def test_tsplib_file(self, tmp_path, capsys):
+        p = tmp_path / "sq.tsp"
+        p.write_text(
+            "NAME: sq\nDIMENSION: 5\nEDGE_WEIGHT_TYPE: EUC_2D\n"
+            "NODE_COORD_SECTION\n1 0 0\n2 10 0\n3 10 10\n4 0 10\n5 5 5\nEOF\n"
+        )
+        rc = main(["tsp", str(p), "--slack", "0.1", "--time-limit", "10", "--seed", "1"])
+        assert rc == 0
+        assert "5 cities" in capsys.readouterr().out
+
+    def test_unknown_instance(self, capsys):
+        rc = main(["tsp", "atlantis9", "--time-limit", "0.1"])
+        assert rc == 2

@@ -1,0 +1,90 @@
+"""End-to-end integration: problem formulation → ABS → decoded answer."""
+
+import numpy as np
+import pytest
+
+from repro.abs import AbsConfig, AdaptiveBulkSearch
+from repro.problems import (
+    cut_value,
+    decode_tour,
+    held_karp,
+    maxcut_to_qubo,
+    partition_to_qubo,
+    random_graph,
+    tour_length,
+    tsp_to_qubo,
+)
+from repro.problems.tsplib import euc_2d
+from repro.qubo import QuboMatrix, energy
+from repro.qubo import io as qio
+from repro.search import solve_exact
+
+
+class TestMaxCutPipeline:
+    def test_abs_finds_optimal_cut_small(self):
+        g = random_graph(18, 60, weighted=True, seed=1)
+        q = maxcut_to_qubo(g)
+        opt = solve_exact(q).energy
+        cfg = AbsConfig(
+            blocks_per_gpu=16, local_steps=24, pool_capacity=24,
+            target_energy=opt, max_rounds=300, seed=2,
+        )
+        res = AdaptiveBulkSearch(q, cfg).solve("sync")
+        assert res.reached_target
+        assert cut_value(g, res.best_x) == -opt
+
+    def test_larger_maxcut_improves_steadily(self):
+        g = random_graph(200, 1200, weighted=False, seed=3)
+        q = maxcut_to_qubo(g)
+        cfg = AbsConfig(blocks_per_gpu=16, local_steps=40, max_rounds=40, seed=4)
+        res = AdaptiveBulkSearch(q, cfg).solve("sync")
+        cut = cut_value(g, res.best_x)
+        assert cut == -res.best_energy
+        # A random bipartition cuts ~half the edges; ABS must beat that
+        # clearly (the true max cut is far above 50 %).
+        assert cut > 0.55 * g.number_of_edges()
+
+
+class TestTspPipeline:
+    def test_abs_finds_optimal_tour(self):
+        rng = np.random.default_rng(10)
+        dist = euc_2d(rng.uniform(0, 100, (6, 2)))
+        tq = tsp_to_qubo(dist)
+        L_opt, _ = held_karp(dist)
+        cfg = AbsConfig(
+            blocks_per_gpu=24, local_steps=30, pool_capacity=32,
+            target_energy=tq.length_to_energy(L_opt), max_rounds=600, seed=11,
+        )
+        res = AdaptiveBulkSearch(tq.qubo, cfg).solve("sync")
+        assert res.reached_target
+        tour = decode_tour(res.best_x, 6)
+        assert tour is not None
+        assert tour_length(dist, tour) == L_opt
+
+
+class TestPartitionPipeline:
+    def test_abs_finds_perfect_partition(self):
+        vals = np.array([7, 3, 2, 5, 8, 5, 4, 6], dtype=np.int64)  # total 40
+        q, offset = partition_to_qubo(vals)
+        cfg = AbsConfig(
+            blocks_per_gpu=16, local_steps=16, target_energy=-offset,
+            max_rounds=400, seed=12,
+        )
+        res = AdaptiveBulkSearch(q, cfg).solve("sync")
+        assert res.reached_target  # difference 0 exists and was found
+
+
+class TestFilePipeline:
+    def test_save_solve_load_cycle(self, tmp_path):
+        q = QuboMatrix.random(20, seed=20)
+        path = tmp_path / "inst.json"
+        qio.save(q, path)
+        loaded = qio.load(path)
+        opt = solve_exact(loaded).energy
+        cfg = AbsConfig(
+            blocks_per_gpu=16, local_steps=16, target_energy=opt,
+            max_rounds=300, seed=13,
+        )
+        res = AdaptiveBulkSearch(loaded, cfg).solve("sync")
+        assert res.best_energy == opt
+        assert energy(q, res.best_x) == opt

@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example is executed in a subprocess (its own interpreter, like a
+user would run it) with a generous timeout.  Output sanity is checked
+against one landmark string per script.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", "solution verified"),
+    ("maxcut_gset.py", "best cut found"),
+    ("number_partition.py", "difference"),
+    ("graph_coloring.py", "proper colouring"),
+    ("large_decomposition.py", "best cut"),
+    ("tsp_tour.py", "length"),
+    ("multi_gpu.py", "GPUs"),
+    ("spin_glass.py", "satisfied bonds"),
+]
+
+
+@pytest.mark.parametrize("script,landmark", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, landmark):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert landmark in proc.stdout, proc.stdout
+
+
+def test_every_example_is_covered():
+    """No example script slips in without a smoke test."""
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    tested = {c[0] for c in CASES}
+    assert shipped == tested, f"untested examples: {shipped - tested}"

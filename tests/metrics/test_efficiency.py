@@ -1,0 +1,37 @@
+"""Tests for the efficiency-measurement harness."""
+
+import pytest
+
+from repro.metrics.efficiency import measure_efficiency
+from repro.qubo import QuboMatrix
+from repro.search import BulkLocalSearch, NaiveLocalSearch
+from repro.search.accept import AlwaysAccept
+
+
+class TestMeasureEfficiency:
+    def test_points_cover_grid(self):
+        weights = {n: QuboMatrix.random(n, seed=n) for n in (16, 32)}
+        algos = [NaiveLocalSearch(AlwaysAccept()), BulkLocalSearch()]
+        pts = measure_efficiency(algos, weights, steps=50)
+        assert len(pts) == 4
+        assert {p.n for p in pts} == {16, 32}
+        assert {p.algorithm for p in pts} == {a.name for a in algos}
+
+    def test_naive_efficiency_is_n_squared(self):
+        weights = {32: QuboMatrix.random(32, seed=32)}
+        (pt,) = measure_efficiency([NaiveLocalSearch(AlwaysAccept())], weights, steps=64)
+        assert pt.efficiency == pytest.approx(32 * 32)
+
+    def test_bulk_efficiency_is_one(self):
+        weights = {64: QuboMatrix.random(64, seed=64)}
+        (pt,) = measure_efficiency([BulkLocalSearch()], weights, steps=64)
+        assert pt.efficiency == pytest.approx(1.0)
+
+    def test_size_mismatch_detected(self):
+        weights = {16: QuboMatrix.random(8, seed=0)}
+        with pytest.raises(ValueError, match="size"):
+            measure_efficiency([BulkLocalSearch()], weights)
+
+    def test_steps_validation(self):
+        with pytest.raises(ValueError):
+            measure_efficiency([BulkLocalSearch()], {}, steps=0)

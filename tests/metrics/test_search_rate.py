@@ -1,0 +1,59 @@
+"""Tests for search-rate measurement."""
+
+import pytest
+
+from repro.abs.config import AbsConfig
+from repro.metrics.search_rate import (
+    RateMeasurement,
+    measure_engine_rate,
+    measure_solver_rate,
+)
+from repro.qubo import QuboMatrix
+
+
+class TestRateMeasurement:
+    def test_rate_arithmetic(self):
+        m = RateMeasurement(evaluated=1000, elapsed=2.0, n_blocks=4, n=10)
+        assert m.rate == 500.0
+        assert m.flips_per_second == 50.0
+
+    def test_zero_elapsed(self):
+        m = RateMeasurement(evaluated=10, elapsed=0.0, n_blocks=1, n=4)
+        assert m.rate == 0.0
+
+
+class TestMeasureEngineRate:
+    def test_counts_only_measured_steps(self):
+        q = QuboMatrix.random(64, seed=0)
+        m = measure_engine_rate(q, n_blocks=4, steps=50, warmup_steps=10)
+        assert m.evaluated == 4 * 50 * 64  # warmup excluded
+        assert m.rate > 0
+        assert m.n == 64
+
+    def test_no_warmup(self):
+        q = QuboMatrix.random(32, seed=1)
+        m = measure_engine_rate(q, n_blocks=2, steps=20, warmup_steps=0)
+        assert m.evaluated == 2 * 20 * 32
+
+    def test_validation(self):
+        q = QuboMatrix.random(32, seed=1)
+        with pytest.raises(ValueError):
+            measure_engine_rate(q, 2, steps=0)
+        with pytest.raises(ValueError):
+            measure_engine_rate(q, 2, steps=5, warmup_steps=-1)
+
+    def test_more_blocks_more_evaluations(self):
+        q = QuboMatrix.random(64, seed=2)
+        m1 = measure_engine_rate(q, 1, steps=30)
+        m8 = measure_engine_rate(q, 8, steps=30)
+        assert m8.evaluated == 8 * m1.evaluated
+
+
+class TestMeasureSolverRate:
+    def test_sync_mode(self):
+        q = QuboMatrix.random(32, seed=3)
+        cfg = AbsConfig(max_rounds=4, blocks_per_gpu=4, seed=0)
+        m = measure_solver_rate(q, cfg, mode="sync")
+        assert m.evaluated > 0
+        assert m.rate > 0
+        assert m.n_blocks == cfg.total_blocks

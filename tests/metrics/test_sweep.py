@@ -1,0 +1,80 @@
+"""Tests for the parameter-sweep harness."""
+
+import pytest
+
+from repro.abs.config import AbsConfig
+from repro.metrics.sweep import best_point, render_sweep, sweep
+from repro.qubo import QuboMatrix
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return QuboMatrix.random(24, seed=4242)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return AbsConfig(blocks_per_gpu=4, local_steps=8, max_rounds=4, seed=1)
+
+
+class TestSweep:
+    def test_grid_cartesian_product(self, problem, base):
+        pts = sweep(problem, base, {"local_steps": [4, 8], "blocks_per_gpu": [2, 4]})
+        assert len(pts) == 4
+        combos = {(p.params["local_steps"], p.params["blocks_per_gpu"]) for p in pts}
+        assert combos == {(4, 2), (4, 4), (8, 2), (8, 4)}
+
+    def test_params_actually_applied(self, problem, base):
+        pts = sweep(problem, base, {"blocks_per_gpu": [2, 8]})
+        ev = {p.params["blocks_per_gpu"]: p.result.evaluated for p in pts}
+        assert ev[8] > ev[2]  # more blocks evaluate more
+
+    def test_repeats_keep_best(self, problem, base):
+        single = sweep(problem, base, {"local_steps": [8]}, repeats=1)
+        multi = sweep(problem, base, {"local_steps": [8]}, repeats=3)
+        assert multi[0].result.best_energy <= single[0].result.best_energy
+
+    def test_unknown_field_rejected(self, problem, base):
+        with pytest.raises(ValueError, match="unknown AbsConfig field"):
+            sweep(problem, base, {"warp_speed": [9]})
+
+    def test_empty_grid_rejected(self, problem, base):
+        with pytest.raises(ValueError, match="at least one"):
+            sweep(problem, base, {})
+
+    def test_repeats_validation(self, problem, base):
+        with pytest.raises(ValueError):
+            sweep(problem, base, {"local_steps": [8]}, repeats=0)
+
+    def test_deterministic(self, problem, base):
+        a = sweep(problem, base, {"local_steps": [4, 8]})
+        b = sweep(problem, base, {"local_steps": [4, 8]})
+        assert [p.result.best_energy for p in a] == [
+            p.result.best_energy for p in b
+        ]
+
+
+class TestRendering:
+    def test_render_table(self, problem, base):
+        pts = sweep(problem, base, {"local_steps": [4, 8]})
+        out = render_sweep(pts, title="my sweep")
+        assert out.splitlines()[0] == "my sweep"
+        assert "local_steps" in out
+        assert "best energy" in out
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_sweep([])
+
+    def test_best_point(self, problem, base):
+        pts = sweep(problem, base, {"local_steps": [2, 16]})
+        bp = best_point(pts)
+        assert bp.result.best_energy == min(p.result.best_energy for p in pts)
+
+    def test_best_point_empty(self):
+        with pytest.raises(ValueError):
+            best_point([])
+
+    def test_label(self, problem, base):
+        pts = sweep(problem, base, {"local_steps": [4]})
+        assert pts[0].label == "local_steps=4"

@@ -1,0 +1,86 @@
+"""Tests for convergence-trace analysis."""
+
+import math
+
+import pytest
+
+from repro.metrics.trace import anytime_auc, mean_trace, time_to_threshold, value_at
+
+HISTORY = [(0.1, 100.0), (0.5, 60.0), (1.0, 30.0), (2.0, 30.0), (3.0, 10.0)]
+
+
+class TestTimeToThreshold:
+    def test_exact_hit(self):
+        assert time_to_threshold(HISTORY, 30.0) == 1.0
+
+    def test_between_levels(self):
+        assert time_to_threshold(HISTORY, 50.0) == 1.0
+
+    def test_immediately_met(self):
+        assert time_to_threshold(HISTORY, 100.0) == 0.1
+
+    def test_never_met(self):
+        assert time_to_threshold(HISTORY, 5.0) is None
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            time_to_threshold([(1.0, 5.0), (0.5, 4.0)], 0.0)
+
+
+class TestValueAt:
+    def test_before_first_checkpoint(self):
+        assert value_at(HISTORY, 0.05) == math.inf
+
+    def test_at_checkpoints(self):
+        assert value_at(HISTORY, 0.5) == 60.0
+        assert value_at(HISTORY, 2.5) == 30.0
+        assert value_at(HISTORY, 99.0) == 10.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            value_at(HISTORY, -1.0)
+
+
+class TestAnytimeAuc:
+    def test_simple_rectangle(self):
+        h = [(0.0, 10.0), (1.0, 10.0)]
+        assert anytime_auc(h, 1.0) == pytest.approx(10.0)
+
+    def test_step_down(self):
+        h = [(0.0, 10.0), (1.0, 0.0)]
+        # 10 for the first second, 0 afterwards.
+        assert anytime_auc(h, 2.0) == pytest.approx(10.0)
+
+    def test_baseline_shift(self):
+        h = [(0.0, 10.0), (1.0, 10.0)]
+        assert anytime_auc(h, 1.0, baseline=10.0) == pytest.approx(0.0)
+
+    def test_truncation_at_t_end(self):
+        h = [(0.0, 10.0), (5.0, 0.0)]
+        assert anytime_auc(h, 2.0) == pytest.approx(20.0)
+
+    def test_better_solver_has_lower_auc(self):
+        fast = [(0.0, 100.0), (0.1, 0.0)]
+        slow = [(0.0, 100.0), (0.9, 0.0)]
+        assert anytime_auc(fast, 1.0) < anytime_auc(slow, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            anytime_auc([], 1.0)
+        with pytest.raises(ValueError, match="precedes"):
+            anytime_auc([(1.0, 5.0)], 0.5)
+
+
+class TestMeanTrace:
+    def test_mean_of_two(self):
+        a = [(0.0, 10.0)]
+        b = [(0.0, 20.0)]
+        assert mean_trace([a, b], [0.0, 1.0]) == [15.0, 15.0]
+
+    def test_warmup_is_inf(self):
+        a = [(1.0, 10.0)]
+        assert mean_trace([a], [0.5]) == [math.inf]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_trace([], [0.0])

@@ -1,0 +1,59 @@
+"""Tests for the time-to-solution harness."""
+
+import math
+
+import pytest
+
+from repro.abs.config import AbsConfig
+from repro.metrics.tts import TtsResult, time_to_solution
+from repro.qubo import QuboMatrix
+from repro.search import solve_exact
+
+
+@pytest.fixture(scope="module")
+def problem_and_opt():
+    q = QuboMatrix.random(14, seed=777)
+    return q, solve_exact(q).energy
+
+
+class TestTimeToSolution:
+    def test_reachable_target_all_succeed(self, problem_and_opt):
+        q, opt = problem_and_opt
+        cfg = AbsConfig(blocks_per_gpu=8, local_steps=16, max_rounds=300, seed=0)
+        res = time_to_solution(q, opt, cfg, repeats=3)
+        assert res.successes == 3
+        assert res.success_rate == 1.0
+        assert res.mean_time > 0
+        assert res.min_time <= res.mean_time
+        assert all(b == opt for b in res.best_energies)
+
+    def test_unreachable_target_counts_failures(self, problem_and_opt):
+        q, opt = problem_and_opt
+        cfg = AbsConfig(blocks_per_gpu=2, local_steps=2, max_rounds=2, seed=0)
+        res = time_to_solution(q, opt - 10**6, cfg, repeats=2)
+        assert res.successes == 0
+        assert math.isnan(res.mean_time)
+        assert math.isnan(res.min_time)
+
+    def test_distinct_seeds_per_repeat(self, problem_and_opt):
+        q, opt = problem_and_opt
+        cfg = AbsConfig(blocks_per_gpu=4, local_steps=8, max_rounds=50, seed=5)
+        res = time_to_solution(q, opt, cfg, repeats=3)
+        # Different seeds make byte-identical times vanishingly unlikely;
+        # at minimum the result must report one time per success.
+        assert len(res.times) == res.successes
+
+    def test_validation(self, problem_and_opt):
+        q, opt = problem_and_opt
+        good = AbsConfig(max_rounds=2, seed=0)
+        with pytest.raises(ValueError):
+            time_to_solution(q, opt, good, repeats=0)
+        no_stop = AbsConfig(target_energy=0)
+        with pytest.raises(ValueError, match="timeout"):
+            time_to_solution(q, opt, no_stop)
+
+
+class TestTtsResult:
+    def test_empty_success_rate(self):
+        r = TtsResult(times=(), successes=0, repeats=0, target_energy=0, best_energies=())
+        assert r.success_rate == 0.0

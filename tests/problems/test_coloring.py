@@ -1,0 +1,104 @@
+"""Tests for graph coloring → QUBO."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.problems.coloring import (
+    coloring_to_qubo,
+    count_violations,
+    decode_coloring,
+    is_proper_coloring,
+)
+from repro.qubo import energy
+from repro.search import solve_exact
+
+
+def encode(assignment, colors):
+    n = len(assignment)
+    x = np.zeros(n * colors, dtype=np.uint8)
+    for v, c in enumerate(assignment):
+        x[v * colors + c] = 1
+    return x
+
+
+class TestEnergyIdentity:
+    def test_proper_coloring_hits_ground_offset(self):
+        g = nx.cycle_graph(6)  # 2-colourable
+        qubo, offset = coloring_to_qubo(g, 2)
+        x = encode([0, 1, 0, 1, 0, 1], 2)
+        assert energy(qubo, x) + offset == 0
+
+    def test_monochromatic_edge_costs_penalty(self):
+        g = nx.path_graph(2)
+        qubo, offset = coloring_to_qubo(g, 2, penalty=4)
+        bad = encode([1, 1], 2)
+        assert energy(qubo, bad) + offset == 4
+
+    def test_violation_accounting_general(self):
+        g = nx.cycle_graph(5)
+        k, A = 3, 2
+        qubo, offset = coloring_to_qubo(g, k, penalty=A)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            x = rng.integers(0, 2, 5 * k, dtype=np.uint8)
+            onehot, mono = count_violations(g, x, k)
+            assert energy(qubo, x) + offset == A * (onehot + mono)
+
+
+class TestGroundStates:
+    def test_exact_solver_2colors_even_cycle(self):
+        g = nx.cycle_graph(4)
+        qubo, offset = coloring_to_qubo(g, 2)
+        sol = solve_exact(qubo)
+        assert sol.energy + offset == 0
+        assignment = decode_coloring(sol.x, 4, 2)
+        assert assignment is not None
+        assert is_proper_coloring(g, assignment)
+
+    def test_odd_cycle_needs_three_colors(self):
+        g = nx.cycle_graph(5)
+        q2, off2 = coloring_to_qubo(g, 2)
+        assert solve_exact(q2).energy + off2 > 0  # infeasible with 2
+        q3, off3 = coloring_to_qubo(g, 3)
+        sol = solve_exact(q3)
+        assert sol.energy + off3 == 0
+        assignment = decode_coloring(sol.x, 5, 3)
+        assert is_proper_coloring(g, assignment)
+
+
+class TestDecoding:
+    def test_decode_invalid_returns_none(self):
+        assert decode_coloring(np.zeros(6, dtype=np.uint8), 3, 2) is None
+
+    def test_decode_roundtrip(self):
+        assignment = [2, 0, 1]
+        assert decode_coloring(encode(assignment, 3), 3, 3) == assignment
+
+    def test_is_proper_validation(self):
+        with pytest.raises(ValueError, match="entries"):
+            is_proper_coloring(nx.path_graph(3), [0, 1])
+
+
+class TestValidation:
+    def test_bad_colors(self):
+        with pytest.raises(ValueError):
+            coloring_to_qubo(nx.path_graph(2), 0)
+
+    @pytest.mark.parametrize("penalty", [1, 3, 0, -2])
+    def test_penalty_must_be_even_positive(self, penalty):
+        with pytest.raises(ValueError, match="even"):
+            coloring_to_qubo(nx.path_graph(2), 2, penalty=penalty)
+
+    def test_self_loop(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(2))
+        g.add_edge(0, 0)
+        with pytest.raises(ValueError, match="self-loop"):
+            coloring_to_qubo(g, 2)
+
+    def test_non_contiguous_nodes(self):
+        g = nx.Graph()
+        g.add_nodes_from([3, 4])
+        with pytest.raises(ValueError, match="0..n-1"):
+            coloring_to_qubo(g, 2)

@@ -1,0 +1,110 @@
+"""Tests for the G-set format and synthetic catalog."""
+
+import networkx as nx
+import pytest
+
+from repro.problems.gset import (
+    GSET_CATALOG,
+    GsetFormatError,
+    load_gset,
+    save_gset,
+    synthetic_gset,
+)
+
+
+class TestFormat:
+    def test_roundtrip(self, tmp_path):
+        g = synthetic_gset("G1")
+        p = tmp_path / "g1.txt"
+        save_gset(g, p)
+        g2 = load_gset(p)
+        assert g2.number_of_nodes() == g.number_of_nodes()
+        assert g2.number_of_edges() == g.number_of_edges()
+        # Weighted edges preserved.
+        for u, v, d in g.edges(data=True):
+            assert g2[u][v]["weight"] == d.get("weight", 1)
+
+    def test_one_indexing(self, tmp_path):
+        p = tmp_path / "tiny.txt"
+        p.write_text("3 2\n1 2 5\n2 3 -1\n")
+        g = load_gset(p)
+        assert set(g.nodes()) == {0, 1, 2}
+        assert g[0][1]["weight"] == 5
+        assert g[1][2]["weight"] == -1
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "e.txt"
+        p.write_text("")
+        with pytest.raises(GsetFormatError, match="empty"):
+            load_gset(p)
+
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "b.txt"
+        p.write_text("3\n")
+        with pytest.raises(GsetFormatError, match="header"):
+            load_gset(p)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        p = tmp_path / "b.txt"
+        p.write_text("3 5\n1 2 1\n")
+        with pytest.raises(GsetFormatError, match="edges"):
+            load_gset(p)
+
+    def test_vertex_out_of_range(self, tmp_path):
+        p = tmp_path / "b.txt"
+        p.write_text("3 1\n1 9 1\n")
+        with pytest.raises(GsetFormatError, match="range"):
+            load_gset(p)
+
+    def test_bad_edge_line(self, tmp_path):
+        p = tmp_path / "b.txt"
+        p.write_text("3 1\n1 2\n")
+        with pytest.raises(GsetFormatError, match="u v w"):
+            load_gset(p)
+
+    def test_non_integer_header(self, tmp_path):
+        p = tmp_path / "b.txt"
+        p.write_text("x y\n")
+        with pytest.raises(GsetFormatError, match="non-integer"):
+            load_gset(p)
+
+
+class TestCatalog:
+    @pytest.mark.parametrize("name", sorted(GSET_CATALOG))
+    def test_analogue_matches_spec_size(self, name):
+        spec = GSET_CATALOG[name]
+        g = synthetic_gset(name)
+        assert g.number_of_nodes() == spec.n
+        if spec.family == "random":
+            assert g.number_of_edges() == spec.n_edges
+        else:
+            # Planar-like: within 10 % of the target density.
+            assert abs(g.number_of_edges() - spec.n_edges) < 0.1 * spec.n_edges
+
+    @pytest.mark.parametrize("name", ["G6", "G27", "G39"])
+    def test_weighted_instances_have_negative_edges(self, name):
+        g = synthetic_gset(name)
+        weights = {d["weight"] for _, _, d in g.edges(data=True)}
+        assert weights == {-1, 1}
+
+    @pytest.mark.parametrize("name", ["G1", "G22", "G55", "G70"])
+    def test_unweighted_instances(self, name):
+        g = synthetic_gset(name)
+        assert {d["weight"] for _, _, d in g.edges(data=True)} == {1}
+
+    def test_deterministic(self):
+        a, b = synthetic_gset("G22"), synthetic_gset("G22")
+        assert set(a.edges()) == set(b.edges())
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="G999"):
+            synthetic_gset("G999")
+
+    def test_sizes_match_table_1a(self):
+        """Vertex counts match the published Table 1(a) rows."""
+        from repro.paperdata import TABLE_1A
+
+        for row in TABLE_1A:
+            assert GSET_CATALOG[row.graph].n == row.n
+            assert GSET_CATALOG[row.graph].family == row.family
+            assert GSET_CATALOG[row.graph].weighted == row.weighted

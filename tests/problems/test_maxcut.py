@@ -1,0 +1,116 @@
+"""Tests for Max-Cut ↔ QUBO (Eq. 17)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.problems.maxcut import (
+    cut_value,
+    energy_to_cut,
+    maxcut_to_qubo,
+    random_graph,
+    toroidal_graph,
+)
+from repro.qubo import energy
+from repro.search import solve_exact
+
+
+class TestFormulation:
+    def test_paper_figure6_shape(self):
+        """Eq. 17: off-diagonal = edge weights, diagonal = −degree."""
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        g.add_edge(0, 1, weight=1)
+        g.add_edge(1, 2, weight=1)
+        q = maxcut_to_qubo(g)
+        assert q.W[0, 1] == 1 and q.W[1, 2] == 1
+        assert q.W[0, 0] == -1 and q.W[1, 1] == -2 and q.W[2, 2] == -1
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_energy_is_negated_cut(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_graph(10, 20, weighted=True, seed=seed)
+        q = maxcut_to_qubo(g)
+        x = rng.integers(0, 2, 10, dtype=np.uint8)
+        assert energy(q, x) == -cut_value(g, x)
+
+    def test_energy_to_cut(self):
+        assert energy_to_cut(-42) == 42
+
+    def test_ground_state_is_max_cut(self):
+        g = random_graph(12, 30, weighted=False, seed=3)
+        q = maxcut_to_qubo(g)
+        sol = solve_exact(q)
+        best_cut = max(
+            cut_value(g, np.array([c >> i & 1 for i in range(12)], dtype=np.uint8))
+            for c in range(1 << 12)
+        )
+        assert -sol.energy == best_cut
+
+    def test_self_loop_rejected(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(2))
+        g.add_edge(0, 0)
+        with pytest.raises(ValueError, match="self-loop"):
+            maxcut_to_qubo(g)
+
+    def test_non_contiguous_nodes_rejected(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 2])
+        with pytest.raises(ValueError, match="0..n-1"):
+            maxcut_to_qubo(g)
+
+    def test_complete_bipartite_cut(self):
+        """K_{3,3}: the bipartition cuts all 9 edges."""
+        g = nx.complete_bipartite_graph(3, 3)
+        x = np.array([0, 0, 0, 1, 1, 1], dtype=np.uint8)
+        assert cut_value(g, x) == 9
+        assert energy(maxcut_to_qubo(g), x) == -9
+
+
+class TestGenerators:
+    def test_random_graph_edge_count(self):
+        g = random_graph(50, 123, seed=0)
+        assert g.number_of_edges() == 123
+        assert g.number_of_nodes() == 50
+
+    def test_random_graph_unweighted_weights(self):
+        g = random_graph(20, 40, weighted=False, seed=1)
+        assert all(d["weight"] == 1 for _, _, d in g.edges(data=True))
+
+    def test_random_graph_weighted_weights(self):
+        g = random_graph(20, 60, weighted=True, seed=2)
+        weights = {d["weight"] for _, _, d in g.edges(data=True)}
+        assert weights <= {-1, 1}
+        assert len(weights) == 2
+
+    def test_random_graph_deterministic(self):
+        a = random_graph(15, 30, seed=7)
+        b = random_graph(15, 30, seed=7)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_random_graph_validation(self):
+        with pytest.raises(ValueError):
+            random_graph(1, 0)
+        with pytest.raises(ValueError):
+            random_graph(5, 100)
+
+    def test_toroidal_graph_structure(self):
+        g = toroidal_graph(4, 5, diagonal_fraction=0.0, seed=0)
+        assert g.number_of_nodes() == 20
+        assert g.number_of_edges() == 40  # 2 per node on a torus
+        degrees = [d for _, d in g.degree()]
+        assert all(d == 4 for d in degrees)
+
+    def test_toroidal_diagonals_add_edges(self):
+        g0 = toroidal_graph(6, 6, diagonal_fraction=0.0, seed=0)
+        g1 = toroidal_graph(6, 6, diagonal_fraction=1.0, seed=0)
+        assert g1.number_of_edges() == g0.number_of_edges() + 36
+
+    def test_toroidal_validation(self):
+        with pytest.raises(ValueError):
+            toroidal_graph(1, 5)
+        with pytest.raises(ValueError):
+            toroidal_graph(3, 3, diagonal_fraction=2.0)

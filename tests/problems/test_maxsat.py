@@ -1,0 +1,121 @@
+"""Tests for MAX-2-SAT → QUBO."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems.maxsat import (
+    count_unsatisfied,
+    max2sat_to_qubo,
+    random_max2sat,
+)
+from repro.qubo import energy
+from repro.search import solve_exact
+
+
+def assignment_bits(code, n):
+    return np.array([(code >> i) & 1 for i in range(n)], dtype=np.uint8)
+
+
+class TestEnergyIdentity:
+    @given(st.integers(0, 2**31 - 1), st.integers(3, 7), st.integers(3, 15))
+    @settings(max_examples=25)
+    def test_energy_counts_unsatisfied(self, seed, n_vars, n_clauses):
+        clauses = random_max2sat(n_vars, n_clauses, seed=seed)
+        qubo, offset = max2sat_to_qubo(n_vars, clauses)
+        scale = qubo.energy_scale()
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            x = rng.integers(0, 2, n_vars, dtype=np.uint8)
+            assert energy(qubo, x) / scale + offset == count_unsatisfied(clauses, x)
+
+    def test_unit_clauses(self):
+        clauses = [(1,), (-2,)]
+        qubo, offset = max2sat_to_qubo(2, clauses)
+        scale = qubo.energy_scale()
+        for code in range(4):
+            x = assignment_bits(code, 2)
+            assert energy(qubo, x) / scale + offset == count_unsatisfied(clauses, x)
+
+    def test_degenerate_same_variable_clause(self):
+        clauses = [(1, 1), (-2, -2)]
+        qubo, offset = max2sat_to_qubo(2, clauses)
+        scale = qubo.energy_scale()
+        for code in range(4):
+            x = assignment_bits(code, 2)
+            assert energy(qubo, x) / scale + offset == count_unsatisfied(clauses, x)
+
+    def test_tautology_only_rejected(self):
+        with pytest.raises(ValueError, match="tautolog"):
+            max2sat_to_qubo(2, [(1, -1)])
+
+
+class TestGroundStates:
+    def test_satisfiable_formula_reaches_zero(self):
+        clauses = [(1, 2), (-1, 3), (-2, -3), (1, 3)]
+        qubo, offset = max2sat_to_qubo(3, clauses)
+        sol = solve_exact(qubo)
+        scale = qubo.energy_scale()
+        assert sol.energy / scale + offset == 0
+        assert count_unsatisfied(clauses, sol.x) == 0
+
+    def test_unsatisfiable_core_minimum_is_one(self):
+        # x ∧ ¬x via unit clauses: exactly one must fail.
+        clauses = [(1,), (-1,)]
+        qubo, offset = max2sat_to_qubo(1, clauses)
+        sol = solve_exact(qubo)
+        assert sol.energy / qubo.energy_scale() + offset == 1
+
+    def test_ground_state_matches_brute_force(self):
+        clauses = random_max2sat(8, 30, seed=5)
+        qubo, offset = max2sat_to_qubo(8, clauses)
+        scale = qubo.energy_scale()
+        brute = min(
+            count_unsatisfied(clauses, assignment_bits(c, 8)) for c in range(256)
+        )
+        sol = solve_exact(qubo)
+        assert sol.energy / scale + offset == brute
+
+
+class TestValidation:
+    def test_zero_literal(self):
+        with pytest.raises(ValueError, match="literal 0"):
+            max2sat_to_qubo(2, [(0, 1)])
+
+    def test_out_of_range_literal(self):
+        with pytest.raises(IndexError):
+            max2sat_to_qubo(2, [(1, 5)])
+
+    def test_too_many_literals(self):
+        with pytest.raises(ValueError, match="1 or 2"):
+            max2sat_to_qubo(3, [(1, 2, 3)])
+
+    def test_empty_clause_list(self):
+        with pytest.raises(ValueError, match="at least one"):
+            max2sat_to_qubo(2, [])
+
+    def test_bad_nvars(self):
+        with pytest.raises(ValueError):
+            max2sat_to_qubo(0, [(1,)])
+
+
+class TestRandomGenerator:
+    def test_shapes_and_ranges(self):
+        clauses = random_max2sat(10, 40, seed=1)
+        assert len(clauses) == 40
+        for c in clauses:
+            assert len(c) == 2
+            assert all(1 <= abs(l) <= 10 for l in c)
+            assert abs(c[0]) != abs(c[1])
+
+    def test_deterministic(self):
+        assert random_max2sat(6, 12, seed=9) == random_max2sat(6, 12, seed=9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_max2sat(1, 5)
+        with pytest.raises(ValueError):
+            random_max2sat(5, 0)

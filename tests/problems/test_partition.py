@@ -1,0 +1,56 @@
+"""Tests for number partitioning → QUBO."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.problems.partition import decode_partition, partition_to_qubo
+from repro.qubo import energy
+from repro.search import solve_exact
+
+
+class TestIdentity:
+    @given(
+        st.lists(st.integers(0, 50), min_size=1, max_size=10),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_energy_plus_offset_is_squared_difference(self, values, seed):
+        vals = np.array(values, dtype=np.int64)
+        q, offset = partition_to_qubo(vals)
+        x = np.random.default_rng(seed).integers(0, 2, len(vals), dtype=np.uint8)
+        _, _, diff = decode_partition(vals, x)
+        assert energy(q, x) + offset == diff * diff
+
+
+class TestGroundState:
+    def test_perfect_partition_found(self):
+        vals = np.array([3, 1, 1, 2, 2, 1], dtype=np.int64)  # sums to 10
+        q, offset = partition_to_qubo(vals)
+        sol = solve_exact(q)
+        assert sol.energy + offset == 0  # 5 vs 5 exists
+
+    def test_odd_total_best_difference_is_one(self):
+        vals = np.array([2, 2, 3], dtype=np.int64)  # total 7
+        q, offset = partition_to_qubo(vals)
+        sol = solve_exact(q)
+        assert sol.energy + offset == 1
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            partition_to_qubo(np.array([], dtype=np.int64))
+
+    def test_floats_rejected(self):
+        with pytest.raises(TypeError):
+            partition_to_qubo(np.array([1.5]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            partition_to_qubo(np.array([-1, 2]))
+
+    def test_decode(self):
+        vals = np.array([5, 7, 3], dtype=np.int64)
+        s0, s1, diff = decode_partition(vals, np.array([1, 0, 1], dtype=np.uint8))
+        assert (s0, s1, diff) == (7, 8, 1)

@@ -1,0 +1,47 @@
+"""Tests for the synthetic random-QUBO generator and catalog."""
+
+import numpy as np
+import pytest
+
+from repro.problems.random_qubo import RANDOM_CATALOG, catalog_instance, random_qubo
+from repro.qubo.matrix import WEIGHT16_MAX, WEIGHT16_MIN
+
+
+class TestRandomQubo:
+    def test_weights_span_16_bits(self):
+        q = random_qubo(256, seed=0)
+        assert q.W.min() >= WEIGHT16_MIN
+        assert q.W.max() <= WEIGHT16_MAX
+        assert q.is_weight16()
+        # With 256² entries, both extremes of the range get exercised.
+        assert q.W.min() < -30000 and q.W.max() > 30000
+
+    def test_symmetric_and_dense(self):
+        q = random_qubo(64, seed=1)
+        assert np.array_equal(q.W, q.W.T)
+        assert q.density() > 0.95
+
+    def test_deterministic(self):
+        assert random_qubo(32, seed=5) == random_qubo(32, seed=5)
+
+    def test_name(self):
+        assert random_qubo(16, seed=0).name == "random16-16"
+        assert random_qubo(16, seed=0, name="custom").name == "custom"
+
+
+class TestCatalog:
+    def test_sizes_match_paper_tables(self):
+        assert RANDOM_CATALOG["R1k"].n == 1024
+        assert RANDOM_CATALOG["R32k"].n == 32768
+
+    def test_catalog_instance_small(self):
+        q = catalog_instance("R1k")
+        assert q.n == 1024
+        assert q.name == "R1k"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            catalog_instance("R64k")
+
+    def test_catalog_instances_deterministic(self):
+        assert catalog_instance("R1k") == catalog_instance("R1k")

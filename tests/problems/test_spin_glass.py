@@ -1,0 +1,105 @@
+"""Tests for the spin-glass generators."""
+
+import numpy as np
+import pytest
+
+from repro.problems.spin_glass import (
+    edwards_anderson,
+    ground_state_energy_bound,
+    sherrington_kirkpatrick,
+)
+from repro.qubo import energy
+from repro.qubo.ising import bits_to_spins
+from repro.search import solve_exact
+
+
+class TestSherringtonKirkpatrick:
+    def test_energy_equivalence_qubo_vs_ising(self):
+        model, qubo, constant = sherrington_kirkpatrick(10, seed=1)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = rng.integers(0, 2, 10, dtype=np.uint8)
+            assert model.energy(bits_to_spins(x)) == pytest.approx(
+                energy(qubo, x) + constant
+            )
+
+    def test_pm1_couplings(self):
+        model, _, _ = sherrington_kirkpatrick(8, seed=2, couplings="pm1")
+        off = model.J[np.triu_indices(8, 1)]
+        assert set(np.unique(off)) <= {-1.0, 1.0}
+
+    def test_gaussian_couplings_spread(self):
+        model, _, _ = sherrington_kirkpatrick(
+            30, seed=3, couplings="gaussian", scale=100
+        )
+        off = model.J[np.triu_indices(30, 1)]
+        assert np.abs(off).max() > 100  # Gaussian tail reached past 1σ
+        assert len(np.unique(off)) > 10
+
+    def test_no_external_field(self):
+        model, _, _ = sherrington_kirkpatrick(6, seed=4)
+        assert not model.h.any()
+
+    def test_spin_flip_symmetry(self):
+        """With h = 0, E(s) == E(−s): the ground state is doubly
+        degenerate in QUBO terms."""
+        model, qubo, constant = sherrington_kirkpatrick(8, seed=5)
+        sol = solve_exact(qubo)
+        flipped = 1 - sol.x
+        assert energy(qubo, flipped) == sol.energy
+        assert sol.degeneracy >= 2
+
+    def test_ground_state_above_trivial_bound(self):
+        model, qubo, constant = sherrington_kirkpatrick(10, seed=6)
+        sol = solve_exact(qubo)
+        assert sol.energy + constant >= ground_state_energy_bound(model) - 1e-9
+
+    def test_deterministic(self):
+        a = sherrington_kirkpatrick(12, seed=7)[1]
+        b = sherrington_kirkpatrick(12, seed=7)[1]
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"n": 1}, {"n": 4, "couplings": "cauchy"}, {"n": 4, "scale": 0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            sherrington_kirkpatrick(**kwargs)
+
+
+class TestEdwardsAnderson:
+    def test_lattice_structure(self):
+        model, _, _ = edwards_anderson(4, 5, seed=1)
+        # Torus: every spin couples to exactly 4 neighbours.
+        degrees = (model.J != 0).sum(axis=1)
+        assert (degrees <= 4).all()
+        assert degrees.mean() > 3.5  # rare ±1 cancellations aside
+
+    def test_energy_equivalence(self):
+        model, qubo, constant = edwards_anderson(3, 3, seed=2)
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            x = rng.integers(0, 2, 9, dtype=np.uint8)
+            assert model.energy(bits_to_spins(x)) == pytest.approx(
+                energy(qubo, x) + constant
+            )
+
+    def test_frustration_exists(self):
+        """A ±J glass is (almost surely) frustrated: the ground state
+        cannot satisfy every coupling, so it sits strictly above the
+        trivial bound."""
+        model, qubo, constant = edwards_anderson(4, 4, seed=3)
+        sol = solve_exact(qubo)
+        assert sol.energy + constant > ground_state_energy_bound(model)
+
+    def test_abs_solves_ea_glass(self):
+        from repro.api import solve
+
+        model, qubo, constant = edwards_anderson(4, 4, seed=4)
+        opt = solve_exact(qubo).energy
+        res = solve(qubo, target_energy=opt, max_rounds=400, seed=5)
+        assert res.best_energy == opt
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            edwards_anderson(1, 5)

@@ -1,0 +1,192 @@
+"""Tests for the TSP → QUBO formulation and reference solvers."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems.tsp import (
+    TSP_SCALE,
+    decode_tour,
+    held_karp,
+    tour_length,
+    tour_to_bits,
+    tsp_to_qubo,
+    two_opt,
+)
+from repro.problems.tsplib import euc_2d
+from repro.qubo import energy
+from repro.search import solve_exact
+
+
+def random_dist(c, seed=0, box=100):
+    rng = np.random.default_rng(seed)
+    return euc_2d(rng.uniform(0, box, (c, 2)))
+
+
+class TestFormulationIdentities:
+    @given(st.integers(0, 2**31 - 1), st.integers(4, 7))
+    @settings(max_examples=20)
+    def test_valid_tour_energy_equals_scaled_length(self, seed, c):
+        d = random_dist(c, seed)
+        tq = tsp_to_qubo(d)
+        rng = np.random.default_rng(seed)
+        perm = [0] + list(rng.permutation(np.arange(1, c)))
+        bits = tour_to_bits(perm)
+        e = energy(tq.qubo, bits)
+        assert tq.energy_to_length(e) == tour_length(d, perm)
+        assert tq.length_to_energy(tour_length(d, perm)) == e
+
+    def test_invalid_solution_pays_penalty(self):
+        d = random_dist(5, seed=1)
+        tq = tsp_to_qubo(d)
+        valid = tour_to_bits([0, 1, 2, 3, 4])
+        invalid = valid.copy()
+        invalid[0] ^= 1  # break a one-hot constraint
+        assert energy(tq.qubo, invalid) > energy(tq.qubo, valid) - TSP_SCALE * tq.penalty
+
+    def test_valid_tours_at_least_4_flips_apart(self):
+        """The paper's hardness argument: two valid solutions differ in
+        at least four bits."""
+        d = random_dist(5, seed=2)
+        tours = [
+            tour_to_bits([0] + list(p)) for p in itertools.permutations([1, 2, 3, 4])
+        ]
+        for a, b in itertools.combinations(tours, 2):
+            assert int((a ^ b).sum()) >= 4
+
+    def test_default_penalty_is_twice_max_distance(self):
+        d = random_dist(6, seed=3)
+        tq = tsp_to_qubo(d)
+        assert tq.penalty == 2 * int(d.max())
+
+    def test_ground_state_is_optimal_tour(self):
+        d = random_dist(4, seed=4)
+        tq = tsp_to_qubo(d)
+        sol = solve_exact(tq.qubo)  # (4−1)² = 9 bits
+        L, _ = held_karp(d)
+        assert sol.energy == tq.length_to_energy(L)
+        tour = decode_tour(sol.x, 4)
+        assert tour is not None
+        assert tour_length(d, tour) == L
+
+    def test_n_bits(self):
+        tq = tsp_to_qubo(random_dist(6, seed=0))
+        assert tq.n_bits == 25
+        assert tq.qubo.n == 25
+
+    def test_custom_penalty(self):
+        d = random_dist(5, seed=5)
+        tq = tsp_to_qubo(d, penalty=9999)
+        assert tq.penalty == 9999
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_invalid_penalty(self, bad):
+        with pytest.raises(ValueError):
+            tsp_to_qubo(random_dist(4, seed=0), penalty=bad)
+
+
+class TestDistanceValidation:
+    def test_rejects_asymmetric(self):
+        d = random_dist(4, seed=0).copy()
+        d[0, 1] += 1
+        with pytest.raises(ValueError, match="symmetric"):
+            tsp_to_qubo(d)
+
+    def test_rejects_nonzero_diagonal(self):
+        d = random_dist(4, seed=0).copy()
+        np.fill_diagonal(d, 1)
+        with pytest.raises(ValueError, match="diagonal"):
+            tsp_to_qubo(d)
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError, match="integer"):
+            tsp_to_qubo(np.zeros((4, 4)))
+
+    def test_rejects_negative(self):
+        d = random_dist(4, seed=0).copy()
+        d[0, 1] = d[1, 0] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            tsp_to_qubo(d)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError, match="3"):
+            tsp_to_qubo(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestEncodingDecoding:
+    def test_roundtrip(self):
+        tour = [0, 3, 1, 2]
+        assert decode_tour(tour_to_bits(tour), 4) == tour
+
+    def test_decode_invalid_returns_none(self):
+        assert decode_tour(np.zeros(9, dtype=np.uint8), 4) is None
+        x = np.zeros(9, dtype=np.uint8)
+        x[0] = x[1] = 1  # city 1 at two positions
+        assert decode_tour(x, 4) is None
+
+    def test_tour_to_bits_validation(self):
+        with pytest.raises(ValueError, match="start"):
+            tour_to_bits([1, 0, 2])
+        with pytest.raises(ValueError, match="every city"):
+            tour_to_bits([0, 1, 1])
+        with pytest.raises(ValueError, match="3"):
+            tour_to_bits([0, 1])
+
+    def test_tour_length_closed(self):
+        d = np.array([[0, 2, 9], [2, 0, 4], [9, 4, 0]], dtype=np.int64)
+        assert tour_length(d, [0, 1, 2]) == 2 + 4 + 9
+
+    def test_tour_length_validation(self):
+        d = random_dist(4, seed=0)
+        with pytest.raises(ValueError):
+            tour_length(d, [0, 1, 2])
+
+
+class TestHeldKarp:
+    @pytest.mark.parametrize("c", [4, 6, 8])
+    def test_matches_brute_force(self, c):
+        d = random_dist(c, seed=c)
+        L, tour = held_karp(d)
+        brute = min(
+            tour_length(d, [0] + list(p))
+            for p in itertools.permutations(range(1, c))
+        )
+        assert L == brute
+        assert tour_length(d, tour) == L
+
+    def test_tour_starts_at_zero(self):
+        _, tour = held_karp(random_dist(7, seed=1))
+        assert tour[0] == 0
+        assert sorted(tour) == list(range(7))
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError, match="17"):
+            held_karp(random_dist(18, seed=0))
+
+
+class TestTwoOpt:
+    def test_valid_tour_and_plausible_length(self):
+        d = random_dist(12, seed=9)
+        L, tour = two_opt(d, seed=0)
+        assert sorted(tour) == list(range(12))
+        assert tour[0] == 0
+        assert tour_length(d, tour) == L
+
+    def test_at_least_as_good_as_identity_tour(self):
+        d = random_dist(15, seed=10)
+        L, _ = two_opt(d, seed=0)
+        assert L <= tour_length(d, list(range(15)))
+
+    def test_matches_exact_on_small(self):
+        d = random_dist(8, seed=11)
+        L_exact, _ = held_karp(d)
+        L_2opt, _ = two_opt(d, seed=0, restarts=6)
+        assert L_2opt >= L_exact
+        assert L_2opt <= 1.15 * L_exact  # 2-opt is near-optimal here
+
+    def test_restart_validation(self):
+        with pytest.raises(ValueError):
+            two_opt(random_dist(5, seed=0), restarts=0)

@@ -1,0 +1,181 @@
+"""Tests for TSPLIB parsing and the synthetic catalog."""
+
+import numpy as np
+import pytest
+
+from repro.problems.tsplib import (
+    TSPLIB_CATALOG,
+    TspInstance,
+    TsplibFormatError,
+    att_distance,
+    ceil_2d,
+    euc_2d,
+    geo_distance,
+    load_tsplib,
+    man_2d,
+    synthetic_instance,
+)
+
+
+class TestDistanceFunctions:
+    def test_euc_2d_rounding(self):
+        coords = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 1.4]])
+        d = euc_2d(coords)
+        assert d[0, 1] == 5
+        assert d[0, 2] == 1  # 1.4 rounds to 1
+        assert (np.diagonal(d) == 0).all()
+        assert np.array_equal(d, d.T)
+
+    def test_att_ceiling_behaviour(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0]])
+        d = att_distance(coords)
+        # sqrt(1/10) ≈ 0.316 → rounds to 0 → ceil to 1
+        assert d[0, 1] == 1
+
+    def test_ceil_2d_rounds_up(self):
+        coords = np.array([[0.0, 0.0], [0.0, 1.4]])
+        assert ceil_2d(coords)[0, 1] == 2
+        assert ceil_2d(coords)[0, 0] == 0
+
+    def test_man_2d(self):
+        coords = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = man_2d(coords)
+        assert d[0, 1] == 7
+        assert np.array_equal(d, d.T)
+
+    def test_ceil_2d_parser_integration(self, tmp_path):
+        p = tmp_path / "c.tsp"
+        p.write_text(
+            "DIMENSION: 2\nEDGE_WEIGHT_TYPE: CEIL_2D\n"
+            "NODE_COORD_SECTION\n1 0 0\n2 0 1.4\nEOF\n"
+        )
+        assert load_tsplib(p).dist[0, 1] == 2
+
+    def test_geo_symmetric_zero_diagonal(self):
+        coords = np.array([[38.24, 20.42], [39.57, 26.15], [40.56, 25.32]])
+        d = geo_distance(coords)
+        assert np.array_equal(d, d.T)
+        assert (np.diagonal(d) == 0).all()
+        assert (d[np.triu_indices(3, 1)] > 0).all()
+
+
+class TestParser:
+    def _write(self, tmp_path, text):
+        p = tmp_path / "inst.tsp"
+        p.write_text(text)
+        return p
+
+    def test_euc_2d_file(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "NAME: tiny\nTYPE: TSP\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EUC_2D\n"
+            "NODE_COORD_SECTION\n1 0 0\n2 3 4\n3 0 8\nEOF\n",
+        )
+        inst = load_tsplib(p)
+        assert inst.name == "tiny"
+        assert inst.cities == 3
+        assert inst.dist[0, 1] == 5
+        assert inst.dist[0, 2] == 8
+
+    def test_explicit_full_matrix(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "NAME: ex\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+            "EDGE_WEIGHT_FORMAT: FULL_MATRIX\nEDGE_WEIGHT_SECTION\n"
+            "0 1 2\n1 0 3\n2 3 0\nEOF\n",
+        )
+        inst = load_tsplib(p)
+        assert inst.dist[0, 2] == 2 and inst.dist[1, 2] == 3
+
+    def test_explicit_upper_row(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "NAME: up\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+            "EDGE_WEIGHT_FORMAT: UPPER_ROW\nEDGE_WEIGHT_SECTION\n"
+            "7 8 9\nEOF\n",
+        )
+        inst = load_tsplib(p)
+        assert inst.dist[0, 1] == 7 and inst.dist[0, 2] == 8 and inst.dist[1, 2] == 9
+        assert np.array_equal(inst.dist, inst.dist.T)
+
+    def test_explicit_lower_diag_row(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "NAME: lo\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+            "EDGE_WEIGHT_FORMAT: LOWER_DIAG_ROW\nEDGE_WEIGHT_SECTION\n"
+            "0 4 0 5 6 0\nEOF\n",
+        )
+        inst = load_tsplib(p)
+        assert inst.dist[0, 1] == 4 and inst.dist[0, 2] == 5 and inst.dist[1, 2] == 6
+
+    def test_missing_dimension(self, tmp_path):
+        p = self._write(tmp_path, "NAME: x\nEDGE_WEIGHT_TYPE: EUC_2D\nEOF\n")
+        with pytest.raises(TsplibFormatError, match="DIMENSION"):
+            load_tsplib(p)
+
+    def test_coord_count_mismatch(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "DIMENSION: 3\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\nEOF\n",
+        )
+        with pytest.raises(TsplibFormatError, match="coords"):
+            load_tsplib(p)
+
+    def test_unsupported_type(self, tmp_path):
+        p = self._write(tmp_path, "DIMENSION: 2\nEDGE_WEIGHT_TYPE: XRAY1\nEOF\n")
+        with pytest.raises(TsplibFormatError, match="EDGE_WEIGHT_TYPE"):
+            load_tsplib(p)
+
+    def test_bad_weight_count(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "DIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+            "EDGE_WEIGHT_FORMAT: FULL_MATRIX\nEDGE_WEIGHT_SECTION\n1 2\nEOF\n",
+        )
+        with pytest.raises(TsplibFormatError, match="FULL_MATRIX"):
+            load_tsplib(p)
+
+    def test_bad_coord_line(self, tmp_path):
+        p = self._write(
+            tmp_path,
+            "DIMENSION: 1\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0\nEOF\n",
+        )
+        with pytest.raises(TsplibFormatError, match="coord"):
+            load_tsplib(p)
+
+
+class TestCatalog:
+    def test_city_counts_match_paper(self):
+        from repro.paperdata import TABLE_1B
+
+        for row in TABLE_1B:
+            spec = TSPLIB_CATALOG[row.problem]
+            assert spec.cities == row.cities
+
+    def test_bit_counts(self):
+        assert synthetic_instance("ulysses16").n_bits == 225
+        assert synthetic_instance("bayg29").n_bits == 784
+        assert synthetic_instance("dantzig42").n_bits == 1681
+        assert synthetic_instance("berlin52").n_bits == 2601
+        # st70: (70−1)² = 4761; the paper prints 4621 (typo).
+        assert synthetic_instance("st70").n_bits == 4761
+
+    def test_deterministic(self):
+        a = synthetic_instance("bayg29")
+        b = synthetic_instance("bayg29")
+        assert np.array_equal(a.dist, b.dist)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            synthetic_instance("nowhere99")
+
+    def test_reference_length_exact_small(self):
+        inst = synthetic_instance("ulysses16")
+        from repro.problems.tsp import held_karp
+
+        assert inst.reference_length() == held_karp(inst.dist)[0]
+
+    def test_reference_length_heuristic_large(self):
+        inst = synthetic_instance("bayg29")
+        ref = inst.reference_length()
+        assert ref > 0

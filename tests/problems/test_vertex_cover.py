@@ -1,0 +1,74 @@
+"""Tests for minimum vertex cover → QUBO."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.problems.vertex_cover import (
+    decode_cover,
+    is_vertex_cover,
+    vertex_cover_to_qubo,
+)
+from repro.qubo import energy
+from repro.search import solve_exact
+
+
+class TestIdentity:
+    def test_energy_counts_size_and_violations(self):
+        g = nx.path_graph(4)
+        q, offset = vertex_cover_to_qubo(g, penalty=4)
+        scale = q.energy_scale()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = rng.integers(0, 2, 4, dtype=np.uint8)
+            uncovered = sum(
+                1 for u, v in g.edges() if not (x[u] or x[v])
+            )
+            assert energy(q, x) / scale + offset == int(x.sum()) + 4 * uncovered
+
+
+class TestGroundStates:
+    def test_cycle_graph(self):
+        g = nx.cycle_graph(6)
+        q, offset = vertex_cover_to_qubo(g)
+        sol = solve_exact(q)
+        assert is_vertex_cover(g, sol.x)
+        assert sol.energy / q.energy_scale() + offset == 3
+
+    def test_star_graph_center_only(self):
+        g = nx.star_graph(5)  # center 0 + 5 leaves
+        q, offset = vertex_cover_to_qubo(g)
+        sol = solve_exact(q)
+        assert is_vertex_cover(g, sol.x)
+        assert decode_cover(sol.x) == [0]
+
+    def test_complete_graph_needs_n_minus_1(self):
+        g = nx.complete_graph(5)
+        q, offset = vertex_cover_to_qubo(g, penalty=6)
+        sol = solve_exact(q)
+        assert is_vertex_cover(g, sol.x)
+        assert len(decode_cover(sol.x)) == 4
+
+
+class TestValidation:
+    def test_penalty_too_small(self):
+        with pytest.raises(ValueError, match="penalty"):
+            vertex_cover_to_qubo(nx.path_graph(3), penalty=1)
+
+    def test_self_loop_rejected(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(2))
+        g.add_edge(1, 1)
+        with pytest.raises(ValueError, match="self-loop"):
+            vertex_cover_to_qubo(g)
+
+    def test_non_contiguous_nodes(self):
+        g = nx.Graph()
+        g.add_nodes_from([1, 2])
+        with pytest.raises(ValueError, match="0..n-1"):
+            vertex_cover_to_qubo(g)
+
+    def test_is_vertex_cover(self):
+        g = nx.path_graph(3)
+        assert is_vertex_cover(g, np.array([0, 1, 0], dtype=np.uint8))
+        assert not is_vertex_cover(g, np.array([1, 0, 0], dtype=np.uint8))

@@ -1,0 +1,133 @@
+"""Tests for instance file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.qubo import QuboMatrix
+from repro.qubo.io import (
+    QuboFormatError,
+    load,
+    load_json,
+    load_qubo,
+    save,
+    save_json,
+    save_qubo,
+)
+
+
+@pytest.fixture
+def matrix():
+    return QuboMatrix.random(10, seed=42, low=-9, high=9)
+
+
+class TestCoordinateFormat:
+    def test_roundtrip(self, matrix, tmp_path):
+        p = tmp_path / "m.qubo"
+        save_qubo(matrix, p)
+        loaded = load_qubo(p)
+        assert loaded == matrix
+        assert loaded.name == matrix.name
+
+    def test_comment_written(self, matrix, tmp_path):
+        p = tmp_path / "m.qubo"
+        save_qubo(matrix, p, comment="hello\nworld")
+        text = p.read_text()
+        assert "c hello" in text and "c world" in text
+        assert load_qubo(p) == matrix
+
+    def test_sparse_matrix_compact(self, tmp_path):
+        W = np.zeros((100, 100), dtype=np.int64)
+        W[3, 3] = 7
+        W[1, 5] = W[5, 1] = -2
+        q = QuboMatrix(W)
+        p = tmp_path / "s.qubo"
+        save_qubo(q, p)
+        data_lines = [
+            ln for ln in p.read_text().splitlines() if ln and ln[0] not in "cp"
+        ]
+        assert len(data_lines) == 2
+        assert load_qubo(p) == q
+
+    def test_missing_header(self, tmp_path):
+        p = tmp_path / "bad.qubo"
+        p.write_text("0 0 5\n")
+        with pytest.raises(QuboFormatError, match="header"):
+            load_qubo(p)
+
+    def test_bad_entry_line(self, tmp_path):
+        p = tmp_path / "bad.qubo"
+        p.write_text("p qubo 0 2 0 0\n0 1\n")
+        with pytest.raises(QuboFormatError, match="i j value"):
+            load_qubo(p)
+
+    def test_non_integer_entry(self, tmp_path):
+        p = tmp_path / "bad.qubo"
+        p.write_text("p qubo 0 2 0 1\n0 1 x\n")
+        with pytest.raises(QuboFormatError, match="non-integer"):
+            load_qubo(p)
+
+    def test_out_of_range_index(self, tmp_path):
+        p = tmp_path / "bad.qubo"
+        p.write_text("p qubo 0 2 0 1\n0 5 2\n")
+        with pytest.raises(QuboFormatError, match="out of range"):
+            load_qubo(p)
+
+    def test_odd_off_diagonal_rejected(self, tmp_path):
+        p = tmp_path / "bad.qubo"
+        p.write_text("p qubo 0 2 0 1\n0 1 3\n")
+        with pytest.raises(QuboFormatError, match="odd"):
+            load_qubo(p)
+
+    def test_bad_problem_line(self, tmp_path):
+        p = tmp_path / "bad.qubo"
+        p.write_text("p foo 0 2 0 0\n")
+        with pytest.raises(QuboFormatError, match="problem line"):
+            load_qubo(p)
+
+
+class TestJsonFormat:
+    def test_roundtrip(self, matrix, tmp_path):
+        p = tmp_path / "m.json"
+        save_json(matrix, p, metadata={"origin": "test"})
+        loaded = load_json(p)
+        assert loaded == matrix
+        assert loaded.name == matrix.name
+
+    def test_invalid_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(QuboFormatError, match="invalid JSON"):
+            load_json(p)
+
+    def test_wrong_format_marker(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"format": "other"}')
+        with pytest.raises(QuboFormatError, match="repro-qubo"):
+            load_json(p)
+
+    def test_shape_mismatch(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"format": "repro-qubo", "n": 3, "weights": [[1]]}')
+        with pytest.raises(QuboFormatError, match="shape"):
+            load_json(p)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("ext", [".qubo", ".json", ".npy"])
+    def test_roundtrip_each_extension(self, matrix, tmp_path, ext):
+        p = tmp_path / f"m{ext}"
+        save(matrix, p)
+        assert load(p) == matrix
+
+    def test_unknown_extension_save(self, matrix, tmp_path):
+        with pytest.raises(QuboFormatError, match="extension"):
+            save(matrix, tmp_path / "m.txt")
+
+    def test_unknown_extension_load(self, tmp_path):
+        with pytest.raises(QuboFormatError, match="extension"):
+            load(tmp_path / "m.txt")
+
+    def test_npy_keeps_stem_name(self, matrix, tmp_path):
+        p = tmp_path / "mystem.npy"
+        save(matrix, p)
+        assert load(p).name == "mystem"

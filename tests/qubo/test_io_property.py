@@ -1,0 +1,48 @@
+"""Property-based round-trip tests for instance I/O."""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qubo import QuboMatrix
+from repro.qubo.io import load, save
+
+
+@st.composite
+def small_matrix(draw):
+    n = draw(st.integers(1, 12))
+    seed = draw(st.integers(0, 2**31 - 1))
+    lo = draw(st.integers(-100, 0))
+    hi = draw(st.integers(1, 100))
+    return QuboMatrix.random(n, seed=seed, low=lo, high=hi)
+
+
+class TestRoundTripProperties:
+    @given(small_matrix(), st.sampled_from([".qubo", ".json", ".npy"]))
+    @settings(max_examples=30, deadline=None)
+    def test_dense_roundtrip_every_format(self, matrix, ext):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / f"m{ext}"
+            save(matrix, path)
+            assert load(path) == matrix
+
+    @given(small_matrix())
+    @settings(max_examples=20, deadline=None)
+    def test_npz_roundtrip_preserves_values(self, matrix):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "m.npz"
+            save(matrix, path)
+            assert load(path).to_dense() == matrix
+
+    @given(small_matrix())
+    @settings(max_examples=20, deadline=None)
+    def test_coordinate_sparse_loader_agrees(self, matrix):
+        from repro.qubo.io import load_qubo_sparse
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "m.qubo"
+            save(matrix, path)
+            assert load_qubo_sparse(path).to_dense() == matrix

@@ -1,0 +1,124 @@
+"""Tests for sparse instance I/O."""
+
+import numpy as np
+import pytest
+
+from repro.qubo import QuboMatrix, SparseQubo
+from repro.qubo.io import (
+    QuboFormatError,
+    load_qubo,
+    load_qubo_sparse,
+    load_sparse_npz,
+    save_qubo,
+    save_sparse_npz,
+)
+
+
+@pytest.fixture
+def sparse_instance():
+    rng = np.random.default_rng(7)
+    W = rng.integers(-9, 10, size=(30, 30))
+    W = np.triu(W) + np.triu(W, 1).T
+    mask = rng.random((30, 30)) < 0.15
+    mask = np.triu(mask) | np.triu(mask).T
+    np.fill_diagonal(mask, True)
+    return SparseQubo.from_dense(QuboMatrix((W * mask).astype(np.int64)))
+
+
+class TestCoordinateSparse:
+    def test_roundtrip_through_dense_writer(self, sparse_instance, tmp_path):
+        """save_qubo(dense) → load_qubo_sparse yields the same problem."""
+        p = tmp_path / "m.qubo"
+        save_qubo(sparse_instance.to_dense(), p)
+        loaded = load_qubo_sparse(p)
+        assert loaded.to_dense() == sparse_instance.to_dense()
+
+    def test_agrees_with_dense_loader(self, sparse_instance, tmp_path):
+        p = tmp_path / "m.qubo"
+        save_qubo(sparse_instance.to_dense(), p)
+        dense = load_qubo(p)
+        sparse = load_qubo_sparse(p)
+        assert sparse.to_dense() == dense
+
+    def test_name_preserved(self, sparse_instance, tmp_path):
+        p = tmp_path / "m.qubo"
+        save_qubo(sparse_instance.to_dense(), p)
+        assert load_qubo_sparse(p).name == sparse_instance.name
+
+    def test_missing_header(self, tmp_path):
+        p = tmp_path / "bad.qubo"
+        p.write_text("0 1 2\n")
+        with pytest.raises(QuboFormatError, match="header"):
+            load_qubo_sparse(p)
+
+    def test_odd_coefficient_rejected(self, tmp_path):
+        p = tmp_path / "bad.qubo"
+        p.write_text("p qubo 0 2 0 1\n0 1 3\n")
+        with pytest.raises(QuboFormatError, match="odd"):
+            load_qubo_sparse(p)
+
+    def test_out_of_range(self, tmp_path):
+        p = tmp_path / "bad.qubo"
+        p.write_text("p qubo 0 2 0 1\n0 9 2\n")
+        with pytest.raises(QuboFormatError, match="range"):
+            load_qubo_sparse(p)
+
+    def test_diag_out_of_range(self, tmp_path):
+        p = tmp_path / "bad.qubo"
+        p.write_text("p qubo 0 2 1 0\n7 7 2\n")
+        with pytest.raises(QuboFormatError, match="range"):
+            load_qubo_sparse(p)
+
+
+class TestNpz:
+    def test_roundtrip(self, sparse_instance, tmp_path):
+        p = tmp_path / "m.npz"
+        save_sparse_npz(sparse_instance, p)
+        loaded = load_sparse_npz(p)
+        assert loaded.to_dense() == sparse_instance.to_dense()
+        assert loaded.name == sparse_instance.name
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        p = tmp_path / "other.npz"
+        np.savez(p, whatever=np.zeros(3))
+        with pytest.raises(QuboFormatError, match="repro-sparse-qubo"):
+            load_sparse_npz(p)
+
+    def test_dispatch_npz_sparse(self, sparse_instance, tmp_path):
+        from repro.qubo.io import load, save
+
+        p = tmp_path / "m.npz"
+        save(sparse_instance, p)
+        loaded = load(p)
+        assert loaded.to_dense() == sparse_instance.to_dense()
+
+    def test_dispatch_npz_converts_dense(self, tmp_path):
+        from repro.qubo.io import load, save
+
+        q = QuboMatrix.random(12, seed=3)
+        p = tmp_path / "m.npz"
+        save(q, p)
+        assert load(p).to_dense() == q
+
+    def test_dispatch_sparse_to_dense_formats(self, sparse_instance, tmp_path):
+        from repro.qubo.io import load, save
+
+        p = tmp_path / "m.qubo"
+        save(sparse_instance, p)  # densified on the way out
+        assert load(p) == sparse_instance.to_dense()
+
+    def test_sparse_weight_bits(self, sparse_instance):
+        dense = sparse_instance.to_dense()
+        assert sparse_instance.weight_bits() == dense.weight_bits()
+        assert sparse_instance.is_weight16() == dense.is_weight16()
+
+    def test_compression_is_compact(self, tmp_path):
+        """A 2000-node sparse instance stays far below dense size."""
+        from repro.problems.gset import synthetic_gset
+        from repro.problems.maxcut import maxcut_to_sparse_qubo
+
+        sq = maxcut_to_sparse_qubo(synthetic_gset("G22"))
+        p = tmp_path / "g22.npz"
+        save_sparse_npz(sq, p)
+        assert p.stat().st_size < 1_000_000  # dense int64 would be 32 MB
+        assert load_sparse_npz(p).nnz == sq.nnz

@@ -1,0 +1,104 @@
+"""Tests for QUBO ↔ Ising conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.qubo import QuboMatrix, energy
+from repro.qubo.ising import (
+    IsingModel,
+    bits_to_spins,
+    ising_to_qubo,
+    qubo_to_ising,
+    spins_to_bits,
+)
+
+
+class TestSpinMaps:
+    def test_roundtrip(self):
+        x = np.array([0, 1, 1, 0], dtype=np.uint8)
+        assert np.array_equal(spins_to_bits(bits_to_spins(x)), x)
+
+    def test_bits_to_spins_values(self):
+        s = bits_to_spins(np.array([0, 1], dtype=np.uint8))
+        assert np.array_equal(s, [-1, 1])
+
+    def test_spins_validation(self):
+        with pytest.raises(ValueError):
+            spins_to_bits(np.array([0, 1]))
+
+
+class TestIsingModel:
+    def test_validation_square(self):
+        with pytest.raises(ValueError, match="square"):
+            IsingModel(np.zeros((2, 3)), np.zeros(2))
+
+    def test_validation_h_shape(self):
+        with pytest.raises(ValueError, match="h"):
+            IsingModel(np.zeros((2, 2)), np.zeros(3))
+
+    def test_validation_symmetry(self):
+        J = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            IsingModel(J, np.zeros(2))
+
+    def test_validation_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            IsingModel(np.eye(2), np.zeros(2))
+
+    def test_energy_spin_validation(self):
+        m = IsingModel(np.zeros((2, 2)), np.zeros(2))
+        with pytest.raises(ValueError, match="±1"):
+            m.energy(np.array([0.5, 1.0]))
+
+    def test_ground_state_bound_holds(self):
+        q = QuboMatrix.random(8, seed=4, low=-5, high=5)
+        m = qubo_to_ising(q)
+        bound = m.ground_state_bound()
+        for code in range(256):
+            s = np.array([1 if code >> i & 1 else -1 for i in range(8)])
+            assert m.energy(s) >= bound - 1e-9
+
+
+class TestQuboToIsing:
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 10))
+    def test_energy_preserved_for_all_x(self, seed, n):
+        q = QuboMatrix.random(n, seed=seed, low=-20, high=20)
+        m = qubo_to_ising(q)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            x = rng.integers(0, 2, n, dtype=np.uint8)
+            assert m.energy(bits_to_spins(x)) == pytest.approx(energy(q, x))
+
+    def test_j_diagonal_zero(self):
+        m = qubo_to_ising(QuboMatrix.random(5, seed=1))
+        assert np.all(np.diagonal(m.J) == 0)
+
+
+class TestIsingToQubo:
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 8))
+    def test_roundtrip(self, seed, n):
+        q = QuboMatrix.random(n, seed=seed, low=-20, high=20)
+        m = qubo_to_ising(q)
+        q2, constant = ising_to_qubo(m)
+        assert q2 == q
+        assert constant == pytest.approx(0.0)
+
+    def test_energy_relation_with_constant(self):
+        # A hand-built Ising model with a nonzero constant offset.
+        J = np.array([[0.0, -1.5], [-1.5, 0.0]])
+        h = np.array([0.5, -1.0])
+        m = IsingModel(J, h, offset=10.0)
+        q, constant = ising_to_qubo(m)
+        for code in range(4):
+            x = np.array([code & 1, code >> 1], dtype=np.uint8)
+            assert m.energy(bits_to_spins(x)) == pytest.approx(
+                energy(q, x) + constant
+            )
+
+    def test_non_integral_rejected(self):
+        J = np.array([[0.0, 0.3], [0.3, 0.0]])
+        m = IsingModel(J, np.zeros(2))
+        with pytest.raises(ValueError, match="integer"):
+            ising_to_qubo(m)

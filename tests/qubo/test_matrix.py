@@ -1,0 +1,188 @@
+"""Tests for QuboMatrix construction and validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.qubo.matrix import (
+    WEIGHT16_MAX,
+    WEIGHT16_MIN,
+    QuboMatrix,
+    as_weight_matrix,
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        W = np.array([[1, 2], [2, 3]])
+        q = QuboMatrix(W)
+        assert q.n == 2
+        assert np.array_equal(q.W, W)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            QuboMatrix(np.zeros((2, 3), dtype=int))
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            QuboMatrix(np.array([[0, 1], [2, 0]]))
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError, match="integer"):
+            QuboMatrix(np.eye(3))
+
+    def test_stored_array_is_readonly(self):
+        q = QuboMatrix(np.array([[1]]))
+        with pytest.raises(ValueError):
+            q.W[0, 0] = 5
+
+    def test_copy_isolates_source(self):
+        src = np.array([[1, 0], [0, 1]])
+        q = QuboMatrix(src)
+        src[0, 0] = 99
+        assert q.W[0, 0] == 1
+
+    def test_default_name(self):
+        assert QuboMatrix(np.zeros((3, 3), dtype=int)).name == "qubo-3"
+
+    def test_len(self):
+        assert len(QuboMatrix.zeros(5)) == 5
+
+    def test_repr_mentions_size(self):
+        assert "n=4" in repr(QuboMatrix.zeros(4))
+
+
+class TestEquality:
+    def test_equal_matrices(self):
+        a = QuboMatrix.random(6, seed=1)
+        b = QuboMatrix(a.W)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal(self):
+        assert QuboMatrix.random(6, seed=1) != QuboMatrix.random(6, seed=2)
+
+    def test_non_matrix_comparison(self):
+        assert QuboMatrix.zeros(2) != "not a matrix"
+
+
+class TestZeros:
+    def test_zero_matrix(self):
+        q = QuboMatrix.zeros(4)
+        assert q.n == 4
+        assert not q.W.any()
+        assert q.density() == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            QuboMatrix.zeros(-1)
+
+    def test_empty(self):
+        q = QuboMatrix.zeros(0)
+        assert q.n == 0
+        assert q.density() == 0.0
+
+
+class TestRandom:
+    def test_symmetry(self):
+        q = QuboMatrix.random(20, seed=0)
+        assert np.array_equal(q.W, q.W.T)
+
+    def test_default_range_is_16bit(self):
+        q = QuboMatrix.random(50, seed=3)
+        assert q.W.min() >= WEIGHT16_MIN
+        assert q.W.max() <= WEIGHT16_MAX
+        assert q.is_weight16()
+
+    def test_custom_range(self):
+        q = QuboMatrix.random(30, seed=1, low=-2, high=2)
+        assert set(np.unique(q.W)) <= {-2, -1, 0, 1, 2}
+
+    def test_deterministic_by_seed(self):
+        assert QuboMatrix.random(10, seed=9) == QuboMatrix.random(10, seed=9)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError, match="low"):
+            QuboMatrix.random(4, seed=0, low=5, high=1)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            QuboMatrix.random(-2)
+
+
+class TestFromTerms:
+    def test_linear_only(self):
+        q = QuboMatrix.from_terms(3, linear={0: 5, 2: -1})
+        assert q.W[0, 0] == 5 and q.W[2, 2] == -1 and q.W[1, 1] == 0
+        assert q.energy_scale() == 1
+
+    def test_even_quadratic_no_scaling(self):
+        q = QuboMatrix.from_terms(3, quadratic={(0, 1): 4})
+        assert q.W[0, 1] == 2 and q.W[1, 0] == 2
+        assert q.energy_scale() == 1
+
+    def test_odd_quadratic_doubles(self):
+        q = QuboMatrix.from_terms(3, linear={0: 1}, quadratic={(0, 1): 3})
+        assert q.energy_scale() == 2
+        assert q.W[0, 1] == 3  # 2·3/2
+        assert q.W[0, 0] == 2  # doubled linear
+
+    def test_diagonal_quadratic_rejected(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            QuboMatrix.from_terms(3, quadratic={(1, 1): 2})
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(IndexError):
+            QuboMatrix.from_terms(2, linear={5: 1})
+        with pytest.raises(IndexError):
+            QuboMatrix.from_terms(2, quadratic={(0, 9): 2})
+
+    def test_symmetric_accumulation(self):
+        q = QuboMatrix.from_terms(3, quadratic={(0, 1): 2, (1, 0): 2})
+        assert q.W[0, 1] == 2  # both keys accumulate into the same pair
+
+    @given(st.integers(0, 10), st.integers(-50, 50))
+    def test_energy_scale_parse_robust(self, n, c):
+        q = QuboMatrix.from_terms(max(n, 1), linear={0: c})
+        assert q.energy_scale() in (1, 2)
+
+
+class TestWeightBits:
+    def test_zero_matrix_is_one_bit(self):
+        assert QuboMatrix.zeros(3).weight_bits() == 1
+
+    def test_boundary_values(self):
+        q = QuboMatrix(np.array([[WEIGHT16_MAX, 0], [0, WEIGHT16_MIN]]))
+        assert q.weight_bits() == 16
+        assert q.is_weight16()
+
+    def test_17_bit(self):
+        q = QuboMatrix(np.array([[WEIGHT16_MAX + 1]]))
+        assert q.weight_bits() == 17
+        assert not q.is_weight16()
+
+    def test_empty(self):
+        assert QuboMatrix.zeros(0).weight_bits() == 1
+
+
+class TestAsWeightMatrix:
+    def test_from_qubo_matrix_is_view(self):
+        q = QuboMatrix.random(5, seed=1)
+        assert as_weight_matrix(q) is q.W
+
+    def test_from_ndarray(self):
+        W = np.zeros((3, 3), dtype=np.int64)
+        assert as_weight_matrix(W) is W
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            as_weight_matrix(np.zeros((2, 3), dtype=int))
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            as_weight_matrix(np.zeros((2, 2)))
+
+    def test_density(self):
+        q = QuboMatrix(np.array([[1, 0], [0, 0]]))
+        assert q.density() == 0.25

@@ -1,0 +1,165 @@
+"""Tests for the sparse QUBO backend."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse as sp
+
+from repro.qubo import QuboMatrix, SearchState, SparseQubo
+from repro.qubo.energy import delta_single, delta_vector, energy, update_delta_after_flip
+
+
+def make_pair(n=24, seed=0, density=0.2):
+    """A dense matrix and its sparse twin."""
+    rng = np.random.default_rng(seed)
+    W = rng.integers(-50, 51, size=(n, n))
+    W = np.triu(W) + np.triu(W, 1).T
+    mask = rng.random((n, n)) < density
+    mask = np.triu(mask) | np.triu(mask).T
+    np.fill_diagonal(mask, True)
+    W = (W * mask).astype(np.int64)
+    dense = QuboMatrix(W)
+    return dense, SparseQubo.from_dense(dense)
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self):
+        dense, sparse = make_pair()
+        assert sparse.to_dense() == dense
+        assert sparse.n == dense.n
+        assert sparse.name == dense.name
+
+    def test_rejects_asymmetric(self):
+        off = sp.csr_array(np.array([[0, 1], [2, 0]]))
+        with pytest.raises(ValueError, match="symmetric"):
+            SparseQubo(off, np.zeros(2, dtype=np.int64))
+
+    def test_rejects_nonzero_offdiag_diagonal(self):
+        off = sp.csr_array(np.eye(2, dtype=np.int64))
+        with pytest.raises(ValueError, match="empty diagonal"):
+            SparseQubo(off, np.zeros(2, dtype=np.int64))
+
+    def test_rejects_float_data(self):
+        off = sp.csr_array(np.zeros((2, 2)))
+        with pytest.raises(TypeError, match="integer"):
+            SparseQubo(off, np.zeros(2, dtype=np.int64))
+
+    def test_rejects_wrong_diag_shape(self):
+        off = sp.csr_array(np.zeros((3, 3), dtype=np.int64))
+        with pytest.raises(ValueError, match="diag"):
+            SparseQubo(off, np.zeros(2, dtype=np.int64))
+
+    def test_from_dense_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            SparseQubo.from_dense(np.array([[0, 1], [2, 0]]))
+
+    def test_from_graph_terms(self):
+        sq = SparseQubo.from_graph_terms(
+            4,
+            diag=np.array([1, 2, 3, 4]),
+            rows=np.array([0, 1]),
+            cols=np.array([2, 3]),
+            vals=np.array([5, -7]),
+        )
+        dense = sq.to_dense()
+        assert dense.W[0, 2] == 5 and dense.W[2, 0] == 5
+        assert dense.W[1, 3] == -7
+        assert dense.W[0, 0] == 1 and dense.W[3, 3] == 4
+
+    def test_from_graph_terms_validation(self):
+        with pytest.raises(ValueError, match="off-diagonal"):
+            SparseQubo.from_graph_terms(
+                3, np.zeros(3), np.array([1]), np.array([1]), np.array([2])
+            )
+        with pytest.raises(IndexError):
+            SparseQubo.from_graph_terms(
+                3, np.zeros(3), np.array([0]), np.array([5]), np.array([2])
+            )
+        with pytest.raises(ValueError, match="shapes"):
+            SparseQubo.from_graph_terms(
+                3, np.zeros(3), np.array([0]), np.array([1, 2]), np.array([2])
+            )
+
+    def test_metadata(self):
+        _, sparse = make_pair()
+        assert sparse.nnz >= 0
+        assert 0 < sparse.density() <= 1
+        assert sparse.nbytes > 0
+        assert "SparseQubo" in repr(sparse)
+
+
+class TestEnergyEquivalence:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25)
+    def test_energy_matches_dense(self, seed):
+        dense, sparse = make_pair(seed=seed % 1000)
+        x = np.random.default_rng(seed).integers(0, 2, dense.n, dtype=np.uint8)
+        assert sparse.energy(x) == energy(dense, x)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25)
+    def test_delta_vector_matches_dense(self, seed):
+        dense, sparse = make_pair(seed=seed % 1000)
+        x = np.random.default_rng(seed).integers(0, 2, dense.n, dtype=np.uint8)
+        assert np.array_equal(sparse.delta_vector(x), delta_vector(dense, x))
+
+    def test_dispatch_through_energy_module(self):
+        dense, sparse = make_pair(seed=3)
+        x = np.random.default_rng(3).integers(0, 2, dense.n, dtype=np.uint8)
+        assert energy(sparse, x) == energy(dense, x)
+        assert np.array_equal(delta_vector(sparse, x), delta_vector(dense, x))
+        assert delta_single(sparse, x, 5) == delta_single(dense, x, 5)
+
+    def test_update_after_flip_matches_dense(self):
+        dense, sparse = make_pair(seed=4)
+        rng = np.random.default_rng(4)
+        xd = rng.integers(0, 2, dense.n, dtype=np.uint8)
+        xs = xd.copy()
+        dd = delta_vector(dense, xd)
+        ds = dd.copy()
+        for _ in range(60):
+            k = int(rng.integers(dense.n))
+            a1 = update_delta_after_flip(dense.W, xd, dd, k)
+            a2 = sparse.update_delta_after_flip(xs, ds, k)
+            assert a1 == a2
+        assert np.array_equal(xd, xs)
+        assert np.array_equal(dd, ds)
+
+    def test_row_accessor(self):
+        dense, sparse = make_pair(seed=5)
+        for k in range(dense.n):
+            cols, vals = sparse.row(k)
+            expect = dense.W[k].copy()
+            expect[k] = 0
+            got = np.zeros(dense.n, dtype=np.int64)
+            got[cols] = vals
+            assert np.array_equal(got, expect)
+
+
+class TestSearchStateIntegration:
+    def test_state_with_sparse_weights(self):
+        _, sparse = make_pair(seed=6)
+        st_ = SearchState.zeros(sparse)
+        assert np.array_equal(st_.delta, sparse.diag)
+        for k in (0, 3, 3, 11, 7):
+            st_.flip(k)
+        st_.validate()
+
+    def test_from_bits_sparse(self):
+        dense, sparse = make_pair(seed=7)
+        x = np.random.default_rng(7).integers(0, 2, dense.n, dtype=np.uint8)
+        a = SearchState.from_bits(dense, x)
+        b = SearchState.from_bits(sparse, x)
+        assert a.energy == b.energy
+        assert np.array_equal(a.delta, b.delta)
+
+    def test_validation_errors(self):
+        _, sparse = make_pair()
+        x = np.zeros(sparse.n, dtype=np.uint8)
+        with pytest.raises(TypeError, match="int64"):
+            sparse.update_delta_after_flip(x, np.zeros(sparse.n, dtype=np.int32), 0)
+        with pytest.raises(ValueError, match="length"):
+            sparse.update_delta_after_flip(x, np.zeros(sparse.n + 1, dtype=np.int64), 0)
+        with pytest.raises(IndexError):
+            sparse.update_delta_after_flip(x, np.zeros(sparse.n, dtype=np.int64), -1)

@@ -1,0 +1,117 @@
+"""Tests for SearchState: the incrementally maintained solution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qubo import QuboMatrix, SearchState
+from repro.qubo.energy import delta_vector, energy
+
+
+class TestConstruction:
+    def test_zeros_state(self, small_qubo):
+        st_ = SearchState.zeros(small_qubo)
+        assert st_.energy == 0
+        assert np.array_equal(st_.delta, np.diagonal(small_qubo.W))
+        assert st_.flips == 0
+
+    def test_from_bits_computes_both(self, small_qubo, rng):
+        x = rng.integers(0, 2, small_qubo.n, dtype=np.uint8)
+        st_ = SearchState.from_bits(small_qubo, x)
+        assert st_.energy == energy(small_qubo, x)
+        assert np.array_equal(st_.delta, delta_vector(small_qubo, x))
+
+    def test_energy_and_delta_must_come_together(self, small_qubo):
+        x = np.zeros(small_qubo.n, dtype=np.uint8)
+        with pytest.raises(ValueError, match="together"):
+            SearchState(small_qubo, x, energy_value=0)
+
+    def test_bad_delta_shape(self, small_qubo):
+        x = np.zeros(small_qubo.n, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            SearchState(small_qubo, x, energy_value=0, delta=np.zeros(3, dtype=np.int64))
+
+    def test_input_copied(self, small_qubo):
+        x = np.zeros(small_qubo.n, dtype=np.uint8)
+        st_ = SearchState.from_bits(small_qubo, x)
+        x[0] = 1
+        assert st_.x[0] == 0
+
+
+class TestFlip:
+    def test_flip_updates_everything(self, small_qubo):
+        st_ = SearchState.zeros(small_qubo)
+        applied = st_.flip(2)
+        assert applied == small_qubo.W[2, 2]
+        assert st_.x[2] == 1
+        assert st_.flips == 1
+        st_.validate()
+
+    @given(st.lists(st.integers(0, 11), min_size=1, max_size=40))
+    def test_flip_sequence_stays_consistent(self, flips):
+        q = QuboMatrix.random(12, seed=77)
+        st_ = SearchState.zeros(q)
+        for k in flips:
+            st_.flip(k)
+        st_.validate()
+        assert st_.flips == len(flips)
+
+    def test_flip_out_of_range(self, small_qubo):
+        st_ = SearchState.zeros(small_qubo)
+        with pytest.raises(IndexError):
+            st_.flip(small_qubo.n)
+
+
+class TestNeighborQueries:
+    def test_neighbor_energies_match_direct(self, small_qubo, rng):
+        x = rng.integers(0, 2, small_qubo.n, dtype=np.uint8)
+        st_ = SearchState.from_bits(small_qubo, x)
+        ne = st_.neighbor_energies()
+        for k in range(small_qubo.n):
+            flipped = x.copy()
+            flipped[k] ^= 1
+            assert ne[k] == energy(small_qubo, flipped)
+
+    def test_best_neighbor(self, small_qubo, rng):
+        x = rng.integers(0, 2, small_qubo.n, dtype=np.uint8)
+        st_ = SearchState.from_bits(small_qubo, x)
+        k, e = st_.best_neighbor()
+        assert e == st_.neighbor_energies().min()
+        assert e == st_.energy + st_.delta[k]
+
+    def test_hamming(self, small_qubo):
+        st_ = SearchState.zeros(small_qubo)
+        other = np.zeros(small_qubo.n, dtype=np.uint8)
+        other[:4] = 1
+        assert st_.hamming_to(other) == 4
+        assert st_.hamming_to(st_.x) == 0
+
+
+class TestCopyAndDiagnostics:
+    def test_copy_is_independent(self, small_qubo):
+        a = SearchState.zeros(small_qubo)
+        b = a.copy()
+        b.flip(0)
+        assert a.x[0] == 0 and b.x[0] == 1
+        assert a.energy != b.energy or small_qubo.W[0, 0] == 0
+        a.validate()
+        b.validate()
+
+    def test_copy_preserves_flip_count(self, small_qubo):
+        a = SearchState.zeros(small_qubo)
+        a.flip(1)
+        assert a.copy().flips == 1
+
+    def test_validate_detects_corruption(self, small_qubo):
+        st_ = SearchState.zeros(small_qubo)
+        st_.energy += 1
+        with pytest.raises(AssertionError):
+            st_.validate()
+
+    def test_repr(self, small_qubo):
+        assert f"n={small_qubo.n}" in repr(SearchState.zeros(small_qubo))
+
+    def test_weights_property_shared(self, small_qubo):
+        st_ = SearchState.zeros(small_qubo)
+        assert st_.weights is small_qubo.W

@@ -1,0 +1,64 @@
+"""Tests for acceptance rules."""
+
+import numpy as np
+import pytest
+
+from repro.search.accept import AlwaysAccept, DescentAccept, MetropolisAccept
+
+
+class TestAlwaysAccept:
+    def test_accepts_everything(self, rng):
+        rule = AlwaysAccept()
+        assert rule.accept(10**9, rng)
+        assert rule.accept(-5, rng)
+
+
+class TestDescentAccept:
+    def test_accepts_improvement_and_ties(self, rng):
+        rule = DescentAccept()
+        assert rule.accept(-1, rng)
+        assert rule.accept(0, rng)
+
+    def test_rejects_uphill(self, rng):
+        assert not DescentAccept().accept(1, rng)
+
+
+class TestMetropolisAccept:
+    def test_downhill_always_accepted(self, rng):
+        rule = MetropolisAccept(temperature=0.001)
+        assert rule.accept(-1, rng)
+        assert rule.accept(0, rng)
+
+    def test_probability_formula(self):
+        rule = MetropolisAccept(temperature=2.0, k_b=1.0)
+        assert rule.probability(-3) == 1.0
+        assert rule.probability(2) == pytest.approx(np.exp(-1.0))
+
+    def test_kb_scales_probability(self):
+        assert MetropolisAccept(1.0, k_b=2.0).probability(2) == pytest.approx(
+            MetropolisAccept(2.0, k_b=1.0).probability(2)
+        )
+
+    def test_high_temperature_accepts_often(self):
+        rng = np.random.default_rng(0)
+        rule = MetropolisAccept(temperature=1e9)
+        acc = sum(rule.accept(100, rng) for _ in range(200))
+        assert acc > 190
+
+    def test_low_temperature_rejects_uphill(self):
+        rng = np.random.default_rng(0)
+        rule = MetropolisAccept(temperature=1e-6)
+        assert not any(rule.accept(100, rng) for _ in range(100))
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_invalid_temperature(self, bad):
+        with pytest.raises(ValueError):
+            MetropolisAccept(temperature=bad)
+
+    def test_invalid_kb(self):
+        with pytest.raises(ValueError):
+            MetropolisAccept(1.0, k_b=0)
+
+    def test_step_hook_is_noop(self):
+        rule = MetropolisAccept(1.0)
+        rule.step()  # must not raise

@@ -1,0 +1,111 @@
+"""Tests specific to Algorithm 4 (the proposed bulk local search)."""
+
+import numpy as np
+import pytest
+
+from repro.qubo import QuboMatrix, energy
+from repro.search import (
+    BulkLocalSearch,
+    GreedyPolicy,
+    RandomPolicy,
+    WindowMinDeltaPolicy,
+    solve_exact,
+)
+
+
+@pytest.fixture
+def problem():
+    return QuboMatrix.random(14, seed=31415)
+
+
+class TestOptimality:
+    def test_multi_start_reaches_exact_optimum(self):
+        """A single deterministic forced-flip walk can limit-cycle (the
+        paper pairs it with GA restarts); a handful of diversified
+        starts must reach the exact ground state on small instances."""
+        rng = np.random.default_rng(0)
+        for seed in (1, 2, 3):
+            q = QuboMatrix.random(12, seed=seed)
+            opt = solve_exact(q).energy
+            best = None
+            for r in range(8):
+                x0 = rng.integers(0, 2, 12, dtype=np.uint8)
+                rec = BulkLocalSearch(WindowMinDeltaPolicy(3, offset=r)).run(
+                    q, x0, steps=300, seed=r
+                )
+                best = rec.best_energy if best is None else min(best, rec.best_energy)
+            assert best == opt
+
+    def test_forced_flips_escape_local_minima(self, problem):
+        """Unlike descent, Algorithm 4 keeps moving after a minimum."""
+        rec = BulkLocalSearch(WindowMinDeltaPolicy(2)).run(
+            problem, np.zeros(problem.n, dtype=np.uint8), steps=300, seed=0
+        )
+        assert rec.flips >= 300  # every step flips
+
+
+class TestStartModes:
+    def test_start_from_zero_op_count_is_exact(self, problem, rng):
+        """Zero start costs n ops per flip (prefix + steps), never n²."""
+        x0 = rng.integers(0, 2, problem.n, dtype=np.uint8)
+        rec = BulkLocalSearch(start_from_zero=True).run(problem, x0, 50, seed=1)
+        n = problem.n
+        popcount = int(x0.sum())
+        assert rec.ops == n * (popcount + 50)
+
+    def test_direct_start_pays_quadratic_once(self, problem, rng):
+        x0 = rng.integers(0, 2, problem.n, dtype=np.uint8)
+        rec = BulkLocalSearch(start_from_zero=False).run(problem, x0, 50, seed=1)
+        n = problem.n
+        assert rec.ops == n * n + n * 50
+
+    def test_both_modes_walk_identically_after_start(self, problem, rng):
+        """The prefix differs but the subsequent trajectory must match."""
+        x0 = rng.integers(0, 2, problem.n, dtype=np.uint8)
+        a = BulkLocalSearch(WindowMinDeltaPolicy(4), start_from_zero=True).run(
+            problem, x0, 100, seed=3
+        )
+        b = BulkLocalSearch(WindowMinDeltaPolicy(4), start_from_zero=False).run(
+            problem, x0, 100, seed=3
+        )
+        assert np.array_equal(a.final_x, b.final_x)
+        assert a.final_energy == b.final_energy
+
+
+class TestPolicies:
+    def test_greedy_policy_first_step_takes_min_delta(self, problem):
+        from repro.qubo import SearchState
+
+        st = SearchState.zeros(problem)
+        k_expected = int(np.argmin(st.delta))
+        rec = BulkLocalSearch(GreedyPolicy()).run(
+            problem, np.zeros(problem.n, dtype=np.uint8), 1, seed=0
+        )
+        assert rec.final_x[k_expected] == 1
+
+    def test_random_policy_runs(self, problem):
+        rec = BulkLocalSearch(RandomPolicy()).run(
+            problem, np.zeros(problem.n, dtype=np.uint8), 50, seed=5
+        )
+        assert rec.flips >= 50
+
+    def test_policy_not_shared_between_runs(self, problem):
+        """Each run clones the policy, so offsets never leak."""
+        search = BulkLocalSearch(WindowMinDeltaPolicy(4))
+        a = search.run(problem, np.zeros(problem.n, dtype=np.uint8), 40, seed=1)
+        b = search.run(problem, np.zeros(problem.n, dtype=np.uint8), 40, seed=1)
+        assert np.array_equal(a.final_x, b.final_x)
+
+
+class TestBestTracking:
+    def test_best_can_be_unvisited_neighbor(self):
+        """The incumbent may come from the neighbor scan, not the walk:
+        best_x need not equal any visited position, only a Hamming-1
+        neighbor of one — and its energy must check out."""
+        q = QuboMatrix.random(10, seed=99)
+        rec = BulkLocalSearch(WindowMinDeltaPolicy(2)).run(
+            q, np.zeros(10, dtype=np.uint8), 200, seed=0
+        )
+        assert rec.best_energy == energy(q, rec.best_x)
+        # The incumbent beats every *visited* final-position energy.
+        assert rec.best_energy <= rec.final_energy

@@ -1,0 +1,61 @@
+"""Tests for the exhaustive exact solver."""
+
+import numpy as np
+import pytest
+
+from repro.qubo import QuboMatrix, energy
+from repro.search.exact import MAX_EXACT_BITS, ExactSolution, solve_exact
+
+
+class TestSolveExact:
+    def test_matches_python_enumeration(self):
+        q = QuboMatrix.random(8, seed=21)
+        best = min(
+            (
+                energy(q, np.array([c >> i & 1 for i in range(8)], dtype=np.uint8))
+                for c in range(256)
+            )
+        )
+        assert solve_exact(q).energy == best
+
+    def test_solution_vector_attains_energy(self):
+        q = QuboMatrix.random(11, seed=5)
+        sol = solve_exact(q)
+        assert energy(q, sol.x) == sol.energy
+
+    def test_evaluated_count(self):
+        assert solve_exact(QuboMatrix.random(9, seed=0)).evaluated == 512
+
+    def test_zero_matrix_degeneracy(self):
+        sol = solve_exact(QuboMatrix.zeros(5))
+        assert sol.energy == 0
+        assert sol.degeneracy == 32
+
+    def test_unique_minimum_degeneracy_one(self):
+        # Strictly negative diagonal, zero couplings: the all-ones
+        # vector is the unique minimum.
+        W = -np.eye(6, dtype=np.int64)
+        sol = solve_exact(QuboMatrix(W))
+        assert sol.energy == -6
+        assert np.array_equal(sol.x, np.ones(6, dtype=np.uint8))
+        assert sol.degeneracy == 1
+
+    def test_empty_problem(self):
+        sol = solve_exact(QuboMatrix.zeros(0))
+        assert sol.energy == 0 and sol.evaluated == 1
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError, match=str(MAX_EXACT_BITS)):
+            solve_exact(QuboMatrix.zeros(MAX_EXACT_BITS + 1))
+
+    def test_crosses_block_boundaries(self):
+        # n = 15 → 32768 solutions = two 16384-solution blocks.
+        q = QuboMatrix.random(15, seed=3)
+        sol = solve_exact(q)
+        assert sol.evaluated == 1 << 15
+        assert energy(q, sol.x) == sol.energy
+
+    def test_result_is_frozen(self):
+        sol = solve_exact(QuboMatrix.zeros(3))
+        with pytest.raises(AttributeError):
+            sol.energy = 5

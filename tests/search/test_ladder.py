@@ -1,0 +1,133 @@
+"""Shared behavioural tests for the Algorithm 1–4 ladder.
+
+Every local search must: track the best solution correctly, be
+reproducible by seed, report consistent counters, and accept the same
+interface.  This file runs the whole matrix of those checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.qubo import QuboMatrix, energy
+from repro.search import (
+    BulkLocalSearch,
+    DeltaLocalSearch,
+    NaiveLocalSearch,
+    OneStepLocalSearch,
+)
+from repro.search.accept import AlwaysAccept
+
+ALGORITHMS = [
+    NaiveLocalSearch,
+    OneStepLocalSearch,
+    DeltaLocalSearch,
+    BulkLocalSearch,
+]
+
+
+@pytest.fixture(params=ALGORITHMS, ids=lambda c: c.__name__)
+def algorithm(request):
+    return request.param()
+
+
+@pytest.fixture
+def problem():
+    return QuboMatrix.random(16, seed=2024, low=-50, high=50)
+
+
+@pytest.fixture
+def x0(problem, rng):
+    return rng.integers(0, 2, problem.n, dtype=np.uint8)
+
+
+class TestCommonBehaviour:
+    def test_best_energy_matches_best_x(self, algorithm, problem, x0):
+        rec = algorithm.run(problem, x0, steps=100, seed=1)
+        assert rec.best_energy == energy(problem, rec.best_x)
+
+    def test_final_energy_matches_final_x(self, algorithm, problem, x0):
+        rec = algorithm.run(problem, x0, steps=100, seed=1)
+        assert rec.final_energy == energy(problem, rec.final_x)
+
+    def test_best_never_worse_than_final(self, algorithm, problem, x0):
+        rec = algorithm.run(problem, x0, steps=100, seed=1)
+        assert rec.best_energy <= rec.final_energy
+
+    def test_reproducible_by_seed(self, algorithm, problem, x0):
+        a = algorithm.run(problem, x0, steps=60, seed=7)
+        b = algorithm.run(problem, x0, steps=60, seed=7)
+        assert a.best_energy == b.best_energy
+        assert np.array_equal(a.final_x, b.final_x)
+
+    def test_zero_steps_allowed(self, algorithm, problem, x0):
+        rec = algorithm.run(problem, x0, steps=0, seed=1)
+        assert rec.steps == 0
+        assert rec.best_energy <= energy(problem, x0)
+
+    def test_negative_steps_rejected(self, algorithm, problem, x0):
+        with pytest.raises(ValueError):
+            algorithm.run(problem, x0, steps=-1, seed=1)
+
+    def test_history_recorded_on_request(self, algorithm, problem, x0):
+        rec = algorithm.run(problem, x0, steps=25, seed=1, record_history=True)
+        assert len(rec.history) == 25
+        assert all(
+            rec.history[i + 1] <= rec.history[i] for i in range(len(rec.history) - 1)
+        )
+        assert rec.history[-1] == rec.best_energy
+
+    def test_history_empty_by_default(self, algorithm, problem, x0):
+        assert algorithm.run(problem, x0, steps=10, seed=1).history == []
+
+    def test_input_not_mutated(self, algorithm, problem, x0):
+        snapshot = x0.copy()
+        algorithm.run(problem, x0, steps=30, seed=1)
+        assert np.array_equal(x0, snapshot)
+
+    def test_counters_positive(self, algorithm, problem, x0):
+        rec = algorithm.run(problem, x0, steps=50, seed=1)
+        assert rec.evaluated > 0
+        assert rec.ops > 0
+        assert rec.efficiency > 0
+
+
+class TestMeasuredEfficiency:
+    """Lemmas 1–3 and Theorem 1 as measured facts (forced acceptance
+    keeps the op counters deterministic)."""
+
+    def _eff(self, algo, n, steps=200):
+        q = QuboMatrix.random(n, seed=n)
+        x0 = np.random.default_rng(n).integers(0, 2, n, dtype=np.uint8)
+        return algo.run(q, x0, steps, seed=0).efficiency
+
+    def test_naive_is_quadratic(self):
+        e64 = self._eff(NaiveLocalSearch(AlwaysAccept()), 64)
+        e128 = self._eff(NaiveLocalSearch(AlwaysAccept()), 128)
+        assert e128 / e64 == pytest.approx(4.0, rel=0.05)
+
+    def test_onestep_is_linear_for_large_m(self):
+        e64 = self._eff(OneStepLocalSearch(AlwaysAccept()), 64, steps=2000)
+        e128 = self._eff(OneStepLocalSearch(AlwaysAccept()), 128, steps=2000)
+        assert e128 / e64 == pytest.approx(2.0, rel=0.15)
+
+    def test_delta_is_linear(self):
+        e64 = self._eff(DeltaLocalSearch(AlwaysAccept()), 64)
+        e128 = self._eff(DeltaLocalSearch(AlwaysAccept()), 128)
+        assert e128 / e64 == pytest.approx(2.0, rel=0.25)
+
+    def test_bulk_is_constant(self):
+        e64 = self._eff(BulkLocalSearch(), 64)
+        e256 = self._eff(BulkLocalSearch(), 256)
+        assert e64 == pytest.approx(1.0, abs=0.01)
+        assert e256 == pytest.approx(1.0, abs=0.01)
+
+    def test_ladder_ordering_at_fixed_size(self):
+        """At any fixed n, the ladder strictly improves efficiency."""
+        n = 96
+        effs = [
+            self._eff(NaiveLocalSearch(AlwaysAccept()), n),
+            self._eff(OneStepLocalSearch(AlwaysAccept()), n),
+            self._eff(DeltaLocalSearch(AlwaysAccept()), n),
+            self._eff(BulkLocalSearch(), n),
+        ]
+        assert effs[0] > effs[1] > effs[2] > effs[3]

@@ -1,0 +1,87 @@
+"""Tests for the Figure-2 selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.qubo import QuboMatrix, SearchState
+from repro.search.policies import GreedyPolicy, RandomPolicy, WindowMinDeltaPolicy
+
+
+@pytest.fixture
+def state():
+    return SearchState.zeros(QuboMatrix.random(16, seed=8))
+
+
+class TestWindowMinDelta:
+    def test_selects_min_in_window(self, state, rng):
+        pol = WindowMinDeltaPolicy(window=4, offset=0)
+        k = pol.select(state, rng)
+        window = state.delta[0:4]
+        assert k == int(np.argmin(window))
+
+    def test_offset_advances_by_window(self, state, rng):
+        pol = WindowMinDeltaPolicy(window=4, offset=0)
+        pol.select(state, rng)
+        assert pol.offset == 4
+        pol.select(state, rng)
+        assert pol.offset == 8
+
+    def test_offset_wraps_modulo_n(self, state, rng):
+        pol = WindowMinDeltaPolicy(window=6, offset=12)
+        k = pol.select(state, rng)
+        assert pol.offset == (12 + 6) % 16
+        window_idx = [(12 + i) % 16 for i in range(6)]
+        assert k in window_idx
+
+    def test_window_one_is_deterministic_cycle(self, state, rng):
+        pol = WindowMinDeltaPolicy(window=1)
+        picks = [pol.select(state, rng) for _ in range(5)]
+        assert picks == [0, 1, 2, 3, 4]
+
+    def test_window_n_equals_greedy(self, state, rng):
+        pol = WindowMinDeltaPolicy(window=16)
+        assert pol.select(state, rng) == GreedyPolicy().select(state, rng)
+
+    def test_window_larger_than_n_clamped(self, state, rng):
+        pol = WindowMinDeltaPolicy(window=100)
+        k = pol.select(state, rng)
+        assert 0 <= k < 16
+
+    def test_reset_restores_offset(self, state, rng):
+        pol = WindowMinDeltaPolicy(window=4, offset=2)
+        pol.select(state, rng)
+        pol.reset()
+        assert pol.offset == 2
+
+    def test_clone_is_fresh(self, state, rng):
+        pol = WindowMinDeltaPolicy(window=4, offset=2)
+        pol.select(state, rng)
+        dup = pol.clone()
+        assert dup.offset == 2
+        assert dup is not pol
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_invalid_window(self, bad):
+        with pytest.raises(ValueError):
+            WindowMinDeltaPolicy(window=bad)
+
+    def test_invalid_offset(self):
+        with pytest.raises(ValueError):
+            WindowMinDeltaPolicy(window=2, offset=-1)
+
+    def test_repr(self):
+        assert "window=4" in repr(WindowMinDeltaPolicy(4))
+
+
+class TestGreedyPolicy:
+    def test_picks_global_min(self, state, rng):
+        assert GreedyPolicy().select(state, rng) == int(np.argmin(state.delta))
+
+
+class TestRandomPolicy:
+    def test_in_range_and_covers(self, state):
+        rng = np.random.default_rng(0)
+        pol = RandomPolicy()
+        picks = {pol.select(state, rng) for _ in range(300)}
+        assert picks <= set(range(16))
+        assert len(picks) > 10  # covers most of the range

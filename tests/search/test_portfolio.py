@@ -1,0 +1,89 @@
+"""Tests for the algorithm-portfolio meta-search."""
+
+import numpy as np
+import pytest
+
+from repro.qubo import QuboMatrix, energy
+from repro.search import BulkLocalSearch, SimulatedAnnealing, TabuSearch
+from repro.search.portfolio import PortfolioOutcome, PortfolioSearch
+
+
+@pytest.fixture
+def problem():
+    return QuboMatrix.random(24, seed=99)
+
+
+def make_portfolio():
+    return PortfolioSearch([BulkLocalSearch(), TabuSearch(), SimulatedAnnealing()])
+
+
+class TestRunPortfolio:
+    def test_breakdown_covers_all_members(self, problem, rng):
+        x0 = rng.integers(0, 2, 24, dtype=np.uint8)
+        out = make_portfolio().run_portfolio(problem, x0, 300, seed=1)
+        assert isinstance(out, PortfolioOutcome)
+        assert len(out.records) == 3
+        assert out.winner in out.records
+
+    def test_best_is_min_over_members(self, problem, rng):
+        x0 = rng.integers(0, 2, 24, dtype=np.uint8)
+        out = make_portfolio().run_portfolio(problem, x0, 300, seed=2)
+        assert out.best.best_energy == min(
+            r.best_energy for r in out.records.values()
+        )
+
+    def test_run_interface_returns_winner_record(self, problem, rng):
+        x0 = rng.integers(0, 2, 24, dtype=np.uint8)
+        rec = make_portfolio().run(problem, x0, 300, seed=3)
+        assert rec.best_energy == energy(problem, rec.best_x)
+
+    def test_budget_split_roughly_equal(self, problem, rng):
+        x0 = rng.integers(0, 2, 24, dtype=np.uint8)
+        out = make_portfolio().run_portfolio(problem, x0, 300, seed=4)
+        for rec in out.records.values():
+            assert rec.steps == 100  # 300 / 3 members
+
+    def test_custom_budget_fractions(self, problem, rng):
+        x0 = rng.integers(0, 2, 24, dtype=np.uint8)
+        pf = PortfolioSearch(
+            [BulkLocalSearch(), TabuSearch()], weights_budget=[3.0, 1.0]
+        )
+        out = pf.run_portfolio(problem, x0, 400, seed=5)
+        steps = [r.steps for r in out.records.values()]
+        assert sorted(steps) == [100, 300]
+
+    def test_duplicate_member_names_disambiguated(self, problem, rng):
+        pf = PortfolioSearch([TabuSearch(tenure=4), TabuSearch(tenure=16)])
+        x0 = rng.integers(0, 2, 24, dtype=np.uint8)
+        out = pf.run_portfolio(problem, x0, 100, seed=6)
+        assert len(out.records) == 2
+        assert "tabu search" in out.records
+        assert "tabu search #2" in out.records
+
+    def test_reproducible_by_seed(self, problem, rng):
+        x0 = rng.integers(0, 2, 24, dtype=np.uint8)
+        a = make_portfolio().run(problem, x0, 200, seed=7)
+        b = make_portfolio().run(problem, x0, 200, seed=7)
+        assert a.best_energy == b.best_energy
+
+    def test_never_worse_than_any_member_at_share(self, problem, rng):
+        """The portfolio guarantee, verified directly."""
+        x0 = rng.integers(0, 2, 24, dtype=np.uint8)
+        pf = make_portfolio()
+        out = pf.run_portfolio(problem, x0, 300, seed=8)
+        for rec in out.records.values():
+            assert out.best.best_energy <= rec.best_energy
+
+
+class TestValidation:
+    def test_empty_portfolio(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PortfolioSearch([])
+
+    def test_budget_length_mismatch(self):
+        with pytest.raises(ValueError, match="weights"):
+            PortfolioSearch([TabuSearch()], weights_budget=[0.5, 0.5])
+
+    def test_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="positive"):
+            PortfolioSearch([TabuSearch()], weights_budget=[0.0])

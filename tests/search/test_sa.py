@@ -1,0 +1,83 @@
+"""Tests for the simulated-annealing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.qubo import QuboMatrix, energy
+from repro.search import (
+    GeometricSchedule,
+    LinearSchedule,
+    SimulatedAnnealing,
+    solve_exact,
+)
+
+
+class TestSchedules:
+    def test_geometric_decreases(self):
+        s = GeometricSchedule(t0=10.0, rate=0.9)
+        temps = [s.temperature(i, 100) for i in range(10)]
+        assert all(temps[i] > temps[i + 1] for i in range(9))
+
+    def test_geometric_floor(self):
+        s = GeometricSchedule(t0=1.0, rate=0.5, t_min=0.1)
+        assert s.temperature(1000, 1000) == 0.1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"t0": 0}, {"t0": 1, "rate": 0}, {"t0": 1, "rate": 1.5}, {"t0": 1, "t_min": 0},
+    ])
+    def test_geometric_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GeometricSchedule(**kwargs)
+
+    def test_linear_endpoints(self):
+        s = LinearSchedule(t0=10.0, t_end=1.0)
+        assert s.temperature(0, 100) == 10.0
+        assert s.temperature(99, 100) == pytest.approx(1.0)
+
+    def test_linear_single_step(self):
+        assert LinearSchedule(5.0, 1.0).temperature(0, 1) == 5.0
+
+    def test_linear_validation(self):
+        with pytest.raises(ValueError):
+            LinearSchedule(t0=1.0, t_end=2.0)
+        with pytest.raises(ValueError):
+            LinearSchedule(t0=-1.0)
+
+
+class TestSimulatedAnnealing:
+    def test_finds_optimum_on_small(self):
+        q = QuboMatrix.random(12, seed=17)
+        opt = solve_exact(q).energy
+        rng = np.random.default_rng(0)
+        x0 = rng.integers(0, 2, 12, dtype=np.uint8)
+        rec = SimulatedAnnealing().run(q, x0, steps=5000, seed=3)
+        assert rec.best_energy == opt
+
+    def test_best_matches_x(self, medium_qubo, rng):
+        x0 = rng.integers(0, 2, medium_qubo.n, dtype=np.uint8)
+        rec = SimulatedAnnealing().run(medium_qubo, x0, 1000, seed=1)
+        assert rec.best_energy == energy(medium_qubo, rec.best_x)
+
+    def test_improves_over_start(self, medium_qubo, rng):
+        x0 = rng.integers(0, 2, medium_qubo.n, dtype=np.uint8)
+        rec = SimulatedAnnealing().run(medium_qubo, x0, 2000, seed=2)
+        assert rec.best_energy < energy(medium_qubo, x0)
+
+    def test_explicit_schedule_used(self, medium_qubo, rng):
+        x0 = rng.integers(0, 2, medium_qubo.n, dtype=np.uint8)
+        sched = GeometricSchedule(t0=1e-9, rate=1.0, t_min=1e-9)
+        rec = SimulatedAnnealing(schedule=sched).run(medium_qubo, x0, 500, seed=4)
+        # At ~zero temperature SA degenerates to descent: final == best
+        # once a local minimum is reached.
+        assert rec.best_energy <= energy(medium_qubo, x0)
+
+    def test_invalid_kb(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(k_b=0)
+
+    def test_reproducible(self, medium_qubo, rng):
+        x0 = rng.integers(0, 2, medium_qubo.n, dtype=np.uint8)
+        a = SimulatedAnnealing().run(medium_qubo, x0, 500, seed=9)
+        b = SimulatedAnnealing().run(medium_qubo, x0, 500, seed=9)
+        assert a.best_energy == b.best_energy
+        assert np.array_equal(a.final_x, b.final_x)

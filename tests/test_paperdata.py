@@ -1,0 +1,68 @@
+"""Internal-consistency checks of the embedded published data."""
+
+import pytest
+
+from repro import paperdata as pd
+
+
+class TestTable1:
+    def test_table1a_sizes(self):
+        assert len(pd.TABLE_1A) == 8
+        assert {r.n for r in pd.TABLE_1A} == {800, 2000, 5000, 10000}
+
+    def test_table1b_bit_counts_follow_formula(self):
+        for row in pd.TABLE_1B:
+            expected = (row.cities - 1) ** 2
+            if row.problem == "st70":
+                # Published as 4621; (70−1)² = 4761 — known typo.
+                assert row.n == 4621
+                assert expected == 4761
+            else:
+                assert row.n == expected
+
+    def test_table1c_sizes_are_powers_of_two(self):
+        for row in pd.TABLE_1C:
+            assert row.n & (row.n - 1) == 0
+
+    def test_times_positive(self):
+        for row in (*pd.TABLE_1A, *pd.TABLE_1B, *pd.TABLE_1C):
+            assert row.time_s > 0
+
+
+class TestTable2:
+    def test_twenty_rows(self):
+        assert len(pd.TABLE_2) == 20
+
+    def test_peak_rate(self):
+        assert max(r.rate_tera for r in pd.TABLE_2) == 1.24
+        peak = max(pd.TABLE_2, key=lambda r: r.rate_tera)
+        assert peak.n == 1024 and peak.bits_per_thread == 16
+
+    def test_active_blocks_arithmetic(self):
+        """blocks = 68 · 1024 / (n/p) for every row — the arithmetic
+        the occupancy calculator reproduces."""
+        for r in pd.TABLE_2:
+            threads = r.n // r.bits_per_thread
+            assert r.active_blocks == 68 * 1024 // threads
+
+    def test_headline_speedup_over_fpga(self):
+        """§4.3: 'about 60 times faster' than the 20.4 G FPGA."""
+        assert pd.ABS_PEAK_RATE / pd.FPGA_REF22_RATE == pytest.approx(60, rel=0.02)
+
+
+class TestTable3:
+    def test_five_systems(self):
+        assert len(pd.TABLE_3) == 5
+
+    def test_abs_row(self):
+        abs_row = next(r for r in pd.TABLE_3 if "ABS" in r.system)
+        assert abs_row.bits == 32768
+        assert abs_row.search_rate == 1.24e12
+        assert "RTX 2080 Ti" in abs_row.technology
+
+    def test_only_fully_connected_rows_besides_dwave(self):
+        for r in pd.TABLE_3:
+            if r.system == "D-Wave":
+                assert r.connection == "Chimera graph"
+            else:
+                assert r.connection == "fully-connected"

@@ -1,0 +1,68 @@
+"""Tests for the ASCII plotting helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.plot import line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series_uses_full_range(self):
+        s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert s[0] == "▁" and s[-1] == "█"
+        assert len(s) == 8
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_nan_renders_space(self):
+        s = sparkline([1.0, math.nan, 2.0])
+        assert s[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([math.nan, math.nan]) == "  "
+
+    def test_resampled_width(self):
+        s = sparkline(list(range(100)), width=10)
+        assert len(s) == 10
+
+    def test_width_shorter_series_unchanged(self):
+        assert len(sparkline([1, 2], width=10)) == 2
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1], width=0)
+
+
+class TestLineChart:
+    def test_corners_plotted(self):
+        out = line_chart([0, 10], [0, 100], width=20, height=5, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "100" in lines[1]  # top label
+        assert "*" in lines[1]
+        assert "*" in lines[5]  # bottom row has the low point
+
+    def test_axis_labels(self):
+        out = line_chart([2, 8], [1, 3], width=20, height=4)
+        assert "2" in out.splitlines()[-1]
+        assert "8" in out.splitlines()[-1]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            line_chart([1], [1, 2])
+
+    def test_empty(self):
+        assert line_chart([], [], title="empty") == "empty"
+
+    def test_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            line_chart([1], [1], width=2)
+
+    def test_flat_series_ok(self):
+        out = line_chart([0, 1, 2], [5, 5, 5], width=10, height=3)
+        assert "*" in out

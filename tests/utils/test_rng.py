@@ -1,0 +1,111 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, as_generator, random_bit_matrix, random_bits, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        a = as_generator(seq)
+        assert isinstance(a, np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn(0, 5)) == 5
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+    def test_children_are_independent_and_stable(self):
+        a1, a2 = spawn(99, 2)
+        b1, b2 = spawn(99, 2)
+        assert np.array_equal(a1.integers(0, 100, 5), b1.integers(0, 100, 5))
+        assert not np.array_equal(a1.integers(0, 100, 50), a2.integers(0, 100, 50))
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(3)
+        kids = spawn(g, 3)
+        assert len(kids) == 3
+
+
+class TestRngFactory:
+    def test_streams_are_stable_by_name(self):
+        f1, f2 = RngFactory(11), RngFactory(11)
+        assert np.array_equal(
+            f1.stream("ga").integers(0, 100, 8), f2.stream("ga").integers(0, 100, 8)
+        )
+
+    def test_distinct_names_distinct_streams(self):
+        f = RngFactory(11)
+        a = f.stream("a").integers(0, 1000, 20)
+        b = f.stream("b").integers(0, 1000, 20)
+        assert not np.array_equal(a, b)
+
+    def test_indexed_streams_differ(self):
+        f = RngFactory(5)
+        a = f.stream("w", 0).integers(0, 1000, 20)
+        b = f.stream("w", 1).integers(0, 1000, 20)
+        assert not np.array_equal(a, b)
+
+    def test_streams_helper_matches_stream(self):
+        f = RngFactory(5)
+        many = f.streams("w", 3)
+        single = RngFactory(5).stream("w", 2)
+        assert np.array_equal(
+            many[2].integers(0, 100, 5), single.integers(0, 100, 5)
+        )
+
+    def test_iter_streams(self):
+        f = RngFactory(2)
+        it = f.iter_streams("x")
+        first = next(it)
+        second = next(it)
+        assert not np.array_equal(
+            first.integers(0, 1000, 10), second.integers(0, 1000, 10)
+        )
+
+    def test_rejects_generator_seed(self):
+        with pytest.raises(TypeError):
+            RngFactory(np.random.default_rng(0))
+
+    def test_root_entropy_exposed(self):
+        assert RngFactory(123).root_entropy == 123
+
+
+class TestRandomBits:
+    def test_values_are_bits(self, rng):
+        x = random_bits(rng, 1000)
+        assert x.dtype == np.uint8
+        assert set(np.unique(x)) <= {0, 1}
+
+    def test_zero_length(self, rng):
+        assert random_bits(rng, 0).shape == (0,)
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_bits(rng, -1)
+
+    def test_matrix_shape(self, rng):
+        m = random_bit_matrix(rng, 4, 7)
+        assert m.shape == (4, 7) and m.dtype == np.uint8
+
+    def test_matrix_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_bit_matrix(rng, -1, 3)

@@ -1,0 +1,43 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.utils.tables import Table, render_table
+
+
+class TestTable:
+    def test_basic_render(self):
+        t = Table(["a", "bb"], title="T")
+        t.add_row([1, 2.34567])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.346" in lines[3]  # 4 significant figures
+
+    def test_column_alignment(self):
+        t = Table(["x", "y"])
+        t.add_row(["longvalue", 1])
+        t.add_row(["s", 22])
+        lines = t.render().splitlines()
+        # All rows render to the same padded width for column x.
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_wrong_row_length_rejected(self):
+        t = Table(["a"])
+        with pytest.raises(ValueError):
+            t.add_row([1, 2])
+
+    def test_no_title(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert t.render().splitlines()[0].startswith("a")
+
+    def test_str_equals_render(self):
+        t = Table(["a"])
+        t.add_row([5])
+        assert str(t) == t.render()
+
+    def test_render_table_helper(self):
+        out = render_table(["h"], [[1], [2]], title="x")
+        assert out.count("\n") == 4

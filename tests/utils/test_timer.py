@@ -1,0 +1,69 @@
+"""Tests for the stopwatch and duration formatting."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import Stopwatch, format_duration
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(2.5) == "2.5 s"
+
+    def test_milliseconds(self):
+        assert format_duration(0.0042).endswith("ms")
+
+    def test_microseconds(self):
+        assert format_duration(5e-6).endswith("µs")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+    def test_zero(self):
+        assert "µs" in format_duration(0.0)
+
+
+class TestStopwatch:
+    def test_accumulates_across_spans(self):
+        w = Stopwatch()
+        w.start()
+        time.sleep(0.01)
+        first = w.stop()
+        w.start()
+        time.sleep(0.01)
+        total = w.stop()
+        assert total > first > 0
+
+    def test_elapsed_while_running(self):
+        w = Stopwatch().start()
+        time.sleep(0.005)
+        assert w.elapsed > 0
+        assert w.running
+
+    def test_stop_idempotent(self):
+        w = Stopwatch().start()
+        a = w.stop()
+        b = w.stop()
+        assert a == b
+        assert not w.running
+
+    def test_reset(self):
+        w = Stopwatch().start()
+        time.sleep(0.002)
+        w.reset()
+        assert w.elapsed == 0.0
+        assert not w.running
+
+    def test_start_idempotent_while_running(self):
+        w = Stopwatch().start()
+        t0 = w._started_at
+        w.start()
+        assert w._started_at == t0
+
+    def test_context_manager(self):
+        with Stopwatch() as w:
+            time.sleep(0.002)
+        assert w.elapsed > 0
+        assert not w.running

@@ -1,0 +1,74 @@
+"""Tests for argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_bit_vector,
+    check_index,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive(0.1, "x")
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(bad, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        check_probability(ok, "p")
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+
+class TestCheckIndex:
+    def test_accepts_in_range(self):
+        check_index(0, 3)
+        check_index(2, 3)
+
+    @pytest.mark.parametrize("bad", [-1, 3, 100])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(IndexError):
+            check_index(bad, 3)
+
+
+class TestCheckBitVector:
+    def test_uint8_passthrough_values(self):
+        x = np.array([0, 1, 1], dtype=np.uint8)
+        out = check_bit_vector(x, 3)
+        assert out.dtype == np.uint8
+        assert np.array_equal(out, x)
+
+    def test_int_list_converted(self):
+        out = check_bit_vector([1, 0, 1])
+        assert out.dtype == np.uint8
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError, match="length"):
+            check_bit_vector([0, 1], 3)
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_bit_vector(np.zeros((2, 2)))
+
+    def test_non_bit_values(self):
+        with pytest.raises(ValueError, match="0/1"):
+            check_bit_vector([0, 2, 1])
+
+    def test_non_bit_uint8(self):
+        with pytest.raises(ValueError, match="0/1"):
+            check_bit_vector(np.array([0, 7], dtype=np.uint8))
+
+    def test_empty_ok(self):
+        assert check_bit_vector([]).shape == (0,)
