@@ -1,6 +1,6 @@
 # Developer conveniences for the ABS reproduction.
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test bench bench-full trace-demo examples clean
 
 install:
 	pip install -e .[test]
@@ -16,6 +16,12 @@ bench:                  ## reduced-scale: regenerates every paper table/figure
 
 bench-full:             ## full instance lists (minutes to hours)
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+trace-demo:             ## traced solve + schema validation of the JSONL trace
+	python -m repro random 96 /tmp/abs-trace-demo.qubo --seed 7
+	python -m repro solve /tmp/abs-trace-demo.qubo --rounds 12 --blocks 8 \
+		--adapt --seed 7 --trace-out /tmp/abs-trace-demo.jsonl --log-level info
+	python -m repro trace /tmp/abs-trace-demo.jsonl
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -33,7 +33,7 @@ _N = 512
 _BUDGET_S = 3.0 if FULL else 1.2
 
 
-def test_fig8_scaling(benchmark, report):
+def test_fig8_scaling(benchmark, report, bench_record):
     model = calibrated_model()
     cores = os.cpu_count() or 1
     qubo = random_qubo(_N, seed=_N)
@@ -51,6 +51,13 @@ def test_fig8_scaling(benchmark, report):
         )
         m = measure_solver_rate(qubo, cfg, mode="process")
         measured[g] = m.rate
+        bench_record(
+            f"gpus={g}",
+            measured_rate=m.rate,
+            modeled_rate=model.search_rate(1024, 16, g),
+            evaluated=m.evaluated,
+            elapsed_s=m.elapsed,
+        )
         table.add_row(
             [
                 g,

@@ -29,7 +29,7 @@ _TTS_LIMIT_S = 120.0 if FULL else 10.0
 _FRACTION = 0.99
 
 
-def test_table1c_random_tts(benchmark, report):
+def test_table1c_random_tts(benchmark, report, bench_record):
     sizes = _FULL_SIZES if FULL else _QUICK_SIZES
     table = Table(
         [
@@ -48,6 +48,7 @@ def test_table1c_random_tts(benchmark, report):
             qubo, AbsConfig(time_limit=_CALIBRATE_S, seed=4000, **cfg)
         ).solve("sync")
         target = int(_FRACTION * calib.best_energy)  # energies < 0
+        bench_record(f"calibrate n={row.n}", calib, target=target)
         tts = time_to_solution(
             qubo,
             target,
@@ -55,6 +56,12 @@ def test_table1c_random_tts(benchmark, report):
             repeats=_REPEATS,
         )
         times[row.n] = tts.mean_time
+        bench_record(
+            f"tts n={row.n}",
+            mean_tts_s=tts.mean_time,
+            successes=tts.successes,
+            repeats=tts.repeats,
+        )
         table.add_row(
             [
                 row.n,

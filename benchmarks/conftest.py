@@ -14,7 +14,9 @@ a laptop/CI box (seconds, not the paper's four RTX 2080 Ti).  Set
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -38,6 +40,54 @@ def report():
         (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
 
     return _register
+
+
+@pytest.fixture
+def bench_record(request):
+    """Record wall-clock + telemetry counter snapshots to a JSON file.
+
+    Usage inside a bench::
+
+        def test_table1c(..., bench_record):
+            result = AdaptiveBulkSearch(qubo, cfg).solve("sync")
+            bench_record("n=1024", result, target=-12345)
+
+    Each registered run captures the solve's ``best_energy`` /
+    ``elapsed`` / ``evaluated`` / ``flips`` and the full
+    ``SolveResult.counters`` snapshot; extra keyword pairs are stored
+    verbatim.  On teardown the runs land in
+    ``benchmarks/results/BENCH_<test name>.json`` together with the
+    bench's total wall-clock, so successive ``make bench`` outputs can
+    be diffed counter-by-counter.
+    """
+    runs: list[dict] = []
+    started = time.perf_counter()
+
+    def _record(label: str, result=None, **extra) -> None:
+        entry: dict = {"label": label, **extra}
+        if result is not None:
+            entry["best_energy"] = int(result.best_energy)
+            entry["elapsed_s"] = float(result.elapsed)
+            entry["evaluated"] = int(result.evaluated)
+            entry["flips"] = int(result.flips)
+            entry["counters"] = dict(result.counters)
+        runs.append(entry)
+
+    yield _record
+
+    if not runs:
+        return
+    name = request.node.name.replace("[", "_").replace("]", "")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "bench": name,
+        "full_scale": FULL,
+        "wall_clock_s": round(time.perf_counter() - started, 6),
+        "runs": runs,
+    }
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

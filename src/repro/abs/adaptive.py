@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -42,6 +43,9 @@ class WindowAdapter:
         Share of blocks replaced (and imitated) per adaptation.
     seed:
         RNG stream for donor selection and perturbation direction.
+    bus:
+        Optional telemetry bus; each adaptation emits one
+        ``adapt.windows`` event (the window-size trajectory).
     """
 
     def __init__(
@@ -52,6 +56,7 @@ class WindowAdapter:
         period: int = 4,
         fraction: float = 0.25,
         seed: SeedLike = None,
+        bus: TelemetryBus | NullBus | None = None,
     ) -> None:
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
@@ -66,6 +71,7 @@ class WindowAdapter:
         self.period = int(period)
         self.fraction = float(fraction)
         self._rng = as_generator(seed)
+        self._bus = bus if bus is not None else NULL_BUS
         self._sums = np.zeros(self.B, dtype=np.float64)
         self._rounds = 0
         #: Total window reassignments performed (diagnostics).
@@ -107,6 +113,16 @@ class WindowAdapter:
         self.adaptations += k
         self._sums.fill(0.0)
         self._rounds = 0
+        bus = self._bus
+        if bus.enabled:
+            bus.counters.inc("adapt.reassignments", k)
+            bus.emit(
+                "adapt.windows",
+                reassigned=k,
+                window_min=int(w.min()),
+                window_max=int(w.max()),
+                window_mean=float(w.mean()),
+            )
         return w
 
     def maybe_adapt(self, windows: np.ndarray) -> np.ndarray | None:

@@ -50,7 +50,14 @@ def save_engine(engine: BulkSearchEngine, path: PathLike) -> None:
         windows=engine.windows,
         offsets=engine.offsets,
         counters=np.array(
-            [c.flips, c.evaluated, c.straight_flips, c.local_flips], dtype=np.int64
+            [
+                c.flips,
+                c.evaluated,
+                c.straight_flips,
+                c.local_flips,
+                c.straight_retirements,
+            ],
+            dtype=np.int64,
         ),
     )
 
@@ -82,11 +89,11 @@ def load_engine(weights: WeightsLike, path: PathLike) -> BulkSearchEngine:
         engine.energy[:] = data["energy"]
         engine.best_energy[:] = data["best_energy"]
         engine.best_x[:] = data["best_x"]
-        flips, evaluated, straight, local = (int(v) for v in data["counters"])
-        engine.counters.flips = flips
-        engine.counters.evaluated = evaluated
-        engine.counters.straight_flips = straight
-        engine.counters.local_flips = local
+        # Length 4 = pre-telemetry checkpoints (no retirement counter).
+        stored = [int(v) for v in data["counters"]]
+        c = engine.counters
+        c.flips, c.evaluated, c.straight_flips, c.local_flips = stored[:4]
+        c.straight_retirements = stored[4] if len(stored) > 4 else 0
     return engine
 
 

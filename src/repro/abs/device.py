@@ -21,6 +21,7 @@ from repro.abs.adaptive import WindowAdapter
 from repro.abs.buffers import StoredSolution
 from repro.gpusim.engine import BulkSearchEngine
 from repro.qubo.matrix import WeightsLike
+from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
 
 
 class DeviceSimulator:
@@ -40,6 +41,11 @@ class DeviceSimulator:
     scan_neighbors:
         Whether the straight-search phase also tracks the incumbent
         over all exposed neighbors.
+    bus:
+        Optional telemetry bus; the device emits one ``device.round``
+        event per round (and hands the bus to its engine).
+    device_id:
+        Identifier stamped on emitted events (the GPU index).
     """
 
     def __init__(
@@ -51,10 +57,14 @@ class DeviceSimulator:
         local_steps: int = 32,
         scan_neighbors: bool = True,
         adapter: WindowAdapter | None = None,
+        bus: TelemetryBus | NullBus | None = None,
+        device_id: int = 0,
     ) -> None:
         if local_steps < 0:
             raise ValueError(f"local_steps must be >= 0, got {local_steps}")
-        self.engine = BulkSearchEngine(weights, n_blocks, windows=windows)
+        self.bus = bus if bus is not None else NULL_BUS
+        self.device_id = int(device_id)
+        self.engine = BulkSearchEngine(weights, n_blocks, windows=windows, bus=self.bus)
         self.local_steps = int(local_steps)
         self.scan_neighbors = bool(scan_neighbors)
         self.adapter = adapter
@@ -83,10 +93,25 @@ class DeviceSimulator:
         Figure 4), which is what keeps the search efficiency at O(1).
         """
         eng = self.engine
+        c = eng.counters
+        straight0, local0, eval0 = c.straight_flips, c.local_flips, c.evaluated
+        retired0 = c.straight_retirements
         eng.reset_best()                                  # Step 3
         eng.straight_to(targets, scan_neighbors=self.scan_neighbors)  # 4a
         eng.local_steps(self.local_steps)                 # Step 4b
         self.rounds += 1
+        bus = self.bus
+        if bus.enabled:
+            bus.emit(
+                "device.round",
+                device=self.device_id,
+                round=self.rounds,
+                straight_flips=c.straight_flips - straight0,
+                retired=c.straight_retirements - retired0,
+                local_flips=c.local_flips - local0,
+                evaluated=c.evaluated - eval0,
+                best_energy=int(eng.best_energy.min()),
+            )
         if self.adapter is not None:
             # Future-work feature: blocks whose searches underperform
             # adopt (perturbed) windows from the best-performing blocks.

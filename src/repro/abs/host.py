@@ -22,6 +22,7 @@ import numpy as np
 from repro.abs.buffers import StoredSolution
 from repro.ga.host import GaConfig, TargetGenerator
 from repro.ga.pool import SolutionPool
+from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
 from repro.utils.rng import RngFactory
 
 
@@ -35,12 +36,14 @@ class Host:
         ga: GaConfig | None = None,
         *,
         rng_factory: RngFactory | None = None,
+        bus: TelemetryBus | NullBus | None = None,
     ) -> None:
         factory = rng_factory or RngFactory(None)
-        self.pool = SolutionPool(n, pool_capacity)
+        self.bus = bus if bus is not None else NULL_BUS
+        self.pool = SolutionPool(n, pool_capacity, bus=self.bus)
         self.pool.seed_random(factory.stream("pool-seed"))       # Step 1
         self.generator = TargetGenerator(
-            self.pool, ga or GaConfig(), seed=factory.stream("ga")
+            self.pool, ga or GaConfig(), seed=factory.stream("ga"), bus=self.bus
         )
         #: Best device-reported solution ever seen (pool eviction-proof).
         self.best_energy: float = math.inf
@@ -65,16 +68,47 @@ class Host:
 
     def absorb(self, solutions: Iterable[StoredSolution]) -> int:
         """Step 3: pool every arrived solution; returns #inserted."""
+        pool = self.pool
+        dup0, worse0 = pool.rejected_duplicate, pool.rejected_worse
+        arrived = 0
         inserted = 0
         for sol in solutions:
+            arrived += 1
             self.absorbed += 1
             if sol.energy < self.best_energy:
                 self.best_energy = sol.energy
                 self.best_x = sol.x.copy()
-            if self.pool.insert(sol.x, sol.energy):
+            if pool.insert(sol.x, sol.energy):
                 inserted += 1
+        bus = self.bus
+        if bus.enabled:
+            bus.counters.inc("host.solutions_absorbed", arrived)
+            rng = pool.finite_energy_range()
+            bus.emit(
+                "host.absorb",
+                arrived=arrived,
+                inserted=inserted,
+                rejected_duplicate=pool.rejected_duplicate - dup0,
+                rejected_worse=pool.rejected_worse - worse0,
+                pool_size=len(pool),
+                pool_best=rng[0] if rng else None,
+                pool_worst=rng[1] if rng else None,
+                pool_spread=rng[1] - rng[0] if rng else None,
+            )
         return inserted
 
     def make_targets(self, count: int) -> list[np.ndarray]:
         """Step 4: GA-generate ``count`` fresh targets."""
-        return self.generator.generate(count)
+        targets = self.generator.generate(count)
+        bus = self.bus
+        if bus.enabled:
+            counts = self.generator.counts
+            bus.counters.inc("host.targets_generated", count)
+            bus.emit(
+                "host.targets",
+                count=count,
+                mutation=counts["mutation"],
+                crossover=counts["crossover"],
+                copy=counts["copy"],
+            )
+        return targets

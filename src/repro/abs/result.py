@@ -33,6 +33,12 @@ class SolveResult:
         polling iteration — the solver's convergence trace.
     n_gpus:
         Devices that produced the result.
+    counters:
+        Per-run counter snapshot (``pool.*``, ``ga.*``, ``engine.*``,
+        ``adapt.*``, ``host.*`` — the full catalog is in
+        ``docs/observability.md``).  Populated by the solver whether or
+        not telemetry is enabled; derived from component state at the
+        end of the run, so it costs nothing on the hot path.
     """
 
     best_x: np.ndarray
@@ -45,6 +51,7 @@ class SolveResult:
     time_to_target: float | None = None
     history: list[tuple[float, int]] = field(default_factory=list)
     n_gpus: int = 1
+    counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def search_rate(self) -> float:

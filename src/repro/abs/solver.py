@@ -27,8 +27,38 @@ from repro.abs.device import DeviceSimulator
 from repro.abs.host import Host
 from repro.abs.result import SolveResult
 from repro.qubo.matrix import WeightsLike, as_weight_matrix
+from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
 from repro.utils.rng import RngFactory
 from repro.utils.timer import Stopwatch
+
+
+def _counter_snapshot(
+    host: Host, engine_counters: dict[str, int], adapt_total: int
+) -> dict[str, int]:
+    """Per-run counter snapshot for :attr:`SolveResult.counters`.
+
+    Derived from component state after the run finishes — available
+    whether or not a telemetry bus was attached.  ``pool.inserted``
+    includes the initial random seeding (Step 1 inserts at ``+∞``).
+    """
+    counts = host.generator.counts
+    snap = {
+        "host.solutions_absorbed": host.absorbed,
+        "pool.inserted": host.pool.inserted,
+        "pool.rejected_duplicate": host.pool.rejected_duplicate,
+        "pool.rejected_worse": host.pool.rejected_worse,
+        "ga.mutation": counts["mutation"],
+        "ga.crossover": counts["crossover"],
+        "ga.copy": counts["copy"],
+        "adapt.reassignments": adapt_total,
+    }
+    snap.update(engine_counters)
+    return dict(sorted(snap.items()))
+
+
+def _merge_counts(into: dict[str, int], add: dict[str, int]) -> None:
+    for key, value in add.items():
+        into[key] = into.get(key, 0) + int(value)
 
 
 class AdaptiveBulkSearch:
@@ -44,7 +74,13 @@ class AdaptiveBulkSearch:
     True
     """
 
-    def __init__(self, weights: WeightsLike, config: AbsConfig | None = None) -> None:
+    def __init__(
+        self,
+        weights: WeightsLike,
+        config: AbsConfig | None = None,
+        *,
+        telemetry: TelemetryBus | NullBus | None = None,
+    ) -> None:
         from repro.qubo.sparse import SparseQubo
 
         if isinstance(weights, SparseQubo):
@@ -56,6 +92,10 @@ class AdaptiveBulkSearch:
         if self.n < 1:
             raise ValueError("problem must have at least one bit")
         self.config = config or AbsConfig(max_rounds=100)
+        #: Telemetry bus; :data:`~repro.telemetry.NULL_BUS` (all no-ops)
+        #: unless the caller wires one in.  The solver never closes it —
+        #: lifecycle belongs to whoever attached the sinks.
+        self.bus = telemetry if telemetry is not None else NULL_BUS
 
     # ------------------------------------------------------------------
     # Public API
@@ -96,6 +136,32 @@ class AdaptiveBulkSearch:
             period=cfg.adapt_period,
             fraction=cfg.adapt_fraction,
             seed=factory.stream("adapt", g),
+            bus=self.bus,
+        )
+
+    def _emit_start(self, mode: str) -> None:
+        cfg = self.config
+        self.bus.emit(
+            "solve.start",
+            mode=mode,
+            n=self.n,
+            n_gpus=cfg.n_gpus,
+            blocks_per_gpu=cfg.blocks_per_gpu,
+            local_steps=cfg.local_steps,
+            pool_capacity=cfg.pool_capacity,
+            seed=cfg.seed,
+            adapt_windows=cfg.adapt_windows,
+        )
+
+    def _emit_end(self, result: SolveResult) -> None:
+        self.bus.emit(
+            "solve.end",
+            best_energy=result.best_energy,
+            rounds=result.rounds,
+            elapsed=result.elapsed,
+            evaluated=result.evaluated,
+            flips=result.flips,
+            reached_target=result.reached_target,
         )
 
     # ------------------------------------------------------------------
@@ -103,8 +169,9 @@ class AdaptiveBulkSearch:
     # ------------------------------------------------------------------
     def _solve_sync(self) -> SolveResult:
         cfg = self.config
+        bus = self.bus
         factory = RngFactory(cfg.seed)
-        host = Host(self.n, cfg.pool_capacity, cfg.ga, rng_factory=factory)
+        host = Host(self.n, cfg.pool_capacity, cfg.ga, rng_factory=factory, bus=bus)
         windows = self._device_windows(factory)
         devices = [
             DeviceSimulator(
@@ -114,10 +181,14 @@ class AdaptiveBulkSearch:
                 local_steps=cfg.local_steps,
                 scan_neighbors=cfg.scan_neighbors,
                 adapter=self._make_adapter(factory, g),
+                bus=bus,
+                device_id=g,
             )
             for g in range(cfg.n_gpus)
         ]
 
+        if bus.enabled:
+            self._emit_start("sync")
         watch = Stopwatch().start()
         targets = host.initial_targets(cfg.total_blocks)
         history: list[tuple[float, int]] = []
@@ -133,6 +204,16 @@ class AdaptiveBulkSearch:
                 sols = device.round(batch)
                 host.absorb(sols)
                 rounds += 1
+                if bus.enabled:
+                    bus.counters.inc("host.rounds")
+                    bus.emit(
+                        "host.round",
+                        round=rounds,
+                        device=g,
+                        best_energy=host.best_energy,
+                        pool_size=len(host.pool),
+                        elapsed=watch.elapsed,
+                    )
                 if self._met_target(host.best_energy):
                     if time_to_target is None:
                         time_to_target = watch.elapsed
@@ -152,9 +233,15 @@ class AdaptiveBulkSearch:
         elapsed = watch.stop()
         evaluated = sum(d.evaluated for d in devices)
         flips = sum(d.engine.counters.flips for d in devices)
+        engine_counts: dict[str, int] = {}
+        for d in devices:
+            _merge_counts(engine_counts, d.engine.counters.as_dict())
+        adapt_total = sum(
+            d.adapter.adaptations for d in devices if d.adapter is not None
+        )
         best_x = host.best_x if host.best_x is not None else np.zeros(self.n, np.uint8)
         best_e = int(host.best_energy) if math.isfinite(host.best_energy) else 0
-        return SolveResult(
+        result = SolveResult(
             best_x=best_x,
             best_energy=best_e,
             elapsed=elapsed,
@@ -165,15 +252,20 @@ class AdaptiveBulkSearch:
             time_to_target=time_to_target,
             history=history,
             n_gpus=cfg.n_gpus,
+            counters=_counter_snapshot(host, engine_counts, adapt_total),
         )
+        if bus.enabled:
+            self._emit_end(result)
+        return result
 
     # ------------------------------------------------------------------
     # Process mode
     # ------------------------------------------------------------------
     def _solve_process(self) -> SolveResult:
         cfg = self.config
+        bus = self.bus
         factory = RngFactory(cfg.seed)
-        host = Host(self.n, cfg.pool_capacity, cfg.ga, rng_factory=factory)
+        host = Host(self.n, cfg.pool_capacity, cfg.ga, rng_factory=factory, bus=bus)
         windows = self._device_windows(factory)
 
         from repro.qubo.sparse import SparseQubo
@@ -200,7 +292,11 @@ class AdaptiveBulkSearch:
         time_to_target: float | None = None
         eval_by_worker = [0] * cfg.n_gpus
         flips_by_worker = [0] * cfg.n_gpus
+        # Latest cumulative counter dict reported by each worker.
+        counts_by_worker: list[dict[str, int]] = [{} for _ in range(cfg.n_gpus)]
 
+        if bus.enabled:
+            self._emit_start("process")
         try:
             for g in range(cfg.n_gpus):
                 p = ctx.Process(
@@ -237,7 +333,9 @@ class AdaptiveBulkSearch:
             done = False
             while not done:
                 try:
-                    worker_id, energies, xs, evaluated, flips = result_q.get(timeout=0.25)
+                    worker_id, energies, xs, evaluated, flips, wcounts = result_q.get(
+                        timeout=0.25
+                    )
                 except queue_mod.Empty:
                     if cfg.time_limit is not None and watch.elapsed >= cfg.time_limit:
                         break
@@ -247,9 +345,29 @@ class AdaptiveBulkSearch:
                 rounds += 1
                 eval_by_worker[worker_id] = evaluated
                 flips_by_worker[worker_id] = flips
+                counts_by_worker[worker_id] = wcounts
+                if bus.enabled:
+                    bus.counters.inc("host.rounds")
+                    bus.emit(
+                        "worker.result",
+                        worker=worker_id,
+                        round=rounds,
+                        best_energy=int(energies.min()),
+                        evaluated=evaluated,
+                        flips=flips,
+                    )
                 host.absorb(
                     StoredSolution(int(e), x) for e, x in zip(energies, xs)
                 )
+                if bus.enabled:
+                    bus.emit(
+                        "host.round",
+                        round=rounds,
+                        device=worker_id,
+                        best_energy=host.best_energy,
+                        pool_size=len(host.pool),
+                        elapsed=watch.elapsed,
+                    )
                 if math.isfinite(host.best_energy):
                     history.append((watch.elapsed, int(host.best_energy)))
                 if self._met_target(host.best_energy):
@@ -264,6 +382,13 @@ class AdaptiveBulkSearch:
                     # Step 4: as many fresh targets as solutions arrived.
                     fresh = host.make_targets(cfg.blocks_per_gpu)
                     target_qs[worker_id].put(self._stack_targets(fresh))
+                    if bus.enabled:
+                        bus.emit(
+                            "host.queue",
+                            device=worker_id,
+                            targets_queued=_safe_qsize(target_qs[worker_id]),
+                            results_queued=_safe_qsize(result_q),
+                        )
         finally:
             stop_evt.set()
             deadline = time.monotonic() + 5.0
@@ -284,9 +409,14 @@ class AdaptiveBulkSearch:
                 shared.unlink()
 
         elapsed = watch.stop()
+        engine_counts: dict[str, int] = {}
+        adapt_total = 0
+        for wcounts in counts_by_worker:
+            adapt_total += int(wcounts.pop("adapt.reassignments", 0))
+            _merge_counts(engine_counts, wcounts)
         best_x = host.best_x if host.best_x is not None else np.zeros(self.n, np.uint8)
         best_e = int(host.best_energy) if math.isfinite(host.best_energy) else 0
-        return SolveResult(
+        result = SolveResult(
             best_x=best_x,
             best_energy=best_e,
             elapsed=elapsed,
@@ -297,7 +427,20 @@ class AdaptiveBulkSearch:
             time_to_target=time_to_target,
             history=history,
             n_gpus=cfg.n_gpus,
+            counters=_counter_snapshot(host, engine_counts, adapt_total),
         )
+        if bus.enabled:
+            self._emit_end(result)
+        return result
+
+
+def _safe_qsize(q: "Queue") -> int:
+    """``Queue.qsize`` is approximate and unimplemented on some
+    platforms (macOS); report -1 rather than crash the host loop."""
+    try:
+        return q.qsize()
+    except (NotImplementedError, OSError):
+        return -1
 
 
 def _worker_main(
@@ -360,6 +503,10 @@ def _worker_main(
                 (s.energy for s in sols), dtype=np.int64, count=len(sols)
             )
             xs = np.stack([s.x for s in sols])
+            wcounts = device.engine.counters.as_dict()
+            wcounts["adapt.reassignments"] = (
+                adapter.adaptations if adapter is not None else 0
+            )
             result_q.put(
                 (
                     worker_id,
@@ -367,6 +514,7 @@ def _worker_main(
                     xs,
                     device.evaluated,
                     device.engine.counters.flips,
+                    wcounts,
                 )
             )
             try:

@@ -9,6 +9,8 @@ model) and returns spins.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
 
 import numpy as np
 
@@ -16,6 +18,7 @@ from repro.abs.config import AbsConfig, WindowSpec
 from repro.abs.result import SolveResult
 from repro.abs.solver import AdaptiveBulkSearch
 from repro.qubo.ising import IsingModel, ising_to_qubo, bits_to_spins
+from repro.telemetry import NullBus, TelemetryBus, make_bus
 
 
 def solve(
@@ -31,6 +34,9 @@ def solve(
     adapt_windows: bool = False,
     seed: int | None = None,
     mode: str = "sync",
+    telemetry: TelemetryBus | NullBus | None = None,
+    trace_out: Union[str, Path, None] = None,
+    log_level: str | None = None,
 ) -> SolveResult:
     """Solve a QUBO with Adaptive Bulk Search in one call.
 
@@ -39,6 +45,15 @@ def solve(
     At least one stopping criterion (``time_limit`` / ``max_rounds`` /
     ``target_energy``) must be given; when none is, a 2-second budget is
     applied.
+
+    Observability (all optional, off by default; see
+    ``docs/observability.md``): pass a ``telemetry`` bus you own, or let
+    this function build one — ``trace_out`` writes a schema'd JSONL
+    trace, ``log_level`` (``"info"``/``"debug"``) logs progress to
+    stderr.  A bus built here is closed before returning; a caller-
+    provided ``telemetry`` bus is left open (its sinks are yours).
+    Telemetry never changes the search: a seeded run returns the same
+    result with it on or off.
 
     >>> from repro import QuboMatrix
     >>> from repro.api import solve
@@ -59,7 +74,14 @@ def solve(
         max_rounds=max_rounds,
         seed=seed,
     )
-    return AdaptiveBulkSearch(weights, config).solve(mode)
+    owns_bus = telemetry is None and (trace_out is not None or log_level is not None)
+    if telemetry is None:
+        telemetry = make_bus(trace_out, log_level)
+    try:
+        return AdaptiveBulkSearch(weights, config, telemetry=telemetry).solve(mode)
+    finally:
+        if owns_bus:
+            telemetry.close()
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,11 @@ Subcommands
 - ``occupancy`` — print the Table 2 occupancy sweep for a problem size
 - ``rate``      — print modeled search rates (calibrated Table 2 model)
 - ``analyze``   — landscape anatomy of an instance (ruggedness, traps)
+- ``trace``     — validate a ``--trace-out`` JSONL file against the schema
+
+The solving subcommands accept ``--trace-out FILE`` (write the
+telemetry JSONL trace documented in ``docs/observability.md``) and
+``--log-level {info,debug}`` (progress lines / every event on stderr).
 """
 
 from __future__ import annotations
@@ -18,6 +23,30 @@ import sys
 from typing import Sequence
 
 from repro.utils.tables import Table
+
+
+def _telemetry(args: argparse.Namespace):
+    """Build the (possibly null) bus from the shared observability flags."""
+    from repro.telemetry import make_bus
+
+    return make_bus(
+        getattr(args, "trace_out", None), getattr(args, "log_level", None)
+    )
+
+
+def _add_observability_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a telemetry JSONL trace (schema: docs/observability.md)",
+    )
+    p.add_argument(
+        "--log-level",
+        choices=("info", "debug"),
+        default=None,
+        help="log progress (info) or every event (debug) to stderr",
+    )
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -36,7 +65,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         max_rounds=args.rounds,
         seed=args.seed,
     )
-    result = AdaptiveBulkSearch(matrix, config).solve(args.mode)
+    with _telemetry(args) as bus:
+        result = AdaptiveBulkSearch(matrix, config, telemetry=bus).solve(args.mode)
     print(f"instance      : {matrix.name} (n={matrix.n})")
     print(f"best energy   : {result.best_energy}")
     print(f"elapsed       : {result.elapsed:.4g} s")
@@ -45,6 +75,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.target is not None:
         status = "reached" if result.reached_target else "NOT reached"
         print(f"target {args.target}: {status}")
+    if args.trace_out:
+        print(f"trace         -> {args.trace_out}")
     if args.out:
         import numpy as np
 
@@ -83,10 +115,13 @@ def _cmd_maxcut(args: argparse.Namespace) -> int:
         blocks_per_gpu=args.blocks,
         local_steps=args.local_steps,
         pool_capacity=args.pool,
+        adapt_windows=args.adapt,
         time_limit=args.time_limit,
+        max_rounds=args.rounds,
         seed=args.seed,
     )
-    result = AdaptiveBulkSearch(qubo, config).solve()
+    with _telemetry(args) as bus:
+        result = AdaptiveBulkSearch(qubo, config, telemetry=bus).solve()
     cut = -result.best_energy
     print(f"graph       : {source}")
     print(
@@ -96,6 +131,8 @@ def _cmd_maxcut(args: argparse.Namespace) -> int:
     print(f"best cut    : {cut} (verified {cut_value(graph, result.best_x)})")
     print(f"elapsed     : {result.elapsed:.4g} s")
     print(f"search rate : {result.search_rate:.4g} solutions/s")
+    if args.trace_out:
+        print(f"trace       -> {args.trace_out}")
     return 0
 
 
@@ -133,7 +170,8 @@ def _cmd_tsp(args: argparse.Namespace) -> int:
         time_limit=args.time_limit,
         seed=args.seed,
     )
-    result = AdaptiveBulkSearch(tq.qubo, config).solve()
+    with _telemetry(args) as bus:
+        result = AdaptiveBulkSearch(tq.qubo, config, telemetry=bus).solve()
     print(f"instance    : {source} ({inst.cities} cities, {tq.n_bits} bits)")
     print(f"reference   : {ref} ({ref_kind}); target {target_len} (+{args.slack:.0%})")
     tour = decode_tour(result.best_x, inst.cities)
@@ -145,6 +183,12 @@ def _cmd_tsp(args: argparse.Namespace) -> int:
     print(f"tour        : {' '.join(map(str, tour))}")
     print(f"elapsed     : {result.elapsed:.4g} s")
     return 0 if result.reached_target else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.schema import main as schema_main
+
+    return schema_main([args.trace])
 
 
 def _cmd_random(args: argparse.Namespace) -> int:
@@ -254,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="adapt per-block windows automatically (paper §5 future work)",
     )
     p.add_argument("--out", default=None, help="write best solution to .npy")
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("maxcut", help="solve Max-Cut (G-set file or catalog name)")
@@ -263,7 +308,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--local-steps", type=int, default=64)
     p.add_argument("--pool", type=int, default=48)
     p.add_argument("--time-limit", type=float, default=3.0)
+    p.add_argument("--rounds", type=int, default=None, help="round budget")
+    p.add_argument(
+        "--adapt",
+        action="store_true",
+        help="adapt per-block windows automatically (paper §5 future work)",
+    )
     p.add_argument("--seed", type=int, default=None)
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_maxcut)
 
     p = sub.add_parser("tsp", help="solve a TSP (TSPLIB file or catalog name)")
@@ -274,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pool", type=int, default=64)
     p.add_argument("--time-limit", type=float, default=20.0)
     p.add_argument("--seed", type=int, default=None)
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_tsp)
 
     p = sub.add_parser("random", help="generate a random 16-bit instance")
@@ -289,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("rate", help="print modeled search rates (Table 2)")
     p.add_argument("--gpus", type=int, default=4)
     p.set_defaults(func=_cmd_rate)
+
+    p = sub.add_parser(
+        "trace", help="validate a telemetry JSONL trace against the schema"
+    )
+    p.add_argument("trace", help="path to a --trace-out JSONL file")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("analyze", help="landscape anatomy of an instance")
     p.add_argument("instance", help="path to a .qubo/.json/.npy instance")

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.ga.operators import crossover_uniform, mutate, select_parent
 from repro.ga.pool import SolutionPool
+from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_probability
 
@@ -60,10 +61,13 @@ class TargetGenerator:
         pool: SolutionPool,
         config: GaConfig | None = None,
         seed: SeedLike = None,
+        *,
+        bus: TelemetryBus | NullBus | None = None,
     ) -> None:
         self.pool = pool
         self.config = config or GaConfig()
         self._rng = as_generator(seed)
+        self._bus = bus if bus is not None else NULL_BUS
         #: Operator usage counters (diagnostics).
         self.counts = {"mutation": 0, "crossover": 0, "copy": 0}
 
@@ -75,12 +79,15 @@ class TargetGenerator:
         parent = select_parent(self.pool, rng, elite_bias=cfg.elite_bias)
         if u < cfg.p_mutation:
             self.counts["mutation"] += 1
+            self._bus.counters.inc("ga.mutation")
             return mutate(parent, rng, cfg.mutation_flips)
         if u < cfg.p_mutation + cfg.p_crossover and len(self.pool) >= 2:
             self.counts["crossover"] += 1
+            self._bus.counters.inc("ga.crossover")
             other = select_parent(self.pool, rng, elite_bias=cfg.elite_bias)
             return crossover_uniform(parent, other, rng)
         self.counts["copy"] += 1
+        self._bus.counters.inc("ga.copy")
         return parent.copy()
 
     def generate(self, count: int) -> list[np.ndarray]:

@@ -20,6 +20,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
 from repro.utils.rng import SeedLike, as_generator, random_bits
 from repro.utils.validation import check_bit_vector
 
@@ -45,6 +46,10 @@ class SolutionPool:
         Bits per solution.
     capacity:
         Maximum number of pooled solutions (the paper's ``m``).
+    bus:
+        Optional telemetry bus; insert outcomes feed the session
+        counters ``pool.inserted`` / ``pool.rejected_duplicate`` /
+        ``pool.rejected_worse`` (no events — the host emits those).
 
     Notes
     -----
@@ -54,13 +59,20 @@ class SolutionPool:
     bit-vector digests backs an O(1) duplicate fast path.
     """
 
-    def __init__(self, n: int, capacity: int) -> None:
+    def __init__(
+        self,
+        n: int,
+        capacity: int,
+        *,
+        bus: TelemetryBus | NullBus | None = None,
+    ) -> None:
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.n = int(n)
         self.capacity = int(capacity)
+        self._bus = bus if bus is not None else NULL_BUS
         self._energies: list[float] = []
         self._solutions: list[np.ndarray] = []
         self._keys: set[bytes] = set()
@@ -100,10 +112,12 @@ class SolutionPool:
         key = xb.tobytes()
         if key in self._keys:
             self.rejected_duplicate += 1
+            self._bus.counters.inc("pool.rejected_duplicate")
             return False
         if len(self._energies) >= self.capacity:
             if energy >= self._energies[-1]:
                 self.rejected_worse += 1
+                self._bus.counters.inc("pool.rejected_worse")
                 return False
             worst = self._solutions.pop()
             self._energies.pop()
@@ -115,6 +129,7 @@ class SolutionPool:
         self._solutions.insert(pos, stored)
         self._keys.add(key)
         self.inserted += 1
+        self._bus.counters.inc("pool.inserted")
         return True
 
     def contains(self, x: np.ndarray) -> bool:
@@ -150,6 +165,18 @@ class SolutionPool:
     def energies(self) -> list[float]:
         """Sorted energies (copy)."""
         return list(self._energies)
+
+    def finite_energy_range(self) -> tuple[float, float] | None:
+        """``(best, worst)`` over entries with real energies.
+
+        ``None`` while the pool holds only unevaluated (``+∞``) seeds.
+        The span ``worst - best`` is the *pool energy spread* — the
+        diversity signal the ``host.absorb`` telemetry event reports.
+        """
+        finite = [e for e in self._energies if math.isfinite(e)]
+        if not finite:
+            return None
+        return finite[0], finite[-1]
 
     def evaluated_fraction(self) -> float:
         """Share of entries with a real (non-∞) energy."""

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.qubo.matrix import WeightsLike, as_weight_matrix
+from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
 from repro.utils.validation import check_bit_vector
 
 _INT64_MAX = np.iinfo(np.int64).max
@@ -42,6 +43,17 @@ class EngineCounters:
     evaluated: int = 0
     straight_flips: int = 0
     local_flips: int = 0
+    straight_retirements: int = 0
+
+    def as_dict(self, prefix: str = "engine.") -> dict[str, int]:
+        """Counters as a flat ``{prefixed name: value}`` mapping."""
+        return {
+            f"{prefix}flips": self.flips,
+            f"{prefix}evaluated": self.evaluated,
+            f"{prefix}straight_flips": self.straight_flips,
+            f"{prefix}local_flips": self.local_flips,
+            f"{prefix}straight_retirements": self.straight_retirements,
+        }
 
 
 class BulkSearchEngine:
@@ -62,6 +74,11 @@ class BulkSearchEngine:
     offsets:
         Initial window offsets.  Default staggers blocks across the bit
         range so equal-window blocks don't walk in lockstep.
+    bus:
+        Optional :class:`~repro.telemetry.TelemetryBus`.  The engine
+        emits one aggregate event per :meth:`straight_to` /
+        :meth:`local_steps` call — never per flip — so a disabled bus
+        costs one attribute check per batch.
     """
 
     def __init__(
@@ -71,6 +88,7 @@ class BulkSearchEngine:
         *,
         windows: int | np.ndarray = 16,
         offsets: np.ndarray | None = None,
+        bus: TelemetryBus | NullBus | None = None,
     ) -> None:
         from repro.qubo.sparse import SparseQubo
 
@@ -115,6 +133,7 @@ class BulkSearchEngine:
         self.best_x = np.zeros((self.B, self.n), dtype=np.uint8)
         self.counters = EngineCounters()
         self._ids = np.arange(self.B)
+        self._bus = bus if bus is not None else NULL_BUS
 
     # ------------------------------------------------------------------
     # Core batched flip (Eq. 16 for a subset of blocks)
@@ -225,11 +244,16 @@ class BulkSearchEngine:
         if T.dtype != np.uint8:
             T = T.astype(np.uint8)
         total = 0
+        iters = 0
+        retired: int | None = None
         while True:
             diff = self.X ^ T
             active = diff.any(axis=1)
+            if retired is None:
+                retired = int(active.sum())
             if not active.any():
                 break
+            iters += 1
             ids = self._ids[active]
             masked = np.where(diff[ids].astype(bool), self.delta[ids], _INT64_MAX)
             ks = masked.argmin(axis=1)
@@ -243,6 +267,18 @@ class BulkSearchEngine:
                 self.best_x[rid] = self.X[rid]
             total += len(ids)
         self.counters.straight_flips += total
+        self.counters.straight_retirements += retired or 0
+        bus = self._bus
+        if bus.enabled:
+            bus.counters.inc("engine.straight_flips", total)
+            bus.counters.inc("engine.straight_retirements", retired or 0)
+            bus.emit(
+                "engine.straight",
+                flips=total,
+                iters=iters,
+                retired=retired or 0,
+                already_at_target=self.B - (retired or 0),
+            )
         return total
 
     def local_steps(self, steps: int) -> None:
@@ -266,6 +302,16 @@ class BulkSearchEngine:
             self._update_best(ids)
             self.offsets = (self.offsets + self.windows) % n
         self.counters.local_flips += steps * self.B
+        bus = self._bus
+        if bus.enabled and steps:
+            bus.counters.inc("engine.local_flips", steps * self.B)
+            bus.counters.inc("engine.evaluated", steps * self.B * n)
+            bus.emit(
+                "engine.local",
+                steps=steps,
+                flips=steps * self.B,
+                evaluated=steps * self.B * n,
+            )
 
     # ------------------------------------------------------------------
     # Readout

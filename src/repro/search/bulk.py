@@ -23,6 +23,7 @@ from repro.qubo.state import SearchState
 from repro.search.base import LocalSearch, SearchRecord
 from repro.search.deltasearch import advance_to
 from repro.search.policies import SelectionPolicy, WindowMinDeltaPolicy
+from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -64,9 +65,12 @@ class BulkLocalSearch(LocalSearch):
         policy: SelectionPolicy | None = None,
         *,
         start_from_zero: bool = True,
+        bus: TelemetryBus | NullBus | None = None,
     ) -> None:
         self.policy = policy or WindowMinDeltaPolicy(window=16)
         self.start_from_zero = bool(start_from_zero)
+        #: Telemetry bus; one aggregate ``search.run`` event per run.
+        self.bus = bus if bus is not None else NULL_BUS
 
     def run(
         self,
@@ -110,6 +114,17 @@ class BulkLocalSearch(LocalSearch):
             if record_history:
                 history.append(best_e)
 
+        bus = self.bus
+        if bus.enabled:
+            bus.counters.inc("search.flips", state.flips)
+            bus.counters.inc("search.evaluated", evaluated)
+            bus.emit(
+                "search.run",
+                steps=steps,
+                flips=state.flips,
+                evaluated=evaluated,
+                best_energy=int(best_e),
+            )
         return SearchRecord(
             best_x=best_x,
             best_energy=best_e,

@@ -1,0 +1,107 @@
+"""Instrumentation & telemetry for the ABS pipeline.
+
+A lightweight, zero-dependency observability layer: components emit
+named events onto a :class:`TelemetryBus` (off by default — the shared
+:data:`NULL_BUS` makes every emit a no-op) and sinks route them to a
+JSONL trace file, an in-memory list, the stdlib logger, or a periodic
+progress reporter.  ``docs/observability.md`` documents every event and
+counter; :mod:`repro.telemetry.schema` validates traces against that
+contract.
+
+Typical use::
+
+    from repro.telemetry import TelemetryBus, JsonlSink
+    from repro.abs import AdaptiveBulkSearch, AbsConfig
+
+    with TelemetryBus([JsonlSink("run.jsonl")]) as bus:
+        result = AdaptiveBulkSearch(q, cfg, telemetry=bus).solve()
+    print(result.counters)  # per-run counter snapshot (always available)
+
+or, from the CLI, ``python -m repro solve inst.qubo --trace-out run.jsonl
+--log-level info``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from pathlib import Path
+from typing import Union
+
+from repro.telemetry.bus import (
+    NULL_BUS,
+    CounterRegistry,
+    NullBus,
+    Sink,
+    TelemetryBus,
+)
+from repro.telemetry.events import Event, jsonable
+from repro.telemetry.schema import (
+    EVENT_SCHEMAS,
+    SchemaError,
+    validate_record,
+    validate_trace,
+)
+from repro.telemetry.sinks import (
+    JsonlSink,
+    LoggingSink,
+    MemorySink,
+    ProgressReporter,
+)
+
+__all__ = [
+    "NULL_BUS",
+    "CounterRegistry",
+    "Event",
+    "EVENT_SCHEMAS",
+    "JsonlSink",
+    "LoggingSink",
+    "MemorySink",
+    "NullBus",
+    "ProgressReporter",
+    "SchemaError",
+    "Sink",
+    "TelemetryBus",
+    "jsonable",
+    "make_bus",
+    "validate_record",
+    "validate_trace",
+]
+
+_LOG_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO}
+
+
+def make_bus(
+    trace_out: Union[str, Path, None] = None,
+    log_level: str | None = None,
+    *,
+    progress_interval: float = 1.0,
+) -> TelemetryBus | NullBus:
+    """Build a bus from the two CLI knobs; :data:`NULL_BUS` if both unset.
+
+    ``trace_out`` attaches a :class:`JsonlSink` writing the schema'd
+    trace.  ``log_level`` is ``"info"`` (periodic progress lines on
+    stderr) or ``"debug"`` (every event).  The caller owns the returned
+    bus and should ``close()`` it (or use it as a context manager) so
+    the JSONL file is flushed.
+    """
+    if trace_out is None and log_level is None:
+        return NULL_BUS
+    if log_level is not None and log_level not in _LOG_LEVELS:
+        raise ValueError(
+            f"log_level must be one of {sorted(_LOG_LEVELS)}, got {log_level!r}"
+        )
+    bus = TelemetryBus()
+    if trace_out is not None:
+        bus.attach(JsonlSink(trace_out))
+    if log_level is not None:
+        logger = logging.getLogger("repro.telemetry")
+        logger.setLevel(_LOG_LEVELS[log_level])
+        if not logger.handlers:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+            logger.addHandler(handler)
+        if log_level == "debug":
+            bus.attach(LoggingSink(logger))
+        bus.attach(ProgressReporter(progress_interval, log=logger))
+    return bus

@@ -1,0 +1,77 @@
+"""Telemetry events: the unit of observation flowing through the bus.
+
+An :class:`Event` is an immutable record of one thing the pipeline did —
+a host round completing, a device finishing its ``local_steps`` batch, a
+window adaptation firing.  Events carry a name (dotted, lowercase, see
+``docs/observability.md`` for the full schema), a timestamp relative to
+the bus's creation, a monotone sequence number, and a flat field
+mapping.
+
+Field values may be NumPy scalars or small arrays at emit time;
+:func:`jsonable` normalizes them to plain JSON types so every sink can
+serialize without knowing about NumPy.  Non-finite floats (the pool's
+``+∞`` placeholder energies) become ``null`` — standard JSON has no
+infinity literal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Event:
+    """One telemetry observation.
+
+    Attributes
+    ----------
+    name:
+        Dotted event name, e.g. ``"host.round"``.
+    t:
+        Seconds since the owning bus was created (monotonic clock).
+    seq:
+        1-based emission index on the owning bus — total ordering even
+        when two events share a timestamp.
+    fields:
+        Event payload; keys are documented per event name in
+        ``docs/observability.md``.
+    """
+
+    name: str
+    t: float
+    seq: int
+    fields: Mapping[str, Any]
+
+    def to_record(self) -> dict[str, Any]:
+        """Flat JSON-ready dict: ``{"event", "t", "seq", **fields}``."""
+        rec: dict[str, Any] = {"event": self.name, "t": self.t, "seq": self.seq}
+        for k, v in self.fields.items():
+            rec[k] = jsonable(v)
+        return rec
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce ``value`` to a plain JSON type.
+
+    NumPy integers/floats/bools become Python scalars, small arrays
+    become lists, non-finite floats become ``None``.  Anything already
+    JSON-representable passes through unchanged.
+    """
+    if isinstance(value, (np.bool_, bool)):
+        return bool(value)
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        f = float(value)
+        return f if math.isfinite(f) else None
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    return value

@@ -1,0 +1,228 @@
+"""The documented event schema and a JSONL trace validator.
+
+This module is the machine-checkable twin of ``docs/observability.md``:
+every event the pipeline can emit is declared here with its required
+and optional fields, and :func:`validate_trace` checks a ``--trace-out``
+JSONL file line by line against the declarations.  ``make trace-demo``
+and the ``python -m repro trace`` subcommand both run this validator,
+so the docs, the emit sites, and the schema cannot drift apart
+silently.
+
+Run directly on a trace file::
+
+    python -m repro.telemetry.schema out.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+#: Type groups used in field specs.  ``bool`` is excluded from INT/NUM
+#: (JSON distinguishes ``true`` from ``1``; so do we).
+INT = ("int",)
+NUM = ("num",)
+STR = ("str",)
+BOOL = ("bool",)
+OPT_INT = ("int", "null")
+OPT_NUM = ("num", "null")
+
+
+def _type_ok(value: Any, kinds: Sequence[str]) -> bool:
+    for kind in kinds:
+        if kind == "null" and value is None:
+            return True
+        if kind == "bool" and isinstance(value, bool):
+            return True
+        if kind == "int" and isinstance(value, int) and not isinstance(value, bool):
+            return True
+        if kind == "num" and isinstance(value, (int, float)) and not isinstance(value, bool):
+            return True
+        if kind == "str" and isinstance(value, str):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Field contract for one event name."""
+
+    required: Mapping[str, Sequence[str]]
+    optional: Mapping[str, Sequence[str]] = field(default_factory=dict)
+
+
+#: Every event name the pipeline emits, with its payload contract.
+#: Keep in lock-step with docs/observability.md.
+EVENT_SCHEMAS: dict[str, EventSpec] = {
+    # Solver lifecycle -------------------------------------------------
+    "solve.start": EventSpec(
+        required={
+            "mode": STR, "n": INT, "n_gpus": INT, "blocks_per_gpu": INT,
+            "local_steps": INT, "pool_capacity": INT, "seed": OPT_INT,
+            "adapt_windows": BOOL,
+        }
+    ),
+    "solve.end": EventSpec(
+        required={
+            "best_energy": INT, "rounds": INT, "elapsed": NUM,
+            "evaluated": INT, "flips": INT, "reached_target": BOOL,
+        }
+    ),
+    # Host loop (paper §3.1 Steps 2–4) ---------------------------------
+    "host.round": EventSpec(
+        required={
+            "round": INT, "device": INT, "best_energy": OPT_NUM,
+            "pool_size": INT, "elapsed": NUM,
+        }
+    ),
+    "host.absorb": EventSpec(
+        required={
+            "arrived": INT, "inserted": INT, "rejected_duplicate": INT,
+            "rejected_worse": INT, "pool_size": INT, "pool_best": OPT_NUM,
+            "pool_worst": OPT_NUM, "pool_spread": OPT_NUM,
+        }
+    ),
+    "host.targets": EventSpec(
+        required={"count": INT, "mutation": INT, "crossover": INT, "copy": INT}
+    ),
+    "host.queue": EventSpec(
+        required={"device": INT, "targets_queued": INT, "results_queued": INT}
+    ),
+    "worker.result": EventSpec(
+        required={
+            "worker": INT, "round": INT, "best_energy": INT,
+            "evaluated": INT, "flips": INT,
+        }
+    ),
+    # Device loop (paper §3.2 Steps 2–5) -------------------------------
+    "device.round": EventSpec(
+        required={
+            "device": INT, "round": INT, "straight_flips": INT,
+            "retired": INT, "local_flips": INT, "evaluated": INT,
+            "best_energy": INT,
+        }
+    ),
+    "engine.straight": EventSpec(
+        required={
+            "flips": INT, "iters": INT, "retired": INT,
+            "already_at_target": INT,
+        }
+    ),
+    "engine.local": EventSpec(
+        required={"steps": INT, "flips": INT, "evaluated": INT}
+    ),
+    # Window adaptation (paper §5 future work) -------------------------
+    "adapt.windows": EventSpec(
+        required={
+            "reassigned": INT, "window_min": INT, "window_max": INT,
+            "window_mean": NUM,
+        }
+    ),
+    # Scalar Algorithm-4 reference search ------------------------------
+    "search.run": EventSpec(
+        required={"steps": INT, "flips": INT, "evaluated": INT, "best_energy": INT}
+    ),
+}
+
+#: Fields present on every record regardless of event name.
+COMMON_FIELDS: dict[str, Sequence[str]] = {"event": STR, "t": NUM, "seq": INT}
+
+
+class SchemaError(ValueError):
+    """Raised for a record that violates the declared schema."""
+
+
+def validate_record(record: Mapping[str, Any]) -> None:
+    """Check one JSONL record; raises :class:`SchemaError` on violation."""
+    for name, kinds in COMMON_FIELDS.items():
+        if name not in record:
+            raise SchemaError(f"missing common field {name!r}")
+        if not _type_ok(record[name], kinds):
+            raise SchemaError(
+                f"field {name!r} has wrong type {type(record[name]).__name__}"
+            )
+    event = record["event"]
+    spec = EVENT_SCHEMAS.get(event)
+    if spec is None:
+        raise SchemaError(f"unknown event name {event!r}")
+    payload = {k: v for k, v in record.items() if k not in COMMON_FIELDS}
+    for fname, kinds in spec.required.items():
+        if fname not in payload:
+            raise SchemaError(f"{event}: missing required field {fname!r}")
+        if not _type_ok(payload[fname], kinds):
+            raise SchemaError(
+                f"{event}: field {fname!r} has wrong type "
+                f"{type(payload[fname]).__name__} (want {'/'.join(kinds)})"
+            )
+    for fname, value in payload.items():
+        if fname in spec.required:
+            continue
+        if fname not in spec.optional:
+            raise SchemaError(f"{event}: undeclared field {fname!r}")
+        if not _type_ok(value, spec.optional[fname]):
+            raise SchemaError(
+                f"{event}: field {fname!r} has wrong type {type(value).__name__}"
+            )
+
+
+def validate_trace(path: str | Path) -> dict[str, int]:
+    """Validate a JSONL trace file; returns ``{event name: count}``.
+
+    Raises :class:`SchemaError` naming the first offending line, or
+    :class:`OSError` if the file cannot be read.  Sequence numbers must
+    be strictly increasing (the bus guarantees it; a shuffled or
+    truncated-and-concatenated file is not a valid trace).
+    """
+    counts: dict[str, int] = {}
+    last_seq = 0
+    with Path(path).open(encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"line {lineno}: not valid JSON ({exc})") from exc
+            if not isinstance(record, dict):
+                raise SchemaError(f"line {lineno}: record is not a JSON object")
+            try:
+                validate_record(record)
+            except SchemaError as exc:
+                raise SchemaError(f"line {lineno}: {exc}") from exc
+            if record["seq"] <= last_seq:
+                raise SchemaError(
+                    f"line {lineno}: seq {record['seq']} not increasing "
+                    f"(previous {last_seq})"
+                )
+            last_seq = record["seq"]
+            counts[record["event"]] = counts.get(record["event"], 0) + 1
+    return counts
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry: validate a trace file and print per-event counts."""
+    parser = argparse.ArgumentParser(
+        description="Validate an ABS telemetry JSONL trace against the schema."
+    )
+    parser.add_argument("trace", help="path to a --trace-out JSONL file")
+    args = parser.parse_args(argv)
+    try:
+        counts = validate_trace(args.trace)
+    except (SchemaError, OSError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    total = sum(counts.values())
+    width = max((len(n) for n in counts), default=5)
+    for name in sorted(counts):
+        print(f"{name:<{width}}  {counts[name]}")
+    print(f"OK: {total} events, {len(counts)} event types")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

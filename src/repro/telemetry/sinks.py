@@ -1,0 +1,144 @@
+"""Event sinks: where bus events go.
+
+- :class:`JsonlSink` — one compact JSON object per line, the on-disk
+  trace format (``--trace-out``; schema in ``docs/observability.md``).
+- :class:`MemorySink` — collects events in a list; tests and notebooks.
+- :class:`LoggingSink` — forwards every event to the stdlib
+  ``repro.telemetry`` logger at DEBUG (``--log-level debug``).
+- :class:`ProgressReporter` — rate-limited human-readable progress lines
+  at INFO, driven by ``host.round`` / ``solve.end`` events
+  (``--log-level info``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from pathlib import Path
+from typing import Callable, Union
+
+from repro.telemetry.events import Event
+
+PathLike = Union[str, Path]
+
+logger = logging.getLogger("repro.telemetry")
+
+
+class JsonlSink:
+    """Writes each event as one JSON line to ``path``.
+
+    The file handle is line-buffered through an internal list and
+    flushed every ``flush_every`` events and on :meth:`close`, so a
+    crashed run still leaves a mostly-complete trace without paying a
+    syscall per event.
+    """
+
+    def __init__(self, path: PathLike, *, flush_every: int = 64) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = Path(path)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._buffer: list[str] = []
+        self._flush_every = int(flush_every)
+        self.written = 0
+
+    def handle(self, event: Event) -> None:
+        self._buffer.append(json.dumps(event.to_record(), separators=(",", ":")))
+        self.written += 1
+        if len(self._buffer) >= self._flush_every:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close; safe to call more than once."""
+        if not self._fh.closed:
+            self._flush()
+            self._fh.close()
+
+
+class MemorySink:
+    """Keeps every event in :attr:`events` (in emission order)."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def handle(self, event: Event) -> None:
+        self.events.append(event)
+
+    def records(self) -> list[dict]:
+        """All events as JSON-ready records (what a JSONL file would hold)."""
+        return [e.to_record() for e in self.events]
+
+    def named(self, name: str) -> list[Event]:
+        """Events whose name equals ``name``."""
+        return [e for e in self.events if e.name == name]
+
+    def names(self) -> set[str]:
+        """Distinct event names seen so far."""
+        return {e.name for e in self.events}
+
+
+class LoggingSink:
+    """Logs every event at DEBUG on the ``repro.telemetry`` logger."""
+
+    def __init__(self, log: logging.Logger | None = None) -> None:
+        self._log = log or logger
+
+    def handle(self, event: Event) -> None:
+        self._log.debug("%s t=%.4f %s", event.name, event.t, dict(event.fields))
+
+
+class ProgressReporter:
+    """Human-readable progress lines, at most one per ``interval`` seconds.
+
+    Watches ``host.round`` events (one per device round in sync mode,
+    one per worker result in process mode) and always reports the final
+    ``solve.end``.  Lines go to the ``repro.telemetry`` logger at INFO
+    so ``--log-level info`` surfaces them on stderr without touching the
+    solver's stdout output.
+    """
+
+    def __init__(
+        self,
+        interval: float = 1.0,
+        *,
+        log: logging.Logger | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if interval < 0:
+            raise ValueError(f"interval must be non-negative, got {interval}")
+        self.interval = float(interval)
+        self._log = log or logger
+        self._clock = clock
+        self._last = -float("inf")
+        self.reported = 0
+
+    def handle(self, event: Event) -> None:
+        if event.name == "solve.end":
+            f = event.fields
+            self._log.info(
+                "solve done: best=%s rounds=%s elapsed=%.3gs evaluated=%s",
+                f.get("best_energy"), f.get("rounds"), f.get("elapsed", 0.0),
+                f.get("evaluated"),
+            )
+            self.reported += 1
+            return
+        if event.name != "host.round":
+            return
+        now = self._clock()
+        if now - self._last < self.interval:
+            return
+        self._last = now
+        f = event.fields
+        self._log.info(
+            "round %s (device %s): best=%s pool=%s t=%.3gs",
+            f.get("round"), f.get("device"), f.get("best_energy"),
+            f.get("pool_size"), f.get("elapsed", 0.0),
+        )
+        self.reported += 1

@@ -1,0 +1,108 @@
+"""Tests for the telemetry bus and counter registry."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_BUS,
+    CounterRegistry,
+    MemorySink,
+    NullBus,
+    TelemetryBus,
+)
+
+
+class TestCounterRegistry:
+    def test_starts_empty(self):
+        reg = CounterRegistry()
+        assert len(reg) == 0
+        assert reg.snapshot() == {}
+        assert reg.get("anything") == 0
+
+    def test_inc_accumulates(self):
+        reg = CounterRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.inc("b", 2)
+        assert reg.get("a") == 5
+        assert reg.get("b") == 2
+
+    def test_snapshot_sorted_and_copied(self):
+        reg = CounterRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "z"]
+        snap["a"] = 99
+        assert reg.get("a") == 1
+
+    def test_reset(self):
+        reg = CounterRegistry()
+        reg.inc("x", 7)
+        reg.reset()
+        assert reg.snapshot() == {}
+
+
+class TestTelemetryBus:
+    def test_emits_to_all_sinks_in_order(self):
+        s1, s2 = MemorySink(), MemorySink()
+        bus = TelemetryBus([s1])
+        bus.attach(s2)
+        bus.emit("solve.start", mode="sync")
+        bus.emit("solve.end", best_energy=-1)
+        assert [e.name for e in s1.events] == ["solve.start", "solve.end"]
+        assert [e.name for e in s2.events] == ["solve.start", "solve.end"]
+
+    def test_seq_strictly_increasing(self):
+        sink = MemorySink()
+        bus = TelemetryBus([sink])
+        for _ in range(5):
+            bus.emit("tick")
+        assert [e.seq for e in sink.events] == [1, 2, 3, 4, 5]
+
+    def test_timestamps_relative_and_nondecreasing(self):
+        times = iter([10.0, 10.5, 11.25])
+        sink = MemorySink()
+        bus = TelemetryBus([sink], clock=lambda: next(times))
+        bus.emit("a")
+        bus.emit("b")
+        assert [e.t for e in sink.events] == [0.5, 1.25]
+
+    def test_detach(self):
+        sink = MemorySink()
+        bus = TelemetryBus([sink])
+        bus.detach(sink)
+        bus.emit("gone")
+        assert sink.events == []
+        bus.detach(sink)  # no-op on a sink that is not attached
+
+    def test_enabled_flag(self):
+        assert TelemetryBus().enabled is True
+        assert NullBus().enabled is False
+        assert NULL_BUS.enabled is False
+
+    def test_context_manager_closes_sinks(self, tmp_path):
+        from repro.telemetry import JsonlSink
+
+        path = tmp_path / "t.jsonl"
+        with TelemetryBus() as bus:
+            bus.attach(JsonlSink(path))
+            bus.emit("solve.start", mode="sync")
+        assert path.read_text().count("\n") == 1
+
+
+class TestNullBus:
+    def test_everything_is_a_noop(self):
+        bus = NullBus()
+        bus.emit("whatever", x=1)
+        bus.counters.inc("a", 100)
+        assert bus.counters.snapshot() == {}
+        assert bus.sinks == ()
+        bus.close()
+
+    def test_shared_instance_never_accumulates(self):
+        NULL_BUS.counters.inc("pool.inserted", 10)
+        assert NULL_BUS.counters.get("pool.inserted") == 0
+
+    def test_context_manager(self):
+        with NullBus() as bus:
+            bus.emit("x")

@@ -1,0 +1,78 @@
+"""CLI observability flags: --trace-out / --log-level and `trace`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import validate_trace
+
+
+@pytest.fixture
+def instance(tmp_path):
+    path = tmp_path / "small.qubo"
+    assert main(["random", "24", str(path), "--seed", "3"]) == 0
+    return path
+
+
+def _solve_args(instance, extra=()):
+    return [
+        "solve", str(instance),
+        "--rounds", "4", "--blocks", "4", "--seed", "11",
+        *extra,
+    ]
+
+
+class TestTraceOut:
+    def test_solve_writes_valid_trace(self, instance, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        rc = main(_solve_args(instance, ["--trace-out", str(trace)]))
+        assert rc == 0
+        counts = validate_trace(trace)
+        assert counts["solve.start"] == 1
+        assert counts["solve.end"] == 1
+        assert counts["host.round"] == 4
+        assert str(trace) in capsys.readouterr().out
+
+    def test_trace_subcommand_validates(self, instance, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        main(_solve_args(instance, ["--trace-out", str(trace)]))
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_trace_subcommand_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"event": "made.up", "t": 0.0, "seq": 1}\n')
+        assert main(["trace", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_trace_matches_untraced_result(self, instance, tmp_path, capsys):
+        """--trace-out must not change the reported best energy."""
+        main(_solve_args(instance))
+        plain = capsys.readouterr().out
+        trace = tmp_path / "run.jsonl"
+        main(_solve_args(instance, ["--trace-out", str(trace)]))
+        traced = capsys.readouterr().out
+        best_plain = [l for l in plain.splitlines() if "energy" in l.lower()]
+        best_traced = [l for l in traced.splitlines() if "energy" in l.lower()]
+        assert best_plain == best_traced
+        end = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if '"solve.end"' in line
+        ][0]
+        assert str(end["best_energy"]) in " ".join(best_plain)
+
+
+class TestLogLevel:
+    def test_info_emits_progress_to_stderr(self, instance, capsys):
+        rc = main(_solve_args(instance, ["--log-level", "info"]))
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "repro.telemetry" in err
+        assert "best=" in err
+
+    def test_bad_level_rejected(self, instance):
+        with pytest.raises(SystemExit):
+            main(_solve_args(instance, ["--log-level", "shout"]))

@@ -1,0 +1,128 @@
+"""Tests for the event schema and JSONL trace validator."""
+
+import json
+
+import pytest
+
+from repro.telemetry.schema import (
+    EVENT_SCHEMAS,
+    SchemaError,
+    main,
+    validate_record,
+    validate_trace,
+)
+
+
+def rec(event, seq=1, t=0.0, **fields):
+    return {"event": event, "t": t, "seq": seq, **fields}
+
+
+GOOD_LOCAL = dict(steps=4, flips=16, evaluated=256)
+
+
+class TestValidateRecord:
+    def test_valid_record_passes(self):
+        validate_record(rec("engine.local", **GOOD_LOCAL))
+
+    def test_missing_common_field(self):
+        with pytest.raises(SchemaError, match="missing common field"):
+            validate_record({"event": "engine.local", "t": 0.0, **GOOD_LOCAL})
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(SchemaError, match="unknown event"):
+            validate_record(rec("engine.bogus"))
+
+    def test_missing_required_field(self):
+        with pytest.raises(SchemaError, match="missing required field 'evaluated'"):
+            validate_record(rec("engine.local", steps=4, flips=16))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SchemaError, match="wrong type"):
+            validate_record(rec("engine.local", steps="four", flips=16, evaluated=1))
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(SchemaError, match="wrong type"):
+            validate_record(rec("engine.local", steps=True, flips=16, evaluated=1))
+
+    def test_undeclared_field_rejected(self):
+        with pytest.raises(SchemaError, match="undeclared field"):
+            validate_record(rec("engine.local", surprise=1, **GOOD_LOCAL))
+
+    def test_nullable_fields(self):
+        validate_record(
+            rec(
+                "host.absorb",
+                arrived=8, inserted=2, rejected_duplicate=1, rejected_worse=5,
+                pool_size=16, pool_best=None, pool_worst=None, pool_spread=None,
+            )
+        )
+
+    def test_every_schema_name_is_dotted_lowercase(self):
+        for name in EVENT_SCHEMAS:
+            assert name == name.lower()
+            assert "." in name
+
+
+class TestValidateTrace:
+    def _write(self, path, records):
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+
+    def test_counts_by_event(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        self._write(
+            p,
+            [
+                rec("engine.local", seq=1, **GOOD_LOCAL),
+                rec("engine.local", seq=2, **GOOD_LOCAL),
+                rec("engine.straight", seq=3, flips=5, iters=3, retired=2,
+                    already_at_target=0),
+            ],
+        )
+        assert validate_trace(p) == {"engine.local": 2, "engine.straight": 1}
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text(json.dumps(rec("engine.local", **GOOD_LOCAL)) + "\n\n")
+        assert validate_trace(p) == {"engine.local": 1}
+
+    def test_invalid_json_line_located(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text(json.dumps(rec("engine.local", **GOOD_LOCAL)) + "\n{oops\n")
+        with pytest.raises(SchemaError, match="line 2"):
+            validate_trace(p)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text("[1, 2]\n")
+        with pytest.raises(SchemaError, match="not a JSON object"):
+            validate_trace(p)
+
+    def test_non_increasing_seq_rejected(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        self._write(
+            p,
+            [rec("engine.local", seq=2, **GOOD_LOCAL),
+             rec("engine.local", seq=2, **GOOD_LOCAL)],
+        )
+        with pytest.raises(SchemaError, match="seq"):
+            validate_trace(p)
+
+
+class TestMain:
+    def test_valid_file_exit_zero(self, tmp_path, capsys):
+        p = tmp_path / "t.jsonl"
+        p.write_text(json.dumps(rec("engine.local", **GOOD_LOCAL)) + "\n")
+        assert main([str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "OK: 1 events" in out
+        assert "engine.local" in out
+
+    def test_invalid_file_exit_one(self, tmp_path, capsys):
+        p = tmp_path / "t.jsonl"
+        p.write_text('{"event": "nope", "t": 0.0, "seq": 1}\n')
+        assert main([str(p)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_missing_file_exit_one(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.jsonl")]) == 1
+        assert "INVALID" in capsys.readouterr().err

@@ -1,0 +1,134 @@
+"""Tests for the JSONL / memory / logging / progress sinks."""
+
+import json
+import logging
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    JsonlSink,
+    LoggingSink,
+    MemorySink,
+    ProgressReporter,
+    TelemetryBus,
+    jsonable,
+    validate_record,
+)
+
+
+class TestJsonable:
+    def test_numpy_scalars(self):
+        assert jsonable(np.int64(3)) == 3
+        assert type(jsonable(np.int64(3))) is int
+        assert jsonable(np.float64(0.5)) == 0.5
+        assert jsonable(np.bool_(True)) is True
+
+    def test_nonfinite_floats_become_null(self):
+        assert jsonable(math.inf) is None
+        assert jsonable(-math.inf) is None
+        assert jsonable(math.nan) is None
+
+    def test_arrays_and_containers(self):
+        assert jsonable(np.array([1, 2])) == [1, 2]
+        assert jsonable((np.int64(1), "a")) == [1, "a"]
+        assert jsonable({"k": np.float32(2.0)}) == {"k": 2.0}
+
+    def test_passthrough(self):
+        assert jsonable("s") == "s"
+        assert jsonable(None) is None
+
+
+class TestJsonlSink:
+    def test_round_trip_through_file(self, tmp_path):
+        """Events written to JSONL parse back and satisfy the schema."""
+        path = tmp_path / "trace.jsonl"
+        bus = TelemetryBus([JsonlSink(path, flush_every=2)])
+        bus.emit(
+            "solve.start",
+            mode="sync", n=16, n_gpus=1, blocks_per_gpu=4, local_steps=8,
+            pool_capacity=16, seed=None, adapt_windows=False,
+        )
+        bus.emit("engine.local", steps=8, flips=np.int64(32), evaluated=512)
+        bus.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        for rec in records:
+            validate_record(rec)
+        assert records[0]["event"] == "solve.start"
+        assert records[0]["seed"] is None
+        assert records[1]["flips"] == 32  # numpy int64 serialized as int
+
+    def test_flush_on_close_only_when_buffered(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, flush_every=1000)
+        bus = TelemetryBus([sink])
+        bus.emit("tick")
+        bus.close()
+        assert len(path.read_text().strip().splitlines()) == 1
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_bad_flush_every_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            JsonlSink(tmp_path / "t.jsonl", flush_every=0)
+
+
+class TestMemorySink:
+    def test_collects_and_filters(self):
+        sink = MemorySink()
+        bus = TelemetryBus([sink])
+        bus.emit("a", x=1)
+        bus.emit("b")
+        bus.emit("a", x=2)
+        assert sink.names() == {"a", "b"}
+        assert [e.fields["x"] for e in sink.named("a")] == [1, 2]
+        assert [r["event"] for r in sink.records()] == ["a", "b", "a"]
+
+
+class TestLoggingSink:
+    def test_logs_at_debug(self, caplog):
+        bus = TelemetryBus([LoggingSink()])
+        with caplog.at_level(logging.DEBUG, logger="repro.telemetry"):
+            bus.emit("host.round", round=1)
+        assert "host.round" in caplog.text
+
+
+class TestProgressReporter:
+    def _round_event_bus(self, reporter):
+        bus = TelemetryBus([reporter])
+        return bus
+
+    def test_rate_limited_by_interval(self, caplog):
+        times = iter([0.0, 0.1, 0.2, 5.0])
+        reporter = ProgressReporter(1.0, clock=lambda: next(times))
+        bus = self._round_event_bus(reporter)
+        with caplog.at_level(logging.INFO, logger="repro.telemetry"):
+            for i in range(4):
+                bus.emit("host.round", round=i, device=0, best_energy=-i,
+                         pool_size=4, elapsed=0.1 * i)
+        assert reporter.reported == 2  # t=0.0 and t=5.0
+
+    def test_solve_end_always_reported(self, caplog):
+        reporter = ProgressReporter(1000.0)
+        bus = self._round_event_bus(reporter)
+        with caplog.at_level(logging.INFO, logger="repro.telemetry"):
+            bus.emit("solve.end", best_energy=-5, rounds=3, elapsed=0.2,
+                     evaluated=100, flips=10, reached_target=False)
+        assert reporter.reported == 1
+        assert "best=-5" in caplog.text
+
+    def test_other_events_ignored(self):
+        reporter = ProgressReporter(0.0)
+        bus = self._round_event_bus(reporter)
+        bus.emit("engine.local", steps=1, flips=1, evaluated=1)
+        assert reporter.reported == 0
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            ProgressReporter(-1.0)
