@@ -1,6 +1,6 @@
 # Developer conveniences for the ABS reproduction.
 
-.PHONY: install test bench bench-full trace-demo examples clean
+.PHONY: install test test-fast test-process bench bench-full trace-demo examples clean
 
 install:
 	pip install -e .[test]
@@ -10,6 +10,9 @@ test:
 
 test-fast:              ## skip the slow example subprocess smoke tests
 	pytest tests/ --ignore=tests/integration/test_examples.py
+
+test-process:           ## only the multiprocessing (worker supervision) tests
+	pytest -m process tests/
 
 bench:                  ## reduced-scale: regenerates every paper table/figure
 	pytest benchmarks/ --benchmark-only

@@ -31,6 +31,7 @@ from repro.abs.device import DeviceSimulator
 from repro.abs.host import Host
 from repro.abs.result import SolveResult
 from repro.abs.solver import AdaptiveBulkSearch
+from repro.abs.supervisor import WorkerAction, WorkerSupervisor
 
 __all__ = [
     "WindowAdapter",
@@ -49,4 +50,6 @@ __all__ = [
     "Host",
     "SolveResult",
     "AdaptiveBulkSearch",
+    "WorkerAction",
+    "WorkerSupervisor",
 ]

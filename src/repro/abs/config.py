@@ -86,6 +86,25 @@ class AbsConfig:
         host's polling loop).
     seed:
         Root seed for every random stream in the run.
+    max_worker_restarts:
+        Process mode only: restart budget *per worker* for the
+        supervision layer (see :mod:`repro.abs.supervisor`).  A worker
+        whose process dies (or stalls past ``worker_stall_timeout``) is
+        replaced up to this many times, each replacement rehydrated
+        with fresh GA targets from the current pool; after that the
+        worker is marked lost and the solve degrades onto the
+        survivors.  0 disables restarts.
+    worker_stall_timeout:
+        Process mode only: seconds a worker may go without shipping a
+        result before it is treated as unhealthy.  ``None`` (default)
+        disables stall detection — process *death* is always detected.
+    start_method:
+        Multiprocessing start method for process mode: ``"fork"``,
+        ``"spawn"``, ``"forkserver"``, or ``None`` (default) to pick
+        ``"fork"`` where the platform offers it and fall back to the
+        platform default elsewhere.  Worker arguments stay picklable,
+        so ``"spawn"`` works on platforms without ``fork`` (and is the
+        safe choice in threaded parents).
     """
 
     n_gpus: int = 1
@@ -102,6 +121,9 @@ class AbsConfig:
     time_limit: float | None = None
     max_rounds: int | None = None
     seed: int | None = None
+    max_worker_restarts: int = 2
+    worker_stall_timeout: float | None = None
+    start_method: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:
@@ -122,6 +144,19 @@ class AbsConfig:
             raise ValueError(f"time_limit must be positive, got {self.time_limit}")
         if self.max_rounds is not None and self.max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.max_worker_restarts < 0:
+            raise ValueError(
+                f"max_worker_restarts must be >= 0, got {self.max_worker_restarts}"
+            )
+        if self.worker_stall_timeout is not None and self.worker_stall_timeout <= 0:
+            raise ValueError(
+                f"worker_stall_timeout must be positive, got {self.worker_stall_timeout}"
+            )
+        if self.start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(
+                "start_method must be None, 'fork', 'spawn', or 'forkserver', "
+                f"got {self.start_method!r}"
+            )
         if (
             self.target_energy is None
             and self.time_limit is None

@@ -39,6 +39,14 @@ class SolveResult:
         ``docs/observability.md``).  Populated by the solver whether or
         not telemetry is enabled; derived from component state at the
         end of the run, so it costs nothing on the hot path.
+    workers_restarted:
+        Process mode: worker processes restarted by the supervision
+        layer after dying or stalling (each replacement was rehydrated
+        with fresh GA targets from the pool).  Always 0 in sync mode.
+    workers_lost:
+        Process mode: workers permanently retired after exhausting
+        ``max_worker_restarts`` — the solve completed on the
+        survivors.  Always 0 in sync mode.
     """
 
     best_x: np.ndarray
@@ -52,6 +60,8 @@ class SolveResult:
     history: list[tuple[float, int]] = field(default_factory=list)
     n_gpus: int = 1
     counters: dict[str, int] = field(default_factory=dict)
+    workers_restarted: int = 0
+    workers_lost: int = 0
 
     @property
     def search_rate(self) -> float:
@@ -63,9 +73,15 @@ class SolveResult:
     def summary(self) -> str:
         """One-line human-readable digest."""
         rate = self.search_rate
+        degraded = ""
+        if self.workers_restarted or self.workers_lost:
+            degraded = (
+                f" restarted={self.workers_restarted} lost={self.workers_lost}"
+            )
         return (
             f"best={self.best_energy} elapsed={self.elapsed:.3g}s "
             f"rounds={self.rounds} evaluated={self.evaluated:.3g} "
             f"rate={rate:.3g}/s gpus={self.n_gpus}"
+            + degraded
             + (" [target reached]" if self.reached_target else "")
         )

@@ -9,6 +9,21 @@ memory), targets flow host → device and solutions device → host through
 queues, and nobody blocks on anybody — a device that sees no fresh
 targets keeps searching from its current state, exactly the paper's
 asynchronous tolerance.
+
+Process mode is additionally *supervised*
+(:class:`~repro.abs.supervisor.WorkerSupervisor`): a worker whose
+process dies — or, with ``worker_stall_timeout`` set, one that stops
+shipping results — is restarted up to ``max_worker_restarts`` times.
+A replacement starts from the engine's zero state and is rehydrated
+with fresh GA targets from the current pool (the straight-search
+handoff of Algorithm 5 makes workers state-free, so nothing else needs
+recovering); its target queue is recreated so stale targets never pile
+up.  When a worker's restart budget is exhausted the solve degrades
+onto the survivors (``SolveResult.workers_restarted`` /
+``workers_lost`` report what happened) and fails loudly only when no
+healthy worker remains.  The multiprocessing start method is
+configurable via ``AbsConfig.start_method`` (``fork`` where available
+by default; worker arguments stay picklable so ``spawn`` works too).
 """
 
 from __future__ import annotations
@@ -26,14 +41,18 @@ from repro.abs.config import AbsConfig, resolve_windows
 from repro.abs.device import DeviceSimulator
 from repro.abs.host import Host
 from repro.abs.result import SolveResult
+from repro.abs.supervisor import WorkerSupervisor
 from repro.qubo.matrix import WeightsLike, as_weight_matrix
-from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
+from repro.telemetry.bus import NULL_BUS, NullBus, RelayBus, TelemetryBus
 from repro.utils.rng import RngFactory
 from repro.utils.timer import Stopwatch
 
 
 def _counter_snapshot(
-    host: Host, engine_counters: dict[str, int], adapt_total: int
+    host: Host,
+    engine_counters: dict[str, int],
+    adapt_total: int,
+    extra: dict[str, int] | None = None,
 ) -> dict[str, int]:
     """Per-run counter snapshot for :attr:`SolveResult.counters`.
 
@@ -53,12 +72,35 @@ def _counter_snapshot(
         "adapt.reassignments": adapt_total,
     }
     snap.update(engine_counters)
+    if extra:
+        snap.update(extra)
     return dict(sorted(snap.items()))
 
 
 def _merge_counts(into: dict[str, int], add: dict[str, int]) -> None:
     for key, value in add.items():
         into[key] = into.get(key, 0) + int(value)
+
+
+def _resolve_start_method(requested: str | None) -> str:
+    """Pick the multiprocessing start method for process mode.
+
+    ``None`` prefers ``"fork"`` (cheapest: workers inherit the parent
+    image) where the platform offers it, otherwise the platform
+    default.  An explicit request is validated against what the
+    platform supports.
+    """
+    import multiprocessing as mp
+
+    available = mp.get_all_start_methods()
+    if requested is not None:
+        if requested not in available:
+            raise ValueError(
+                f"start method {requested!r} not available on this platform "
+                f"(available: {available})"
+            )
+        return requested
+    return "fork" if "fork" in available else mp.get_start_method()
 
 
 class AdaptiveBulkSearch:
@@ -115,7 +157,7 @@ class AdaptiveBulkSearch:
         t = self.config.target_energy
         return t is not None and energy <= t
 
-    def _device_windows(self, factory: RngFactory) -> list[np.ndarray]:
+    def _device_windows(self) -> list[np.ndarray]:
         """Per-device window arrays; devices get rotated ladders so the
         temperature spread differs across GPUs."""
         cfg = self.config
@@ -162,6 +204,8 @@ class AdaptiveBulkSearch:
             evaluated=result.evaluated,
             flips=result.flips,
             reached_target=result.reached_target,
+            workers_restarted=result.workers_restarted,
+            workers_lost=result.workers_lost,
         )
 
     # ------------------------------------------------------------------
@@ -172,7 +216,7 @@ class AdaptiveBulkSearch:
         bus = self.bus
         factory = RngFactory(cfg.seed)
         host = Host(self.n, cfg.pool_capacity, cfg.ga, rng_factory=factory, bus=bus)
-        windows = self._device_windows(factory)
+        windows = self._device_windows()
         devices = [
             DeviceSimulator(
                 self.W,
@@ -266,11 +310,11 @@ class AdaptiveBulkSearch:
         bus = self.bus
         factory = RngFactory(cfg.seed)
         host = Host(self.n, cfg.pool_capacity, cfg.ga, rng_factory=factory, bus=bus)
-        windows = self._device_windows(factory)
+        windows = self._device_windows()
 
         from repro.qubo.sparse import SparseQubo
 
-        ctx = get_context("fork")
+        ctx = get_context(_resolve_start_method(cfg.start_method))
         # Dense matrices go through shared memory (they are the bulk of
         # the footprint — the analogue of GPU global memory).  Sparse
         # problems are small; they ship to workers by pickling.
@@ -284,70 +328,142 @@ class AdaptiveBulkSearch:
             weights_ref = ("shm", shared.descriptor)
         stop_evt = ctx.Event()
         result_q: Queue = ctx.Queue()
-        target_qs: list[Queue] = [ctx.Queue() for _ in range(cfg.n_gpus)]
-        procs: list[Process] = []
         watch = Stopwatch().start()
         history: list[tuple[float, int]] = []
         rounds = 0
         time_to_target: float | None = None
+        # Latest cumulative numbers reported by each worker's *current*
+        # incarnation; a defunct incarnation's totals are banked on
+        # restart/loss so no completed work is ever dropped.
         eval_by_worker = [0] * cfg.n_gpus
         flips_by_worker = [0] * cfg.n_gpus
-        # Latest cumulative counter dict reported by each worker.
         counts_by_worker: list[dict[str, int]] = [{} for _ in range(cfg.n_gpus)]
+        banked_eval = 0
+        banked_flips = 0
+        banked_counts: dict[str, int] = {}
+        adapt_seeds = [
+            int(factory.stream("adapt-seed", g).integers(2**62))
+            for g in range(cfg.n_gpus)
+        ]
+
+        def _spawn(g: int, incarnation: int, target_q: "Queue") -> "Process":
+            # Resolved at call time so tests can monkeypatch the module
+            # attribute and have replacements pick the patch up too.
+            p = ctx.Process(
+                target=_worker_main,
+                args=(
+                    g,
+                    incarnation,
+                    weights_ref,
+                    cfg.blocks_per_gpu,
+                    windows[g],
+                    cfg.local_steps,
+                    cfg.scan_neighbors,
+                    (
+                        cfg.adapt_windows,
+                        cfg.adapt_period,
+                        cfg.adapt_fraction,
+                        adapt_seeds[g],
+                    ),
+                    target_q,
+                    result_q,
+                    stop_evt,
+                    bus.enabled,
+                ),
+                daemon=True,
+            )
+            p.start()
+            return p
+
+        supervisor = WorkerSupervisor(
+            cfg.n_gpus,
+            _spawn,
+            queue_factory=ctx.Queue,
+            max_restarts=cfg.max_worker_restarts,
+            stall_timeout=cfg.worker_stall_timeout,
+            bus=bus,
+        )
+
+        def _bank(g: int) -> None:
+            # Fold the defunct incarnation's cumulative totals into the
+            # run accumulators and reset the per-worker latest slots for
+            # the replacement (which restarts its counters from zero).
+            nonlocal banked_eval, banked_flips
+            banked_eval += eval_by_worker[g]
+            banked_flips += flips_by_worker[g]
+            eval_by_worker[g] = 0
+            flips_by_worker[g] = 0
+            _merge_counts(banked_counts, counts_by_worker[g])
+            counts_by_worker[g] = {}
+
+        def _supervise() -> None:
+            for action in supervisor.poll():
+                _bank(action.worker_id)
+                if action.kind == "restart":
+                    # Rehydrate the replacement from the current pool:
+                    # Algorithm 5 walks it from the zero state to these
+                    # targets, so no other worker state needs recovery.
+                    q = supervisor.target_queue(action.worker_id)
+                    if q is not None:
+                        fresh = host.make_targets(cfg.blocks_per_gpu)
+                        q.put(self._stack_targets(fresh))
 
         if bus.enabled:
             self._emit_start("process")
         try:
-            for g in range(cfg.n_gpus):
-                p = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        g,
-                        weights_ref,
-                        cfg.blocks_per_gpu,
-                        windows[g],
-                        cfg.local_steps,
-                        cfg.scan_neighbors,
-                        (
-                            cfg.adapt_windows,
-                            cfg.adapt_period,
-                            cfg.adapt_fraction,
-                            int(factory.stream("adapt-seed", g).integers(2**62)),
-                        ),
-                        target_qs[g],
-                        result_q,
-                        stop_evt,
-                    ),
-                    daemon=True,
-                )
-                p.start()
-                procs.append(p)
-
+            supervisor.start()
             targets = host.initial_targets(cfg.total_blocks)
             for g in range(cfg.n_gpus):
                 lo = g * cfg.blocks_per_gpu
-                target_qs[g].put(
+                supervisor.target_queue(g).put(
                     self._stack_targets(targets[lo : lo + cfg.blocks_per_gpu])
                 )
 
             done = False
             while not done:
+                _supervise()
                 try:
-                    worker_id, energies, xs, evaluated, flips, wcounts = result_q.get(
-                        timeout=0.25
-                    )
+                    (
+                        worker_id,
+                        incarnation,
+                        energies,
+                        xs,
+                        evaluated,
+                        flips,
+                        wcounts,
+                        wevents,
+                    ) = result_q.get(timeout=0.25)
                 except queue_mod.Empty:
                     if cfg.time_limit is not None and watch.elapsed >= cfg.time_limit:
                         break
-                    if not any(p.is_alive() for p in procs):
-                        raise RuntimeError("all ABS workers died before finishing")
+                    if supervisor.n_healthy == 0:
+                        raise RuntimeError(
+                            "all ABS workers died before finishing "
+                            f"(after {supervisor.workers_restarted} restarts)"
+                        )
                     continue
                 rounds += 1
-                eval_by_worker[worker_id] = evaluated
-                flips_by_worker[worker_id] = flips
-                counts_by_worker[worker_id] = wcounts
+                fresh_result = supervisor.note_result(worker_id, incarnation)
+                if fresh_result:
+                    if bus.enabled:
+                        # Session counters reconcile from the cumulative
+                        # worker snapshots: increment by the delta since
+                        # the previous report of this incarnation.
+                        prev = counts_by_worker[worker_id]
+                        for key, value in wcounts.items():
+                            delta = int(value) - int(prev.get(key, 0))
+                            if delta:
+                                bus.counters.inc(key, delta)
+                    eval_by_worker[worker_id] = evaluated
+                    flips_by_worker[worker_id] = flips
+                    counts_by_worker[worker_id] = wcounts
                 if bus.enabled:
                     bus.counters.inc("host.rounds")
+                    if fresh_result:
+                        for name, fields in wevents:
+                            payload = dict(fields)
+                            payload.setdefault("device", worker_id)
+                            bus.emit(name, **payload)
                     bus.emit(
                         "worker.result",
                         worker=worker_id,
@@ -379,18 +495,22 @@ class AdaptiveBulkSearch:
                 elif cfg.max_rounds is not None and rounds >= cfg.max_rounds:
                     done = True
                 else:
-                    # Step 4: as many fresh targets as solutions arrived.
-                    fresh = host.make_targets(cfg.blocks_per_gpu)
-                    target_qs[worker_id].put(self._stack_targets(fresh))
-                    if bus.enabled:
-                        bus.emit(
-                            "host.queue",
-                            device=worker_id,
-                            targets_queued=_safe_qsize(target_qs[worker_id]),
-                            results_queued=_safe_qsize(result_q),
-                        )
+                    # Step 4: as many fresh targets as solutions arrived
+                    # — but never feed a queue nobody reads any more.
+                    tq = supervisor.target_queue(worker_id)
+                    if tq is not None:
+                        fresh = host.make_targets(cfg.blocks_per_gpu)
+                        tq.put(self._stack_targets(fresh))
+                        if bus.enabled:
+                            bus.emit(
+                                "host.queue",
+                                device=worker_id,
+                                targets_queued=_safe_qsize(tq),
+                                results_queued=_safe_qsize(result_q),
+                            )
         finally:
             stop_evt.set()
+            procs = supervisor.all_processes
             deadline = time.monotonic() + 5.0
             for p in procs:
                 p.join(timeout=max(0.1, deadline - time.monotonic()))
@@ -399,7 +519,7 @@ class AdaptiveBulkSearch:
                     p.terminate()
                     p.join(timeout=1.0)
             # Drain queues so their feeder threads can exit.
-            for q in (*target_qs, result_q):
+            for q in (*supervisor.all_queues, result_q):
                 try:
                     while True:
                         q.get_nowait()
@@ -409,11 +529,10 @@ class AdaptiveBulkSearch:
                 shared.unlink()
 
         elapsed = watch.stop()
-        engine_counts: dict[str, int] = {}
-        adapt_total = 0
+        engine_counts = dict(banked_counts)
         for wcounts in counts_by_worker:
-            adapt_total += int(wcounts.pop("adapt.reassignments", 0))
             _merge_counts(engine_counts, wcounts)
+        adapt_total = int(engine_counts.pop("adapt.reassignments", 0))
         best_x = host.best_x if host.best_x is not None else np.zeros(self.n, np.uint8)
         best_e = int(host.best_energy) if math.isfinite(host.best_energy) else 0
         result = SolveResult(
@@ -421,13 +540,23 @@ class AdaptiveBulkSearch:
             best_energy=best_e,
             elapsed=elapsed,
             rounds=rounds,
-            evaluated=sum(eval_by_worker),
-            flips=sum(flips_by_worker),
+            evaluated=sum(eval_by_worker) + banked_eval,
+            flips=sum(flips_by_worker) + banked_flips,
             reached_target=self._met_target(host.best_energy),
             time_to_target=time_to_target,
             history=history,
             n_gpus=cfg.n_gpus,
-            counters=_counter_snapshot(host, engine_counts, adapt_total),
+            counters=_counter_snapshot(
+                host,
+                engine_counts,
+                adapt_total,
+                extra={
+                    "supervisor.restarts": supervisor.workers_restarted,
+                    "supervisor.workers_lost": supervisor.workers_lost,
+                },
+            ),
+            workers_restarted=supervisor.workers_restarted,
+            workers_lost=supervisor.workers_lost,
         )
         if bus.enabled:
             self._emit_end(result)
@@ -445,6 +574,7 @@ def _safe_qsize(q: "Queue") -> int:
 
 def _worker_main(
     worker_id: int,
+    incarnation: int,
     weights_ref: tuple,
     n_blocks: int,
     windows: np.ndarray,
@@ -454,6 +584,7 @@ def _worker_main(
     target_q: "Queue",
     result_q: "Queue",
     stop_evt: "Event",
+    telemetry_enabled: bool,
 ) -> None:
     """Device-process entry point (module-level for picklability).
 
@@ -461,7 +592,12 @@ def _worker_main(
     shared memory or ``("sparse", SparseQubo)`` shipped by pickle.
     Runs rounds forever: refresh targets if any are queued (otherwise
     keep the previous ones — the device never idles), run Steps 3–5,
-    ship the per-block bests with cumulative counters.
+    ship the per-block bests with cumulative counters, the incarnation
+    number (so the host can discard counter updates from a killed
+    predecessor), and — when telemetry is on — the worker-side events
+    (``device.round``, ``engine.*``, ``adapt.windows``) buffered on a
+    :class:`~repro.telemetry.RelayBus` for the host to re-emit with
+    this worker's id.
     """
     kind, payload = weights_ref
     if kind == "shm":
@@ -470,6 +606,7 @@ def _worker_main(
     else:
         shared = None
         weights = payload
+    relay = RelayBus() if telemetry_enabled else NULL_BUS
     adapt_enabled, adapt_period, adapt_fraction, adapt_seed = adapt_params
     adapter = (
         WindowAdapter(
@@ -478,6 +615,7 @@ def _worker_main(
             period=adapt_period,
             fraction=adapt_fraction,
             seed=adapt_seed,
+            bus=relay,
         )
         if adapt_enabled
         else None
@@ -490,6 +628,8 @@ def _worker_main(
             local_steps=local_steps,
             scan_neighbors=scan_neighbors,
             adapter=adapter,
+            bus=relay,
+            device_id=worker_id,
         )
         targets: np.ndarray | None = None
         while targets is None and not stop_evt.is_set():
@@ -507,14 +647,17 @@ def _worker_main(
             wcounts["adapt.reassignments"] = (
                 adapter.adaptations if adapter is not None else 0
             )
+            wevents = relay.drain() if telemetry_enabled else []
             result_q.put(
                 (
                     worker_id,
+                    incarnation,
                     energies,
                     xs,
                     device.evaluated,
                     device.engine.counters.flips,
                     wcounts,
+                    wevents,
                 )
             )
             try:

@@ -34,6 +34,9 @@ def solve(
     adapt_windows: bool = False,
     seed: int | None = None,
     mode: str = "sync",
+    max_worker_restarts: int = 2,
+    worker_stall_timeout: float | None = None,
+    start_method: str | None = None,
     telemetry: TelemetryBus | NullBus | None = None,
     trace_out: Union[str, Path, None] = None,
     log_level: str | None = None,
@@ -45,6 +48,15 @@ def solve(
     At least one stopping criterion (``time_limit`` / ``max_rounds`` /
     ``target_energy``) must be given; when none is, a 2-second budget is
     applied.
+
+    In ``mode="process"`` the worker processes are supervised: a dead
+    (or, with ``worker_stall_timeout`` set, silent) worker is restarted
+    up to ``max_worker_restarts`` times and the solve degrades onto the
+    survivors after that — see
+    :class:`~repro.abs.supervisor.WorkerSupervisor` and the
+    ``workers_restarted`` / ``workers_lost`` fields of the result.
+    ``start_method`` picks the multiprocessing start method (default:
+    ``fork`` where available).
 
     Observability (all optional, off by default; see
     ``docs/observability.md``): pass a ``telemetry`` bus you own, or let
@@ -73,6 +85,9 @@ def solve(
         time_limit=time_limit,
         max_rounds=max_rounds,
         seed=seed,
+        max_worker_restarts=max_worker_restarts,
+        worker_stall_timeout=worker_stall_timeout,
+        start_method=start_method,
     )
     owns_bus = telemetry is None and (trace_out is not None or log_level is not None)
     if telemetry is None:

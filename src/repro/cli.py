@@ -64,6 +64,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         time_limit=args.time_limit,
         max_rounds=args.rounds,
         seed=args.seed,
+        max_worker_restarts=args.max_worker_restarts,
+        worker_stall_timeout=args.worker_stall_timeout,
+        start_method=args.start_method,
     )
     with _telemetry(args) as bus:
         result = AdaptiveBulkSearch(matrix, config, telemetry=bus).solve(args.mode)
@@ -72,6 +75,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"elapsed       : {result.elapsed:.4g} s")
     print(f"search rate   : {result.search_rate:.4g} solutions/s")
     print(f"rounds        : {result.rounds}")
+    if result.workers_restarted or result.workers_lost:
+        print(
+            f"workers       : {result.workers_restarted} restarted, "
+            f"{result.workers_lost} lost"
+        )
     if args.target is not None:
         status = "reached" if result.reached_target else "NOT reached"
         print(f"target {args.target}: {status}")
@@ -296,6 +304,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--adapt",
         action="store_true",
         help="adapt per-block windows automatically (paper §5 future work)",
+    )
+    p.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="process mode: restart budget per worker before it is "
+        "marked lost (default 2; 0 disables restarts)",
+    )
+    p.add_argument(
+        "--worker-stall-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="process mode: treat a worker as unhealthy after this "
+        "long without a result (default: disabled)",
+    )
+    p.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="process mode: multiprocessing start method "
+        "(default: fork where available)",
     )
     p.add_argument("--out", default=None, help="write best solution to .npy")
     _add_observability_flags(p)

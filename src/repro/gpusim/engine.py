@@ -151,7 +151,7 @@ class BulkSearchEngine:
             sk = 1 - 2 * self.X[self._ids, ks].astype(np.int64)
             signs = 1 - 2 * self.X.astype(np.int64)
             signs *= sk[:, None]
-            dk_old = self.delta[self._ids, ks].copy()
+            dk_old = self.delta[self._ids, ks]  # fancy indexing → fresh copy
             signs *= rows
             signs += signs  # ×2 without an extra temporary
             self.delta += signs
@@ -162,7 +162,7 @@ class BulkSearchEngine:
             xs = self.X[ids]
             sk = 1 - 2 * self.X[ids, ks].astype(np.int64)
             signs = (1 - 2 * xs.astype(np.int64)) * sk[:, None]
-            dk_old = self.delta[ids, ks].copy()
+            dk_old = self.delta[ids, ks]  # fancy indexing → fresh copy
             self.delta[ids] += 2 * rows * signs
             self.delta[ids, ks] = -dk_old
             self.energy[ids] += dk_old
@@ -182,7 +182,7 @@ class BulkSearchEngine:
         starts = csr.indptr[ks]
         lens = csr.indptr[ks + 1] - starts
         total = int(lens.sum())
-        dk_old = self.delta[ids, ks].copy()
+        dk_old = self.delta[ids, ks]  # fancy indexing → fresh copy
         sk = 1 - 2 * self.X[ids, ks].astype(np.int64)
         if total:
             bidx = np.repeat(ids, lens)
@@ -272,6 +272,11 @@ class BulkSearchEngine:
         if bus.enabled:
             bus.counters.inc("engine.straight_flips", total)
             bus.counters.inc("engine.straight_retirements", retired or 0)
+            # Keep the session counter families reconciled with
+            # EngineCounters: straight flips evaluate n neighbours each,
+            # and both phases contribute to engine.flips.
+            bus.counters.inc("engine.flips", total)
+            bus.counters.inc("engine.evaluated", total * self.n)
             bus.emit(
                 "engine.straight",
                 flips=total,
@@ -305,6 +310,7 @@ class BulkSearchEngine:
         bus = self._bus
         if bus.enabled and steps:
             bus.counters.inc("engine.local_flips", steps * self.B)
+            bus.counters.inc("engine.flips", steps * self.B)
             bus.counters.inc("engine.evaluated", steps * self.B * n)
             bus.emit(
                 "engine.local",

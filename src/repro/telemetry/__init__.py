@@ -32,6 +32,7 @@ from repro.telemetry.bus import (
     NULL_BUS,
     CounterRegistry,
     NullBus,
+    RelayBus,
     Sink,
     TelemetryBus,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "MemorySink",
     "NullBus",
     "ProgressReporter",
+    "RelayBus",
     "SchemaError",
     "Sink",
     "TelemetryBus",

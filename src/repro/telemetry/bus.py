@@ -179,5 +179,51 @@ class NullBus:
         pass
 
 
+class RelayBus:
+    """An enabled bus that *buffers* events for cross-process relay.
+
+    Worker processes cannot share the host's :class:`TelemetryBus` (its
+    sinks hold file handles and in-memory lists that do not cross
+    ``fork``/``spawn`` boundaries usefully).  Instead a worker builds a
+    ``RelayBus``, hands it to its instrumented components, and ships
+    :meth:`drain`'s ``(name, fields)`` pairs back with each result
+    batch; the host re-emits them on the real bus — stamping the worker
+    id — which assigns the authoritative timestamp and sequence number.
+
+    Counter increments are accepted (components call
+    ``bus.counters.inc`` unconditionally inside ``enabled`` guards) but
+    deliberately dropped: the host reconciles session counters from the
+    cumulative worker counter snapshots instead, which survive event
+    loss and double-restart races.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters = CounterRegistry()
+        self._pending: list[tuple[str, dict[str, Any]]] = []
+
+    @property
+    def sinks(self) -> tuple[Sink, ...]:
+        return ()
+
+    def attach(self, sink: Sink) -> Sink:
+        return sink
+
+    def detach(self, sink: Sink) -> None:
+        pass
+
+    def emit(self, name: str, /, **fields: Any) -> None:
+        self._pending.append((name, fields))
+
+    def drain(self) -> list[tuple[str, dict[str, Any]]]:
+        """Take (and clear) the buffered ``(name, fields)`` pairs."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    def close(self) -> None:
+        pass
+
+
 #: Shared disabled bus — the default for every instrumented component.
 NULL_BUS = NullBus()

@@ -70,7 +70,8 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
         required={
             "best_energy": INT, "rounds": INT, "elapsed": NUM,
             "evaluated": INT, "flips": INT, "reached_target": BOOL,
-        }
+        },
+        optional={"workers_restarted": INT, "workers_lost": INT},
     ),
     # Host loop (paper §3.1 Steps 2–4) ---------------------------------
     "host.round": EventSpec(
@@ -98,6 +99,22 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
             "evaluated": INT, "flips": INT,
         }
     ),
+    # Worker supervision (process mode; see repro.abs.supervisor) -----
+    "supervisor.stall": EventSpec(
+        required={"worker": INT, "silent_for": NUM, "stall_timeout": NUM}
+    ),
+    "supervisor.restart": EventSpec(
+        required={
+            "worker": INT, "reason": STR, "incarnation": INT,
+            "restarts_used": INT, "exitcode": OPT_INT,
+        }
+    ),
+    "supervisor.degrade": EventSpec(
+        required={
+            "worker": INT, "reason": STR, "restarts_used": INT,
+            "healthy_left": INT, "exitcode": OPT_INT,
+        }
+    ),
     # Device loop (paper §3.2 Steps 2–5) -------------------------------
     "device.round": EventSpec(
         required={
@@ -110,17 +127,22 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
         required={
             "flips": INT, "iters": INT, "retired": INT,
             "already_at_target": INT,
-        }
+        },
+        optional={"device": INT},
     ),
     "engine.local": EventSpec(
-        required={"steps": INT, "flips": INT, "evaluated": INT}
+        required={"steps": INT, "flips": INT, "evaluated": INT},
+        optional={"device": INT},
     ),
     # Window adaptation (paper §5 future work) -------------------------
+    # ``device`` is stamped when the event was relayed from a worker
+    # process (process mode); sync-mode emissions omit it.
     "adapt.windows": EventSpec(
         required={
             "reassigned": INT, "window_min": INT, "window_max": INT,
             "window_mean": NUM,
-        }
+        },
+        optional={"device": INT},
     ),
     # Scalar Algorithm-4 reference search ------------------------------
     "search.run": EventSpec(

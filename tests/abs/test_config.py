@@ -62,6 +62,10 @@ class TestAbsConfig:
             {"pool_capacity": 0, "max_rounds": 1},
             {"time_limit": 0.0},
             {"max_rounds": 0},
+            {"max_worker_restarts": -1, "max_rounds": 1},
+            {"worker_stall_timeout": 0.0, "max_rounds": 1},
+            {"worker_stall_timeout": -2.0, "max_rounds": 1},
+            {"start_method": "thread", "max_rounds": 1},
         ],
     )
     def test_validation(self, kwargs):
@@ -70,3 +74,13 @@ class TestAbsConfig:
 
     def test_target_energy_alone_is_enough(self):
         AbsConfig(target_energy=-100)
+
+    def test_supervision_defaults(self):
+        cfg = AbsConfig(max_rounds=1)
+        assert cfg.max_worker_restarts == 2
+        assert cfg.worker_stall_timeout is None
+        assert cfg.start_method is None
+
+    @pytest.mark.parametrize("method", [None, "fork", "spawn", "forkserver"])
+    def test_start_method_accepts_known_values(self, method):
+        AbsConfig(max_rounds=1, start_method=method)

@@ -8,19 +8,49 @@ from repro.abs import AbsConfig, AdaptiveBulkSearch
 from repro.abs.buffers import SharedWeights
 from repro.qubo import QuboMatrix
 
+pytestmark = [pytest.mark.process, pytest.mark.timeout(60)]
+
 
 class TestWorkerDeath:
     def test_all_workers_dying_raises(self, monkeypatch):
         """If every device process exits without producing results, the
-        host must fail loudly instead of spinning forever."""
+        host must fail loudly instead of spinning forever.
+
+        ``max_worker_restarts=0`` keeps the test fast; the default
+        budget is covered below."""
 
         def _suicidal_worker(*args, **kwargs):
             raise SystemExit(1)
 
         monkeypatch.setattr(solver_mod, "_worker_main", _suicidal_worker)
         q = QuboMatrix.random(16, seed=0)
-        cfg = AbsConfig(blocks_per_gpu=4, local_steps=4, max_rounds=5, seed=1)
+        cfg = AbsConfig(
+            blocks_per_gpu=4,
+            local_steps=4,
+            max_rounds=5,
+            max_worker_restarts=0,
+            seed=1,
+        )
         with pytest.raises(RuntimeError, match="workers died"):
+            AdaptiveBulkSearch(q, cfg).solve("process")
+
+    def test_restart_budget_spent_before_giving_up(self, monkeypatch):
+        """With a restart budget, a persistently crashing worker is
+        retried that many times before the run fails."""
+
+        def _suicidal_worker(*args, **kwargs):
+            raise SystemExit(1)
+
+        monkeypatch.setattr(solver_mod, "_worker_main", _suicidal_worker)
+        q = QuboMatrix.random(16, seed=0)
+        cfg = AbsConfig(
+            blocks_per_gpu=4,
+            local_steps=4,
+            max_rounds=5,
+            max_worker_restarts=2,
+            seed=1,
+        )
+        with pytest.raises(RuntimeError, match="after 2 restarts"):
             AdaptiveBulkSearch(q, cfg).solve("process")
 
     def test_shared_memory_cleaned_after_worker_death(self, monkeypatch):
@@ -32,7 +62,13 @@ class TestWorkerDeath:
         monkeypatch.setattr(solver_mod, "_worker_main", _suicidal_worker)
         before = set(glob.glob("/dev/shm/*"))
         q = QuboMatrix.random(16, seed=0)
-        cfg = AbsConfig(blocks_per_gpu=4, local_steps=4, max_rounds=5, seed=1)
+        cfg = AbsConfig(
+            blocks_per_gpu=4,
+            local_steps=4,
+            max_rounds=5,
+            max_worker_restarts=0,
+            seed=1,
+        )
         with pytest.raises(RuntimeError):
             AdaptiveBulkSearch(q, cfg).solve("process")
         after = set(glob.glob("/dev/shm/*"))
