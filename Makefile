@@ -1,6 +1,6 @@
 # Developer conveniences for the ABS reproduction.
 
-.PHONY: install test test-fast test-process bench bench-full trace-demo examples clean
+.PHONY: install test test-fast test-process test-backends bench bench-full trace-demo examples clean
 
 install:
 	pip install -e .[test]
@@ -13,6 +13,10 @@ test-fast:              ## skip the slow example subprocess smoke tests
 
 test-process:           ## only the multiprocessing (worker supervision) tests
 	pytest -m process tests/
+
+test-backends:          ## backend suite on both lanes: as-installed, then with numba masked
+	pytest tests/backends -q
+	REPRO_NO_NUMBA=1 pytest tests/backends -q
 
 bench:                  ## reduced-scale: regenerates every paper table/figure
 	pytest benchmarks/ --benchmark-only

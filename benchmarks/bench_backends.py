@@ -1,0 +1,146 @@
+"""Backend shoot-out — reference numpy vs optional numba JIT kernels.
+
+Measures ``local_steps`` throughput (the dominant hot path of a solve)
+for every registered kernel backend at several ``(n, B)`` operating
+points, including the paper-scale-ish ``n=1024, B=256``.  Results land
+in ``benchmarks/results/BENCH_backends.json`` with per-point flip rates
+and the speedup of each backend over the numpy reference.
+
+On a machine without numba the ``numba`` entry records the fallback
+(``resolved: numpy``, ``fallback: true``) and a speedup of ~1× — the
+JSON then documents that the fallback lane was exercised rather than
+the JIT.  With numba installed, the fused multi-step kernels are
+expected to clear 2× on the large point (the per-step Python loop is
+gone entirely).
+
+Runnable both ways::
+
+    pytest benchmarks/bench_backends.py
+    PYTHONPATH=src python benchmarks/bench_backends.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends import available_backends, resolve_backend
+from repro.gpusim import BulkSearchEngine
+from repro.qubo import QuboMatrix
+from repro.utils.tables import Table
+
+try:  # standalone execution has no package context for conftest
+    from benchmarks.conftest import FULL, RESULTS_DIR
+except ImportError:  # pragma: no cover - `python benchmarks/bench_backends.py`
+    import os
+
+    FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+    RESULTS_DIR = Path(__file__).parent / "results"
+
+_POINTS = (
+    # (n, B, steps) — small, medium, and the acceptance point.
+    (256, 64, 60),
+    (512, 128, 40),
+    (1024, 256, 30),
+)
+if FULL:
+    _POINTS += ((2048, 512, 20),)
+
+
+def _measure(backend_name: str, n: int, blocks: int, steps: int) -> dict:
+    """One timed ``local_steps`` run; returns rate + resolution info."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        backend = resolve_backend(backend_name)
+    problem = QuboMatrix.random(n, seed=n)
+    eng = BulkSearchEngine(
+        problem, blocks, windows=16, offsets=np.zeros(blocks, dtype=np.int64),
+        backend=backend,
+    )
+    eng.local_steps(4)  # warm-up (and JIT compilation, for numba)
+    t0 = time.perf_counter()
+    eng.local_steps(steps)
+    elapsed = time.perf_counter() - t0
+    return {
+        "requested": backend_name,
+        "resolved": backend.name,
+        "fallback": bool(backend.fallback_from),
+        "elapsed_s": round(elapsed, 6),
+        "flips": blocks * steps,
+        "flips_per_s": round(blocks * steps / elapsed, 1),
+        "final_energy_checksum": int(eng.energy.sum()),
+    }
+
+
+def run_bench() -> dict:
+    points = []
+    for n, blocks, steps in _POINTS:
+        measurements = {
+            name: _measure(name, n, blocks, steps) for name in available_backends()
+        }
+        ref_rate = measurements["numpy"]["flips_per_s"]
+        checksums = {m["final_energy_checksum"] for m in measurements.values()}
+        point = {
+            "n": n,
+            "blocks": blocks,
+            "steps": steps,
+            "backends": measurements,
+            "speedup_vs_numpy": {
+                name: round(m["flips_per_s"] / ref_rate, 3)
+                for name, m in measurements.items()
+            },
+            # All backends must land on the same state; a diverging
+            # checksum means the bench timed two *different* searches.
+            "identical_results": len(checksums) == 1,
+        }
+        points.append(point)
+    payload = {
+        "bench": "backends",
+        "full_scale": FULL,
+        "registered": list(available_backends()),
+        "points": points,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_backends.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    return payload
+
+
+def _render(payload: dict) -> str:
+    table = Table(
+        ["n", "B", "backend", "resolved", "flips/s", "speedup vs numpy"],
+        title="Kernel-backend throughput (local_steps)",
+    )
+    for point in payload["points"]:
+        for name, m in sorted(point["backends"].items()):
+            resolved = m["resolved"] + (" (fallback)" if m["fallback"] else "")
+            table.add_row(
+                [
+                    point["n"],
+                    point["blocks"],
+                    name,
+                    resolved,
+                    f"{m['flips_per_s']:,.0f}",
+                    f"{point['speedup_vs_numpy'][name]:.2f}x",
+                ]
+            )
+    return table.render()
+
+
+def test_bench_backends(report):
+    payload = run_bench()
+    for point in payload["points"]:
+        assert point["identical_results"], (
+            f"backends diverged at n={point['n']}, B={point['blocks']}"
+        )
+    report("Backend throughput", _render(payload))
+
+
+if __name__ == "__main__":
+    print(_render(run_bench()))
+    print(f"\nwrote {RESULTS_DIR / 'BENCH_backends.json'}")

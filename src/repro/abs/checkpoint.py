@@ -56,6 +56,7 @@ def save_engine(engine: BulkSearchEngine, path: PathLike) -> None:
                 c.straight_flips,
                 c.local_flips,
                 c.straight_retirements,
+                c.delta_updates,
             ],
             dtype=np.int64,
         ),
@@ -89,11 +90,13 @@ def load_engine(weights: WeightsLike, path: PathLike) -> BulkSearchEngine:
         engine.energy[:] = data["energy"]
         engine.best_energy[:] = data["best_energy"]
         engine.best_x[:] = data["best_x"]
-        # Length 4 = pre-telemetry checkpoints (no retirement counter).
+        # Length 4 = pre-telemetry checkpoints (no retirement counter);
+        # length 5 = pre-backend checkpoints (no delta_updates).
         stored = [int(v) for v in data["counters"]]
         c = engine.counters
         c.flips, c.evaluated, c.straight_flips, c.local_flips = stored[:4]
         c.straight_retirements = stored[4] if len(stored) > 4 else 0
+        c.delta_updates = stored[5] if len(stored) > 5 else 0
     return engine
 
 

@@ -63,6 +63,14 @@ class AbsConfig:
         "a local search from T with the fixed number of flips").
     window:
         Figure-2 selection window: int, ``"spread"``, or per-block list.
+    backend:
+        Kernel backend name for the bulk engine (``"numpy"``,
+        ``"numba"``, or any name registered with
+        :func:`repro.backends.register_backend`).  ``None`` (default)
+        consults the ``REPRO_BACKEND`` environment variable and falls
+        back to ``"numpy"``.  Backend choice never changes the search
+        result — only kernel speed (``numba`` degrades to ``numpy``
+        with a warning when numba is not installed).
     pool_capacity:
         Host solution-pool size ``m``.
     ga:
@@ -111,6 +119,7 @@ class AbsConfig:
     blocks_per_gpu: int = 32
     local_steps: int = 32
     window: WindowSpec = "spread"
+    backend: str | None = None
     pool_capacity: int = 64
     ga: GaConfig = field(default_factory=GaConfig)
     scan_neighbors: bool = True
@@ -152,6 +161,14 @@ class AbsConfig:
             raise ValueError(
                 f"worker_stall_timeout must be positive, got {self.worker_stall_timeout}"
             )
+        if self.backend is not None:
+            from repro.backends import available_backends
+
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r} "
+                    f"(registered: {', '.join(available_backends())})"
+                )
         if self.start_method not in (None, "fork", "spawn", "forkserver"):
             raise ValueError(
                 "start_method must be None, 'fork', 'spawn', or 'forkserver', "

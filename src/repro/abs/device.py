@@ -41,6 +41,9 @@ class DeviceSimulator:
     scan_neighbors:
         Whether the straight-search phase also tracks the incumbent
         over all exposed neighbors.
+    backend:
+        Kernel backend for the engine (name, instance, or ``None`` for
+        the environment/default resolution — see :mod:`repro.backends`).
     bus:
         Optional telemetry bus; the device emits one ``device.round``
         event per round (and hands the bus to its engine).
@@ -57,6 +60,7 @@ class DeviceSimulator:
         local_steps: int = 32,
         scan_neighbors: bool = True,
         adapter: WindowAdapter | None = None,
+        backend: str | None = None,
         bus: TelemetryBus | NullBus | None = None,
         device_id: int = 0,
     ) -> None:
@@ -64,7 +68,9 @@ class DeviceSimulator:
             raise ValueError(f"local_steps must be >= 0, got {local_steps}")
         self.bus = bus if bus is not None else NULL_BUS
         self.device_id = int(device_id)
-        self.engine = BulkSearchEngine(weights, n_blocks, windows=windows, bus=self.bus)
+        self.engine = BulkSearchEngine(
+            weights, n_blocks, windows=windows, backend=backend, bus=self.bus
+        )
         self.local_steps = int(local_steps)
         self.scan_neighbors = bool(scan_neighbors)
         self.adapter = adapter

@@ -182,6 +182,8 @@ class AdaptiveBulkSearch:
         )
 
     def _emit_start(self, mode: str) -> None:
+        from repro.backends import resolve_backend
+
         cfg = self.config
         self.bus.emit(
             "solve.start",
@@ -193,6 +195,9 @@ class AdaptiveBulkSearch:
             pool_capacity=cfg.pool_capacity,
             seed=cfg.seed,
             adapt_windows=cfg.adapt_windows,
+            # The *active* backend: a requested-but-unavailable numba
+            # resolves to numpy here, matching what the engines will do.
+            backend=resolve_backend(cfg.backend).name,
         )
 
     def _emit_end(self, result: SolveResult) -> None:
@@ -225,6 +230,7 @@ class AdaptiveBulkSearch:
                 local_steps=cfg.local_steps,
                 scan_neighbors=cfg.scan_neighbors,
                 adapter=self._make_adapter(factory, g),
+                backend=cfg.backend,
                 bus=bus,
                 device_id=g,
             )
@@ -359,6 +365,7 @@ class AdaptiveBulkSearch:
                     windows[g],
                     cfg.local_steps,
                     cfg.scan_neighbors,
+                    cfg.backend,
                     (
                         cfg.adapt_windows,
                         cfg.adapt_period,
@@ -580,6 +587,7 @@ def _worker_main(
     windows: np.ndarray,
     local_steps: int,
     scan_neighbors: bool,
+    backend: str | None,
     adapt_params: tuple,
     target_q: "Queue",
     result_q: "Queue",
@@ -628,6 +636,7 @@ def _worker_main(
             local_steps=local_steps,
             scan_neighbors=scan_neighbors,
             adapter=adapter,
+            backend=backend,
             bus=relay,
             device_id=worker_id,
         )

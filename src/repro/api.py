@@ -31,6 +31,7 @@ def solve(
     blocks_per_gpu: int = 32,
     local_steps: int = 32,
     window: WindowSpec = "spread",
+    backend: str | None = None,
     adapt_windows: bool = False,
     seed: int | None = None,
     mode: str = "sync",
@@ -48,6 +49,14 @@ def solve(
     At least one stopping criterion (``time_limit`` / ``max_rounds`` /
     ``target_energy``) must be given; when none is, a 2-second budget is
     applied.
+
+    ``backend`` picks the engine's kernel backend (``"numpy"`` — the
+    reference — or ``"numba"``, which JIT-fuses the hot local-search
+    loop and silently degrades to ``"numpy"`` with a one-time warning
+    when numba is not installed; ``None`` consults the
+    ``REPRO_BACKEND`` environment variable).  Backend choice never
+    changes the result of a seeded solve — every backend is pinned
+    step-for-step to the same search (see ``docs/backends.md``).
 
     In ``mode="process"`` the worker processes are supervised: a dead
     (or, with ``worker_stall_timeout`` set, silent) worker is restarted
@@ -80,6 +89,7 @@ def solve(
         blocks_per_gpu=blocks_per_gpu,
         local_steps=local_steps,
         window=window,
+        backend=backend,
         adapt_windows=adapt_windows,
         target_energy=target_energy,
         time_limit=time_limit,

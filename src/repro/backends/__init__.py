@@ -1,0 +1,112 @@
+"""Pluggable kernel backends for the bulk engine.
+
+The hot kernels of :class:`~repro.gpusim.engine.BulkSearchEngine` —
+the Eq. (16) dense flip, the sparse scatter flip, Figure 2's windowed
+min-Δ selection, best-neighbour tracking, and the Algorithm 5 straight-
+search mask/argmin — live behind the :class:`KernelBackend` interface
+so execution substrates can be swapped without touching the search
+semantics:
+
+- ``numpy`` — the vectorized reference implementation (always
+  available; ground truth for the differential-equivalence suite);
+- ``numba`` — optional JIT backend with fused multi-step kernels that
+  eliminate the per-step Python loop in ``local_steps``.  Falls back to
+  ``numpy`` (with a one-time warning and a ``backend.fallback``
+  telemetry event) when numba is not importable.
+
+Selection flows through :attr:`AbsConfig.backend <repro.abs.config.AbsConfig>`,
+``repro.solve(backend=...)``, the CLI ``--backend`` flag, or the
+``REPRO_BACKEND`` environment variable; unset, the default is
+``numpy``.  A future CuPy/GPU backend plugs into the same seam via
+:func:`register_backend` — every registered backend is automatically
+pinned step-for-step to the scalar references by
+``tests/backends/test_equivalence.py``.
+
+See ``docs/backends.md`` for the interface contract and a
+how-to-add-a-backend walkthrough.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Union
+
+from repro.backends.base import KernelBackend, PreparedWeights
+from repro.backends.numba_backend import make_numba_backend, numba_available
+from repro.backends.numpy_backend import NumpyBackend
+
+#: Environment variable consulted when no backend is named explicitly.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Default backend when neither call site nor environment names one.
+DEFAULT_BACKEND = "numpy"
+
+BackendSpec = Union[str, KernelBackend, None]
+
+_REGISTRY: dict[str, Callable[[], KernelBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register ``factory`` under ``name`` (overwrites re-registrations).
+
+    The factory must return a ready :class:`KernelBackend`; it may
+    return a *different* backend than requested to express graceful
+    degradation (set ``fallback_from`` on the instance so telemetry can
+    report the substitution).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (registration ≠ importability:
+    ``numba`` is always listed and falls back when not importable)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Construct a fresh backend instance for ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r} (registered: {', '.join(available_backends())})"
+        ) from None
+    return factory()
+
+
+def resolve_backend(spec: BackendSpec = None) -> KernelBackend:
+    """Resolve a backend from a name, an instance, or the environment.
+
+    Precedence: an explicit :class:`KernelBackend` instance is used
+    as-is; an explicit name is looked up in the registry; ``None``
+    consults :data:`BACKEND_ENV_VAR` and finally defaults to
+    :data:`DEFAULT_BACKEND`.
+    """
+    if isinstance(spec, KernelBackend):
+        return spec
+    if spec is not None and not isinstance(spec, str):
+        raise TypeError(
+            f"backend must be a name, a KernelBackend, or None, got {type(spec).__name__}"
+        )
+    name = spec or os.environ.get(BACKEND_ENV_VAR, "") or DEFAULT_BACKEND
+    return get_backend(name)
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("numba", make_numba_backend)
+
+__all__ = [
+    "KernelBackend",
+    "PreparedWeights",
+    "NumpyBackend",
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "get_backend",
+    "make_numba_backend",
+    "numba_available",
+    "register_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,367 @@
+"""Optional numba JIT backend: fused multi-step kernels, no per-step loop.
+
+The reference backend pays one Python-level iteration per forced flip
+in ``run_local_steps`` — the dominant hot path of a solve.  This
+backend compiles the whole multi-step loop (select → Eq. 16 flip →
+incumbent check → offset advance) into one nopython kernel per weight
+representation, so ``local_steps(k)`` costs a single Python call
+regardless of ``k``.  The straight-search primitives are JIT-compiled
+too.
+
+numba is an *optional* dependency: when it is not importable (or the
+``REPRO_NO_NUMBA`` environment variable is set, which the test suite
+uses to exercise the fallback lane), :func:`make_numba_backend` returns
+the NumPy reference backend instead, tagged with
+``fallback_from="numba"`` so the engine can emit a one-time
+``backend.fallback`` telemetry event; a Python :class:`RuntimeWarning`
+is issued once per process as well.
+
+Every kernel here replicates the reference semantics bit-for-bit: all
+arithmetic is int64 and every argmin breaks ties toward the first
+minimum, exactly like ``np.argmin``.  The differential suite pins this
+(`tests/backends/test_equivalence.py` runs against whatever the
+registry resolves, so with numba installed the JIT kernels are compared
+step-for-step against the scalar references; the ``backend_numba``
+marker selects the JIT-specific tests).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+from repro.backends.base import KernelBackend, PreparedWeights
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+_warned = False
+
+
+def numba_available() -> bool:
+    """Whether the JIT backend can actually JIT on this interpreter.
+
+    ``REPRO_NO_NUMBA`` (any non-empty value) masks an installed numba —
+    the mechanism ``make test-backends`` uses to cover the fallback
+    path deterministically.
+    """
+    if os.environ.get("REPRO_NO_NUMBA", ""):
+        return False
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def make_numba_backend() -> KernelBackend:
+    """The ``numba`` registry factory: JIT backend or tagged fallback."""
+    global _warned
+    if numba_available():
+        return NumbaBackend()
+    from repro.backends.numpy_backend import NumpyBackend
+
+    if not _warned:
+        _warned = True
+        warnings.warn(
+            "backend 'numba' requested but numba is not importable; "
+            "falling back to the NumPy reference backend "
+            "(pip install numba to enable JIT kernels)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    fallback = NumpyBackend()
+    fallback.fallback_from = "numba"
+    return fallback
+
+
+def _build_kernels():
+    """Compile the nopython kernels (deferred so import stays cheap)."""
+    from numba import njit
+
+    @njit(cache=True)
+    def flip_dense(W, X, delta, energy, ids, ks):
+        n = W.shape[1]
+        for i in range(ids.shape[0]):
+            b = ids[i]
+            k = ks[i]
+            dk_old = delta[b, k]
+            sk = np.int64(1) - 2 * np.int64(X[b, k])
+            for j in range(n):
+                delta[b, j] += 2 * W[k, j] * (np.int64(1) - 2 * np.int64(X[b, j])) * sk
+            delta[b, k] = -dk_old
+            energy[b] += dk_old
+            X[b, k] ^= np.uint8(1)
+        return ids.shape[0] * n
+
+    @njit(cache=True)
+    def flip_sparse(indptr, indices, data, X, delta, energy, ids, ks):
+        updates = 0
+        for i in range(ids.shape[0]):
+            b = ids[i]
+            k = ks[i]
+            dk_old = delta[b, k]
+            sk = np.int64(1) - 2 * np.int64(X[b, k])
+            for p in range(indptr[k], indptr[k + 1]):
+                j = indices[p]
+                delta[b, j] += 2 * data[p] * (np.int64(1) - 2 * np.int64(X[b, j])) * sk
+                updates += 1
+            delta[b, k] = -dk_old
+            energy[b] += dk_old
+            X[b, k] ^= np.uint8(1)
+            updates += 1
+        return updates
+
+    @njit(cache=True)
+    def select_window(delta, offsets, windows, out):
+        B, n = delta.shape
+        for b in range(B):
+            off = offsets[b]
+            best = _INT64_MAX
+            k = -1
+            for j in range(windows[b]):
+                idx = (off + j) % n
+                v = delta[b, idx]
+                if v < best:
+                    best = v
+                    k = idx
+            out[b] = k
+
+    @njit(cache=True)
+    def select_straight(delta, diff, ids, out):
+        n = delta.shape[1]
+        for i in range(ids.shape[0]):
+            b = ids[i]
+            best = _INT64_MAX
+            k = 0
+            for j in range(n):
+                if diff[b, j] and delta[b, j] < best:
+                    best = delta[b, j]
+                    k = j
+            out[i] = k
+
+    @njit(cache=True)
+    def update_best(X, delta, energy, best_energy, best_x, ids):
+        n = delta.shape[1]
+        for i in range(ids.shape[0]):
+            b = ids[i]
+            pos = 0
+            dmin = delta[b, 0]
+            for j in range(1, n):
+                if delta[b, j] < dmin:
+                    dmin = delta[b, j]
+                    pos = j
+            cand = energy[b] + dmin
+            if cand < best_energy[b]:
+                best_energy[b] = cand
+                for j in range(n):
+                    best_x[b, j] = X[b, j]
+                best_x[b, pos] ^= np.uint8(1)
+            if energy[b] < best_energy[b]:
+                best_energy[b] = energy[b]
+                for j in range(n):
+                    best_x[b, j] = X[b, j]
+
+    @njit(cache=True)
+    def track_position(X, energy, best_energy, best_x, ids):
+        n = X.shape[1]
+        for i in range(ids.shape[0]):
+            b = ids[i]
+            if energy[b] < best_energy[b]:
+                best_energy[b] = energy[b]
+                for j in range(n):
+                    best_x[b, j] = X[b, j]
+
+    @njit(cache=True)
+    def local_steps_dense(
+        W, X, delta, energy, best_energy, best_x, offsets, windows, steps
+    ):
+        B, n = X.shape
+        for _ in range(steps):
+            for b in range(B):
+                # Figure 2 windowed min-Δ select
+                off = offsets[b]
+                dmin = _INT64_MAX
+                k = -1
+                for j in range(windows[b]):
+                    idx = (off + j) % n
+                    v = delta[b, idx]
+                    if v < dmin:
+                        dmin = v
+                        k = idx
+                # Eq. (16) flip
+                dk_old = delta[b, k]
+                sk = np.int64(1) - 2 * np.int64(X[b, k])
+                for j in range(n):
+                    delta[b, j] += (
+                        2 * W[k, j] * (np.int64(1) - 2 * np.int64(X[b, j])) * sk
+                    )
+                delta[b, k] = -dk_old
+                energy[b] += dk_old
+                X[b, k] ^= np.uint8(1)
+                # Incumbent over all n neighbours, then the position
+                pos = 0
+                dmin = delta[b, 0]
+                for j in range(1, n):
+                    if delta[b, j] < dmin:
+                        dmin = delta[b, j]
+                        pos = j
+                cand = energy[b] + dmin
+                if cand < best_energy[b]:
+                    best_energy[b] = cand
+                    for j in range(n):
+                        best_x[b, j] = X[b, j]
+                    best_x[b, pos] ^= np.uint8(1)
+                if energy[b] < best_energy[b]:
+                    best_energy[b] = energy[b]
+                    for j in range(n):
+                        best_x[b, j] = X[b, j]
+                offsets[b] = (offsets[b] + windows[b]) % n
+        return steps * B * n
+
+    @njit(cache=True)
+    def local_steps_sparse(
+        indptr,
+        indices,
+        data,
+        X,
+        delta,
+        energy,
+        best_energy,
+        best_x,
+        offsets,
+        windows,
+        steps,
+    ):
+        B, n = X.shape
+        updates = 0
+        for _ in range(steps):
+            for b in range(B):
+                off = offsets[b]
+                dmin = _INT64_MAX
+                k = -1
+                for j in range(windows[b]):
+                    idx = (off + j) % n
+                    v = delta[b, idx]
+                    if v < dmin:
+                        dmin = v
+                        k = idx
+                dk_old = delta[b, k]
+                sk = np.int64(1) - 2 * np.int64(X[b, k])
+                for p in range(indptr[k], indptr[k + 1]):
+                    j = indices[p]
+                    delta[b, j] += (
+                        2 * data[p] * (np.int64(1) - 2 * np.int64(X[b, j])) * sk
+                    )
+                    updates += 1
+                delta[b, k] = -dk_old
+                energy[b] += dk_old
+                X[b, k] ^= np.uint8(1)
+                updates += 1
+                pos = 0
+                dmin = delta[b, 0]
+                for j in range(1, n):
+                    if delta[b, j] < dmin:
+                        dmin = delta[b, j]
+                        pos = j
+                cand = energy[b] + dmin
+                if cand < best_energy[b]:
+                    best_energy[b] = cand
+                    for j in range(n):
+                        best_x[b, j] = X[b, j]
+                    best_x[b, pos] ^= np.uint8(1)
+                if energy[b] < best_energy[b]:
+                    best_energy[b] = energy[b]
+                    for j in range(n):
+                        best_x[b, j] = X[b, j]
+                offsets[b] = (offsets[b] + windows[b]) % n
+        return updates
+
+    return {
+        "flip_dense": flip_dense,
+        "flip_sparse": flip_sparse,
+        "select_window": select_window,
+        "select_straight": select_straight,
+        "update_best": update_best,
+        "track_position": track_position,
+        "local_steps_dense": local_steps_dense,
+        "local_steps_sparse": local_steps_sparse,
+    }
+
+
+class NumbaBackend(KernelBackend):
+    """JIT kernel set; construct only when :func:`numba_available`.
+
+    Compilation is deferred to the first kernel call (per process, and
+    cached on disk by numba), so constructing the backend — e.g. just
+    to resolve its name — stays cheap.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._k: dict | None = None
+
+    @property
+    def kernels(self) -> dict:
+        if self._k is None:
+            self._k = _build_kernels()
+        return self._k
+
+    def flip(self, pw, X, delta, energy, ids, ks) -> int:
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        ks = np.ascontiguousarray(ks, dtype=np.int64)
+        if pw.is_sparse:
+            return int(
+                self.kernels["flip_sparse"](
+                    pw.indptr, pw.indices, pw.data, X, delta, energy, ids, ks
+                )
+            )
+        return int(self.kernels["flip_dense"](pw.dense, X, delta, energy, ids, ks))
+
+    def select_window(self, delta, offsets, windows) -> np.ndarray:
+        out = np.empty(delta.shape[0], dtype=np.int64)
+        self.kernels["select_window"](delta, offsets, windows, out)
+        return out
+
+    def select_straight(self, delta, diff, ids) -> np.ndarray:
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        out = np.empty(ids.shape[0], dtype=np.int64)
+        self.kernels["select_straight"](delta, diff, ids, out)
+        return out
+
+    def update_best(self, X, delta, energy, best_energy, best_x, ids) -> None:
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        self.kernels["update_best"](X, delta, energy, best_energy, best_x, ids)
+
+    def track_position(self, X, energy, best_energy, best_x, ids) -> None:
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        self.kernels["track_position"](X, energy, best_energy, best_x, ids)
+
+    def run_local_steps(
+        self, pw, X, delta, energy, best_energy, best_x, offsets, windows, steps
+    ) -> int:
+        if steps == 0:
+            return 0
+        if pw.is_sparse:
+            return int(
+                self.kernels["local_steps_sparse"](
+                    pw.indptr,
+                    pw.indices,
+                    pw.data,
+                    X,
+                    delta,
+                    energy,
+                    best_energy,
+                    best_x,
+                    offsets,
+                    windows,
+                    steps,
+                )
+            )
+        return int(
+            self.kernels["local_steps_dense"](
+                pw.dense, X, delta, energy, best_energy, best_x, offsets, windows, steps
+            )
+        )

@@ -1,0 +1,169 @@
+"""The NumPy reference backend — the semantics every backend is pinned to.
+
+These kernels are the original :class:`BulkSearchEngine` implementations
+extracted behind :class:`~repro.backends.base.KernelBackend`: fully
+vectorized over blocks, one Python-level iteration per forced flip in
+:meth:`run_local_steps` (inherited from the base class).  Always
+available; the differential-equivalence suite treats it as ground truth
+against the scalar Algorithm 4/5 references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import KernelBackend, PreparedWeights
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+class NumpyBackend(KernelBackend):
+    """Vectorized reference kernels (the paper's Eq. 16 / Fig. 2 / Alg. 5)."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # Eq. (16) flip
+    # ------------------------------------------------------------------
+    def flip(
+        self,
+        pw: PreparedWeights,
+        X: np.ndarray,
+        delta: np.ndarray,
+        energy: np.ndarray,
+        ids: np.ndarray,
+        ks: np.ndarray,
+    ) -> int:
+        if pw.is_sparse:
+            return self._flip_sparse(pw, X, delta, energy, ids, ks)
+        W = pw.dense
+        m = len(ids)
+        B = X.shape[0]
+        rows = W[ks]  # (m, n) gather of W_k·
+        if m == B:
+            # Fast path: every block flips (the local-search steady
+            # state) — update in place without fancy-index row copies.
+            sk = 1 - 2 * X[ids, ks].astype(np.int64)
+            signs = 1 - 2 * X.astype(np.int64)
+            signs *= sk[:, None]
+            dk_old = delta[ids, ks]  # fancy indexing → fresh copy
+            signs *= rows
+            signs += signs  # ×2 without an extra temporary
+            delta += signs
+            delta[ids, ks] = -dk_old
+            energy += dk_old
+            X[ids, ks] ^= 1
+        else:
+            xs = X[ids]
+            sk = 1 - 2 * X[ids, ks].astype(np.int64)
+            signs = (1 - 2 * xs.astype(np.int64)) * sk[:, None]
+            dk_old = delta[ids, ks]  # fancy indexing → fresh copy
+            delta[ids] += 2 * rows * signs
+            delta[ids, ks] = -dk_old
+            energy[ids] += dk_old
+            X[ids, ks] ^= 1
+        return m * pw.n
+
+    def _flip_sparse(
+        self,
+        pw: PreparedWeights,
+        X: np.ndarray,
+        delta: np.ndarray,
+        energy: np.ndarray,
+        ids: np.ndarray,
+        ks: np.ndarray,
+    ) -> int:
+        """Sparse flip kernel: scatter Eq. (16) over touched columns.
+
+        For block ``ids[i]`` flipping bit ``ks[i]``, only the
+        ``degree(ks[i])`` columns adjacent to the flipped bit change —
+        O(Σ degree) total instead of O(m·n).
+        """
+        indptr, indices, data = pw.indptr, pw.indices, pw.data
+        starts = indptr[ks]
+        lens = indptr[ks + 1] - starts
+        total = int(lens.sum())
+        dk_old = delta[ids, ks]  # fancy indexing → fresh copy
+        sk = 1 - 2 * X[ids, ks].astype(np.int64)
+        if total:
+            bidx = np.repeat(ids, lens)
+            # Flat CSR positions: starts[i] .. starts[i]+lens[i] for each i.
+            offs = np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+            flat = np.repeat(starts, lens) + offs
+            cols = indices[flat]
+            vals = data[flat]
+            signs = (1 - 2 * X[bidx, cols].astype(np.int64)) * np.repeat(sk, lens)
+            # (bidx, cols) pairs are unique (columns are unique within a
+            # CSR row), so fancy-index += is well-defined here.
+            delta[bidx, cols] += 2 * vals * signs
+        delta[ids, ks] = -dk_old
+        energy[ids] += dk_old
+        X[ids, ks] ^= 1
+        return total + len(ids)
+
+    # ------------------------------------------------------------------
+    # Selection kernels
+    # ------------------------------------------------------------------
+    def select_window(
+        self,
+        delta: np.ndarray,
+        offsets: np.ndarray,
+        windows: np.ndarray,
+    ) -> np.ndarray:
+        B, n = delta.shape
+        ids = np.arange(B)
+        l_max = int(windows.max())
+        lane = np.arange(l_max, dtype=np.int64)
+        idx = (offsets[:, None] + lane[None, :]) % n
+        in_window = lane[None, :] < windows[:, None]
+        vals = np.where(in_window, delta[ids[:, None], idx], _INT64_MAX)
+        return idx[ids, vals.argmin(axis=1)]
+
+    def select_straight(
+        self,
+        delta: np.ndarray,
+        diff: np.ndarray,
+        ids: np.ndarray,
+    ) -> np.ndarray:
+        masked = np.where(diff[ids].astype(bool), delta[ids], _INT64_MAX)
+        return masked.argmin(axis=1)
+
+    # ------------------------------------------------------------------
+    # Incumbent tracking
+    # ------------------------------------------------------------------
+    def update_best(
+        self,
+        X: np.ndarray,
+        delta: np.ndarray,
+        energy: np.ndarray,
+        best_energy: np.ndarray,
+        best_x: np.ndarray,
+        ids: np.ndarray,
+    ) -> None:
+        sub_delta = delta[ids]
+        pos = sub_delta.argmin(axis=1)
+        cand = energy[ids] + sub_delta[np.arange(len(ids)), pos]
+        improved = cand < best_energy[ids]
+        if improved.any():
+            rid = ids[improved]
+            best_energy[rid] = cand[improved]
+            best_x[rid] = X[rid]
+            best_x[rid, pos[improved]] ^= 1
+        at_pos = energy[ids] < best_energy[ids]
+        if at_pos.any():
+            rid = ids[at_pos]
+            best_energy[rid] = energy[rid]
+            best_x[rid] = X[rid]
+
+    def track_position(
+        self,
+        X: np.ndarray,
+        energy: np.ndarray,
+        best_energy: np.ndarray,
+        best_x: np.ndarray,
+        ids: np.ndarray,
+    ) -> None:
+        at_pos = energy[ids] < best_energy[ids]
+        rid = ids[at_pos]
+        best_energy[rid] = energy[rid]
+        best_x[rid] = X[rid]

@@ -34,6 +34,17 @@ def _telemetry(args: argparse.Namespace):
     )
 
 
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend: numpy (reference) or numba (JIT, falls "
+        "back to numpy when not installed); default: $REPRO_BACKEND "
+        "or numpy.  Never changes the search result, only speed.",
+    )
+
+
 def _add_observability_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--trace-out",
@@ -58,6 +69,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         n_gpus=args.gpus,
         blocks_per_gpu=args.blocks,
         local_steps=args.local_steps,
+        backend=args.backend,
         pool_capacity=args.pool,
         adapt_windows=args.adapt,
         target_energy=args.target,
@@ -71,6 +83,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     with _telemetry(args) as bus:
         result = AdaptiveBulkSearch(matrix, config, telemetry=bus).solve(args.mode)
     print(f"instance      : {matrix.name} (n={matrix.n})")
+    if args.backend is not None:
+        from repro.backends import resolve_backend
+
+        print(f"backend       : {resolve_backend(args.backend).name}")
     print(f"best energy   : {result.best_energy}")
     print(f"elapsed       : {result.elapsed:.4g} s")
     print(f"search rate   : {result.search_rate:.4g} solutions/s")
@@ -122,6 +138,7 @@ def _cmd_maxcut(args: argparse.Namespace) -> int:
     config = AbsConfig(
         blocks_per_gpu=args.blocks,
         local_steps=args.local_steps,
+        backend=args.backend,
         pool_capacity=args.pool,
         adapt_windows=args.adapt,
         time_limit=args.time_limit,
@@ -173,6 +190,7 @@ def _cmd_tsp(args: argparse.Namespace) -> int:
     config = AbsConfig(
         blocks_per_gpu=args.blocks,
         local_steps=args.local_steps,
+        backend=args.backend,
         pool_capacity=args.pool,
         target_energy=tq.length_to_energy(target_len),
         time_limit=args.time_limit,
@@ -329,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: fork where available)",
     )
     p.add_argument("--out", default=None, help="write best solution to .npy")
+    _add_backend_flag(p)
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_solve)
 
@@ -346,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="adapt per-block windows automatically (paper §5 future work)",
     )
     p.add_argument("--seed", type=int, default=None)
+    _add_backend_flag(p)
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_maxcut)
 
@@ -357,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pool", type=int, default=64)
     p.add_argument("--time-limit", type=float, default=20.0)
     p.add_argument("--seed", type=int, default=None)
+    _add_backend_flag(p)
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_tsp)
 

@@ -2,8 +2,8 @@
 
 One RTX 2080 Ti in the paper runs up to 1088 CUDA blocks, each an
 independent forced-flip local search over its own register-file state.
-This engine reproduces that execution model in NumPy: block ``b`` is row
-``b`` of the batched state
+This engine reproduces that execution model: block ``b`` is row ``b``
+of the batched state
 
 - ``X``      — ``B × n`` current solutions (uint8 bits),
 - ``delta``  — ``B × n`` maintained ``Δ_i`` values (int64),
@@ -12,22 +12,31 @@ This engine reproduces that execution model in NumPy: block ``b`` is row
 and one :meth:`local_steps` iteration performs the Eq. (16) delta
 refresh, windowed min-Δ selection (Figure 2, per-block window sizes and
 offsets — the parallel-tempering-like temperature spread), the flip, and
-best-solution tracking for *all* blocks in one set of vectorized
-operations.  :meth:`straight_to` is the batched Algorithm 5, with blocks
-retiring independently as they reach their targets (the asynchrony the
-paper gets from per-block execution).
+best-solution tracking for *all* blocks.  :meth:`straight_to` is the
+batched Algorithm 5, with blocks retiring independently as they reach
+their targets (the asynchrony the paper gets from per-block execution).
 
-The engine is tested to be step-for-step identical to the scalar
-reference :class:`~repro.search.bulk.BulkLocalSearch` /
-:func:`~repro.search.straight.straight_search`.
+The hot kernels themselves live behind the pluggable
+:class:`~repro.backends.KernelBackend` interface (``numpy`` reference
+kernels by default; ``numba`` JIT kernels that fuse the whole
+``local_steps`` loop when numba is installed — see
+:mod:`repro.backends` and ``docs/backends.md``).  The engine owns all
+search state; backends are stateless kernel sets, so swapping backends
+never changes the walk: every registered backend is tested to be
+step-for-step identical to the scalar reference
+:class:`~repro.search.bulk.BulkLocalSearch` /
+:func:`~repro.search.straight.straight_search`
+(``tests/backends/test_equivalence.py``).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import BackendSpec, resolve_backend
 from repro.qubo.matrix import WeightsLike, as_weight_matrix
 from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
 from repro.utils.validation import check_bit_vector
@@ -37,10 +46,22 @@ _INT64_MAX = np.iinfo(np.int64).max
 
 @dataclass
 class EngineCounters:
-    """Work counters aggregated across all blocks."""
+    """Work counters aggregated across all blocks.
+
+    ``evaluated`` follows the paper's Definition-1 *neighbourhood
+    exposure* semantics: every flip exposes the energies of all ``n``
+    neighbours through the live delta vector, so it always advances by
+    ``flips × n`` — on the sparse path too, where the refresh only
+    *writes* the flipped bit's ``degree + 1`` delta entries but the
+    remaining entries stay exposed unchanged.  ``delta_updates`` is the
+    honest work metric: delta entries actually written (``flips × n``
+    dense, ``Σ (degree(k) + 1)`` sparse), i.e. what the hardware pays.
+    The two only coincide on dense problems.
+    """
 
     flips: int = 0
     evaluated: int = 0
+    delta_updates: int = 0
     straight_flips: int = 0
     local_flips: int = 0
     straight_retirements: int = 0
@@ -50,6 +71,7 @@ class EngineCounters:
         return {
             f"{prefix}flips": self.flips,
             f"{prefix}evaluated": self.evaluated,
+            f"{prefix}delta_updates": self.delta_updates,
             f"{prefix}straight_flips": self.straight_flips,
             f"{prefix}local_flips": self.local_flips,
             f"{prefix}straight_retirements": self.straight_retirements,
@@ -74,11 +96,19 @@ class BulkSearchEngine:
     offsets:
         Initial window offsets.  Default staggers blocks across the bit
         range so equal-window blocks don't walk in lockstep.
+    backend:
+        Kernel backend: a registry name (``"numpy"``, ``"numba"``), a
+        :class:`~repro.backends.KernelBackend` instance, or ``None`` to
+        consult the ``REPRO_BACKEND`` environment variable and default
+        to ``"numpy"``.  Backend choice never changes the search —
+        only how fast the kernels run.
     bus:
         Optional :class:`~repro.telemetry.TelemetryBus`.  The engine
         emits one aggregate event per :meth:`straight_to` /
         :meth:`local_steps` call — never per flip — so a disabled bus
-        costs one attribute check per batch.
+        costs one attribute check per batch.  With a bus attached, the
+        engine also accumulates per-kernel wall-clock session counters
+        (``backend.*_ns``).
     """
 
     def __init__(
@@ -88,24 +118,28 @@ class BulkSearchEngine:
         *,
         windows: int | np.ndarray = 16,
         offsets: np.ndarray | None = None,
+        backend: BackendSpec = None,
         bus: TelemetryBus | NullBus | None = None,
     ) -> None:
         from repro.qubo.sparse import SparseQubo
 
         if n_blocks < 1:
             raise ValueError(f"n_blocks must be >= 1, got {n_blocks}")
+        self.backend = resolve_backend(backend)
         if isinstance(weights, SparseQubo):
-            # Sparse backend: per-flip scatter over touched columns only.
+            # Sparse path: per-flip scatter over touched columns only.
             self.sparse: SparseQubo | None = weights
             self.W = None
             self.n = weights.n
             diag_src = weights.diag
+            self._pw = self.backend.prepare_sparse(weights)
         else:
             self.sparse = None
             W = as_weight_matrix(weights)
             self.n = int(W.shape[0])
             self.W = np.ascontiguousarray(W, dtype=np.int64)
             diag_src = np.diagonal(self.W)
+            self._pw = self.backend.prepare_dense(self.W)
         if self.n < 1:
             raise ValueError("engine requires at least one bit")
         self.B = int(n_blocks)
@@ -134,90 +168,36 @@ class BulkSearchEngine:
         self.counters = EngineCounters()
         self._ids = np.arange(self.B)
         self._bus = bus if bus is not None else NULL_BUS
+        if self._bus.enabled and self.backend.fallback_from:
+            self._bus.emit(
+                "backend.fallback",
+                requested=self.backend.fallback_from,
+                using=self.backend.name,
+                reason=f"backend {self.backend.fallback_from!r} not importable",
+            )
 
     # ------------------------------------------------------------------
     # Core batched flip (Eq. 16 for a subset of blocks)
     # ------------------------------------------------------------------
-    def _flip(self, ids: np.ndarray, ks: np.ndarray) -> None:
-        """Flip bit ``ks[i]`` in block ``ids[i]`` for all i, in bulk."""
-        if self.sparse is not None:
-            self._flip_sparse(ids, ks)
-            return
-        m = len(ids)
-        rows = self.W[ks]  # (m, n) gather of W_k·
-        if m == self.B:
-            # Fast path: every block flips (the local-search steady state)
-            # — update in place without fancy-index row copies.
-            sk = 1 - 2 * self.X[self._ids, ks].astype(np.int64)
-            signs = 1 - 2 * self.X.astype(np.int64)
-            signs *= sk[:, None]
-            dk_old = self.delta[self._ids, ks]  # fancy indexing → fresh copy
-            signs *= rows
-            signs += signs  # ×2 without an extra temporary
-            self.delta += signs
-            self.delta[self._ids, ks] = -dk_old
-            self.energy += dk_old
-            self.X[self._ids, ks] ^= 1
-        else:
-            xs = self.X[ids]
-            sk = 1 - 2 * self.X[ids, ks].astype(np.int64)
-            signs = (1 - 2 * xs.astype(np.int64)) * sk[:, None]
-            dk_old = self.delta[ids, ks]  # fancy indexing → fresh copy
-            self.delta[ids] += 2 * rows * signs
-            self.delta[ids, ks] = -dk_old
-            self.energy[ids] += dk_old
-            self.X[ids, ks] ^= 1
-        self.counters.flips += m
-        self.counters.evaluated += m * self.n
+    def _flip(self, ids: np.ndarray, ks: np.ndarray) -> int:
+        """Flip bit ``ks[i]`` in block ``ids[i]`` for all i, in bulk.
 
-    def _flip_sparse(self, ids: np.ndarray, ks: np.ndarray) -> None:
-        """Sparse flip kernel: scatter Eq. (16) over touched columns.
-
-        For block ``ids[i]`` flipping bit ``ks[i]``, only the
-        ``degree(ks[i])`` columns adjacent to the flipped bit change —
-        O(Σ degree) total instead of O(m·n).
+        Returns the number of delta entries written (see
+        :class:`EngineCounters` for the ``evaluated`` vs
+        ``delta_updates`` distinction).
         """
-        sq = self.sparse
-        csr = sq.csr
-        starts = csr.indptr[ks]
-        lens = csr.indptr[ks + 1] - starts
-        total = int(lens.sum())
-        dk_old = self.delta[ids, ks]  # fancy indexing → fresh copy
-        sk = 1 - 2 * self.X[ids, ks].astype(np.int64)
-        if total:
-            bidx = np.repeat(ids, lens)
-            # Flat CSR positions: starts[i] .. starts[i]+lens[i] for each i.
-            offs = np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
-            flat = np.repeat(starts, lens) + offs
-            cols = csr.indices[flat]
-            vals = csr.data[flat]
-            signs = (1 - 2 * self.X[bidx, cols].astype(np.int64)) * np.repeat(sk, lens)
-            # (bidx, cols) pairs are unique (columns are unique within a
-            # CSR row), so fancy-index += is well-defined here.
-            self.delta[bidx, cols] += 2 * vals * signs
-        self.delta[ids, ks] = -dk_old
-        self.energy[ids] += dk_old
-        self.X[ids, ks] ^= 1
+        updates = self.backend.flip(self._pw, self.X, self.delta, self.energy, ids, ks)
         m = len(ids)
         self.counters.flips += m
         self.counters.evaluated += m * self.n
+        self.counters.delta_updates += updates
+        return updates
 
     def _update_best(self, ids: np.ndarray) -> None:
         """Best-tracking over all n exposed neighbors plus the position."""
-        sub_delta = self.delta[ids]
-        pos = sub_delta.argmin(axis=1)
-        cand = self.energy[ids] + sub_delta[np.arange(len(ids)), pos]
-        improved = cand < self.best_energy[ids]
-        if improved.any():
-            rid = ids[improved]
-            self.best_energy[rid] = cand[improved]
-            self.best_x[rid] = self.X[rid]
-            self.best_x[rid, pos[improved]] ^= 1
-        at_pos = self.energy[ids] < self.best_energy[ids]
-        if at_pos.any():
-            rid = ids[at_pos]
-            self.best_energy[rid] = self.energy[rid]
-            self.best_x[rid] = self.X[rid]
+        self.backend.update_best(
+            self.X, self.delta, self.energy, self.best_energy, self.best_x, ids
+        )
 
     # ------------------------------------------------------------------
     # Device steps
@@ -243,7 +223,12 @@ class BulkSearchEngine:
             raise ValueError(f"targets must have shape ({self.B}, {self.n}), got {T.shape}")
         if T.dtype != np.uint8:
             T = T.astype(np.uint8)
+        backend = self.backend
+        bus = self._bus
+        timing = bus.enabled
+        select_ns = flip_ns = best_ns = 0
         total = 0
+        updates = 0
         iters = 0
         retired: int | None = None
         while True:
@@ -255,20 +240,29 @@ class BulkSearchEngine:
                 break
             iters += 1
             ids = self._ids[active]
-            masked = np.where(diff[ids].astype(bool), self.delta[ids], _INT64_MAX)
-            ks = masked.argmin(axis=1)
-            self._flip(ids, ks)
+            if timing:
+                t0 = time.perf_counter_ns()
+                ks = backend.select_straight(self.delta, diff, ids)
+                t1 = time.perf_counter_ns()
+                updates += self._flip(ids, ks)
+                t2 = time.perf_counter_ns()
+            else:
+                ks = backend.select_straight(self.delta, diff, ids)
+                updates += self._flip(ids, ks)
             if scan_neighbors:
                 self._update_best(ids)
             else:
-                at_pos = self.energy[ids] < self.best_energy[ids]
-                rid = ids[at_pos]
-                self.best_energy[rid] = self.energy[rid]
-                self.best_x[rid] = self.X[rid]
+                backend.track_position(
+                    self.X, self.energy, self.best_energy, self.best_x, ids
+                )
+            if timing:
+                t3 = time.perf_counter_ns()
+                select_ns += t1 - t0
+                flip_ns += t2 - t1
+                best_ns += t3 - t2
             total += len(ids)
         self.counters.straight_flips += total
         self.counters.straight_retirements += retired or 0
-        bus = self._bus
         if bus.enabled:
             bus.counters.inc("engine.straight_flips", total)
             bus.counters.inc("engine.straight_retirements", retired or 0)
@@ -277,12 +271,17 @@ class BulkSearchEngine:
             # and both phases contribute to engine.flips.
             bus.counters.inc("engine.flips", total)
             bus.counters.inc("engine.evaluated", total * self.n)
+            bus.counters.inc("engine.delta_updates", updates)
+            bus.counters.inc(f"backend.{self.backend.name}.straight_select_ns", select_ns)
+            bus.counters.inc(f"backend.{self.backend.name}.flip_ns", flip_ns)
+            bus.counters.inc(f"backend.{self.backend.name}.best_ns", best_ns)
             bus.emit(
                 "engine.straight",
                 flips=total,
                 iters=iters,
                 retired=retired or 0,
                 already_at_target=self.B - (retired or 0),
+                backend=self.backend.name,
             )
         return total
 
@@ -291,32 +290,48 @@ class BulkSearchEngine:
 
         Selection follows Figure 2 exactly: block ``b`` extracts the
         ``l_b`` bits at its rotating offset, flips the one with minimum
-        Δ, and advances its offset by ``l_b`` (mod n).
+        Δ, and advances its offset by ``l_b`` (mod n).  The whole
+        multi-step loop is delegated to the backend, which may fuse it
+        into a single JIT kernel (the numpy reference pays one Python
+        iteration per step).
         """
         if steps < 0:
             raise ValueError(f"steps must be non-negative, got {steps}")
-        n, ids = self.n, self._ids
-        l_max = int(self.windows.max())
-        lane = np.arange(l_max, dtype=np.int64)
-        in_window = lane[None, :] < self.windows[:, None]
-        for _ in range(steps):
-            idx = (self.offsets[:, None] + lane[None, :]) % n
-            vals = np.where(in_window, self.delta[ids[:, None], idx], _INT64_MAX)
-            ks = idx[ids, vals.argmin(axis=1)]
-            self._flip(ids, ks)
-            self._update_best(ids)
-            self.offsets = (self.offsets + self.windows) % n
-        self.counters.local_flips += steps * self.B
         bus = self._bus
+        timing = bus.enabled
+        if timing:
+            t0 = time.perf_counter_ns()
+        updates = self.backend.run_local_steps(
+            self._pw,
+            self.X,
+            self.delta,
+            self.energy,
+            self.best_energy,
+            self.best_x,
+            self.offsets,
+            self.windows,
+            steps,
+        )
+        n = self.n
+        self.counters.flips += steps * self.B
+        self.counters.evaluated += steps * self.B * n
+        self.counters.delta_updates += updates
+        self.counters.local_flips += steps * self.B
         if bus.enabled and steps:
             bus.counters.inc("engine.local_flips", steps * self.B)
             bus.counters.inc("engine.flips", steps * self.B)
             bus.counters.inc("engine.evaluated", steps * self.B * n)
+            bus.counters.inc("engine.delta_updates", updates)
+            bus.counters.inc(
+                f"backend.{self.backend.name}.local_steps_ns",
+                time.perf_counter_ns() - t0,
+            )
             bus.emit(
                 "engine.local",
                 steps=steps,
                 flips=steps * self.B,
                 evaluated=steps * self.B * n,
+                backend=self.backend.name,
             )
 
     # ------------------------------------------------------------------
@@ -350,7 +365,8 @@ class BulkSearchEngine:
     def validate(self) -> None:
         """Recompute every block's energy/delta from scratch and compare.
 
-        O(B·n²); for tests only.
+        O(B·n²); for tests only.  The pytest-facing variant with a
+        first-divergence diff lives in ``tests/helpers/engine_check.py``.
         """
         from repro.qubo.energy import delta_vector, energy
 

@@ -64,7 +64,10 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
             "mode": STR, "n": INT, "n_gpus": INT, "blocks_per_gpu": INT,
             "local_steps": INT, "pool_capacity": INT, "seed": OPT_INT,
             "adapt_windows": BOOL,
-        }
+        },
+        # ``backend`` is the *active* kernel backend (post-fallback);
+        # optional so pre-1.3 traces stay valid.
+        optional={"backend": STR},
     ),
     "solve.end": EventSpec(
         required={
@@ -128,10 +131,17 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
             "flips": INT, "iters": INT, "retired": INT,
             "already_at_target": INT,
         },
-        optional={"device": INT},
+        optional={"device": INT, "backend": STR},
     ),
     "engine.local": EventSpec(
         required={"steps": INT, "flips": INT, "evaluated": INT},
+        optional={"device": INT, "backend": STR},
+    ),
+    # Kernel-backend resolution (repro.backends): emitted once per
+    # engine when the requested backend was substituted (e.g. ``numba``
+    # requested without numba importable).
+    "backend.fallback": EventSpec(
+        required={"requested": STR, "using": STR, "reason": STR},
         optional={"device": INT},
     ),
     # Window adaptation (paper §5 future work) -------------------------

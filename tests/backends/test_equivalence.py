@@ -1,0 +1,235 @@
+"""Differential-equivalence suite: every registered backend must walk
+step-for-step identically to the scalar references.
+
+The oracle is the scalar code the paper's algorithms were first
+implemented against — :class:`~repro.search.policies.WindowMinDeltaPolicy`
+(Figure 2 selection), ``SearchState.flip`` (the Eq. 16 refresh),
+``_scan_best`` (Algorithm 4's inner incumbent check) and
+:func:`~repro.search.straight.straight_search` (Algorithm 5).  Each
+test drives a :class:`BulkSearchEngine` on one backend and re-derives
+the expected trajectory per block from those primitives, comparing
+``X``/``delta``/``energy``/``best_x``/``best_energy``/counters exactly
+(int64 arithmetic: no tolerances anywhere).
+
+Parametrized over the registry, so a newly registered backend is pinned
+automatically.  On machines without numba, the ``numba`` name resolves
+to the tagged numpy fallback — the fallback lane is then what gets
+pinned, which is exactly what production would run.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.backends import available_backends, resolve_backend
+from repro.gpusim import BulkSearchEngine
+from repro.problems.maxcut import maxcut_to_qubo, maxcut_to_sparse_qubo, random_graph
+from repro.qubo import QuboMatrix, SearchState
+from repro.search.bulk import _scan_best
+from repro.search.policies import WindowMinDeltaPolicy
+from repro.search.straight import straight_search
+from tests.helpers.engine_check import assert_engine_valid
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+@pytest.fixture(params=available_backends())
+def backend(request):
+    """A fresh backend instance per test, for every registered name."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)  # numba fallback notice
+        return resolve_backend(request.param)
+
+
+@pytest.fixture
+def problem():
+    return QuboMatrix.random(48, seed=97)
+
+
+@pytest.fixture
+def sparse_pair():
+    g = random_graph(56, 260, weighted=True, seed=23)
+    return maxcut_to_qubo(g), maxcut_to_sparse_qubo(g)
+
+
+def _scalar_local_walk(weights, steps, window, offset):
+    """Engine-equivalent scalar trajectory for one block from zero."""
+    st = SearchState.zeros(weights)
+    pol = WindowMinDeltaPolicy(window, offset=offset)
+    rng = np.random.default_rng(0)  # the policy is deterministic; rng unused
+    best_e, best_x = _INT64_MAX, np.zeros(st.n, dtype=np.uint8)
+    trajectory = []
+    for _ in range(steps):
+        st.flip(pol.select(st, rng))
+        best_e, best_x = _scan_best(st, best_e, best_x)
+        trajectory.append(
+            (st.x.copy(), st.delta.copy(), st.energy, best_e, best_x.copy())
+        )
+    return trajectory
+
+
+class TestLocalStepsEquivalence:
+    @pytest.mark.parametrize("window", [1, 3, 16, 48])
+    def test_walk_matches_scalar(self, backend, problem, window):
+        B = 3
+        eng = BulkSearchEngine(
+            problem, B, windows=window, offsets=np.array([0, 7, 31]), backend=backend
+        )
+        offsets0 = eng.offsets.copy()
+        eng.local_steps(60)
+        for b in range(B):
+            x, delta, energy, best_e, best_x = _scalar_local_walk(
+                problem, 60, window, int(offsets0[b])
+            )[-1]
+            assert np.array_equal(eng.X[b], x), f"block {b}: X diverged"
+            assert np.array_equal(eng.delta[b], delta), f"block {b}: delta diverged"
+            assert eng.energy[b] == energy, f"block {b}: energy diverged"
+            assert eng.best_energy[b] == best_e, f"block {b}: best_energy diverged"
+            assert np.array_equal(eng.best_x[b], best_x), f"block {b}: best_x diverged"
+
+    def test_every_intermediate_step_matches(self, backend, problem):
+        """Single-step granularity: not just the same destination, the
+        same path — X/delta/energy/best after *each* forced flip."""
+        steps, window = 25, 8
+        eng = BulkSearchEngine(
+            problem, 2, windows=window, offsets=np.zeros(2, dtype=np.int64),
+            backend=backend,
+        )
+        reference = _scalar_local_walk(problem, steps, window, 0)
+        for i in range(steps):
+            eng.local_steps(1)
+            x, delta, energy, best_e, best_x = reference[i]
+            for b in range(2):
+                assert np.array_equal(eng.X[b], x), f"step {i}, block {b}: X"
+                assert np.array_equal(eng.delta[b], delta), f"step {i}: delta"
+                assert eng.energy[b] == energy, f"step {i}: energy"
+                assert eng.best_energy[b] == best_e, f"step {i}: best_energy"
+                assert np.array_equal(eng.best_x[b], best_x), f"step {i}: best_x"
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_problems_stay_valid(self, backend, seed):
+        problem = QuboMatrix.random(32, seed=seed)
+        eng = BulkSearchEngine(problem, 4, windows=np.array([2, 5, 11, 32]), backend=backend)
+        eng.local_steps(50)
+        assert_engine_valid(eng, context=f"seed={seed} local walk")
+
+    def test_zero_steps_is_identity(self, backend, problem):
+        eng = BulkSearchEngine(problem, 2, backend=backend)
+        before = (eng.X.copy(), eng.delta.copy(), eng.energy.copy(), eng.offsets.copy())
+        eng.local_steps(0)
+        assert np.array_equal(eng.X, before[0])
+        assert np.array_equal(eng.delta, before[1])
+        assert np.array_equal(eng.energy, before[2])
+        assert np.array_equal(eng.offsets, before[3])
+
+
+class TestStraightEquivalence:
+    @pytest.mark.parametrize("scan_neighbors", [True, False])
+    def test_matches_scalar(self, backend, problem, scan_neighbors, rng):
+        B = 4
+        targets = rng.integers(0, 2, (B, problem.n), dtype=np.uint8)
+        eng = BulkSearchEngine(problem, B, backend=backend)
+        flips = eng.straight_to(targets, scan_neighbors=scan_neighbors)
+        assert (eng.X == targets).all()
+        assert flips == int(targets.sum())
+        for b in range(B):
+            st = SearchState.zeros(problem)
+            bx, be, _ = straight_search(st, targets[b], scan_neighbors=scan_neighbors)
+            assert eng.energy[b] == st.energy, f"block {b}: energy"
+            assert np.array_equal(eng.delta[b], st.delta), f"block {b}: delta"
+            assert eng.best_energy[b] == be, f"block {b}: best_energy"
+            assert np.array_equal(eng.best_x[b], bx), f"block {b}: best_x"
+
+    def test_blocks_retire_independently(self, backend, problem):
+        eng = BulkSearchEngine(problem, 3, backend=backend)
+        targets = np.zeros((3, problem.n), dtype=np.uint8)
+        targets[0, :2] = 1
+        targets[1, :17] = 1
+        targets[2, :] = 1
+        eng.straight_to(targets)
+        assert (eng.X == targets).all()
+        assert_engine_valid(eng, context="independent retirement")
+
+
+class TestSparseEquivalence:
+    def test_sparse_matches_dense(self, backend, sparse_pair, rng):
+        dense, sparse = sparse_pair
+        kw = dict(windows=8, offsets=np.zeros(3, dtype=np.int64), backend=backend)
+        e_d = BulkSearchEngine(dense, 3, **kw)
+        e_s = BulkSearchEngine(sparse, 3, **kw)
+        targets = rng.integers(0, 2, (3, dense.n), dtype=np.uint8)
+        for eng in (e_d, e_s):
+            eng.straight_to(targets)
+            eng.local_steps(70)
+        assert np.array_equal(e_d.X, e_s.X)
+        assert np.array_equal(e_d.delta, e_s.delta)
+        assert np.array_equal(e_d.energy, e_s.energy)
+        assert np.array_equal(e_d.best_energy, e_s.best_energy)
+        assert np.array_equal(e_d.best_x, e_s.best_x)
+        assert_engine_valid(e_s, context="sparse walk")
+
+    def test_sparse_matches_scalar_straight(self, backend, sparse_pair, rng):
+        _, sparse = sparse_pair
+        targets = rng.integers(0, 2, (2, sparse.n), dtype=np.uint8)
+        eng = BulkSearchEngine(sparse, 2, backend=backend)
+        eng.straight_to(targets)
+        for b in range(2):
+            st = SearchState.zeros(sparse)
+            bx, be, _ = straight_search(st, targets[b], scan_neighbors=True)
+            assert eng.energy[b] == st.energy
+            assert np.array_equal(eng.delta[b], st.delta)
+            assert eng.best_energy[b] == be
+
+
+class TestCrossBackendIdentity:
+    """All registered backends agree with each other, state and counters."""
+
+    def _run(self, backend_name, problem, targets):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            eng = BulkSearchEngine(
+                problem, targets.shape[0], windows=np.array([2, 6, 16]),
+                backend=backend_name,
+            )
+        eng.straight_to(targets)
+        eng.local_steps(40)
+        eng.straight_to(targets ^ 1)
+        eng.local_steps(40)
+        return eng
+
+    def test_identical_states_and_counters(self, problem, rng):
+        targets = rng.integers(0, 2, (3, problem.n), dtype=np.uint8)
+        engines = {
+            name: self._run(name, problem, targets) for name in available_backends()
+        }
+        ref = engines.pop("numpy")
+        for name, eng in engines.items():
+            assert np.array_equal(eng.X, ref.X), name
+            assert np.array_equal(eng.delta, ref.delta), name
+            assert np.array_equal(eng.energy, ref.energy), name
+            assert np.array_equal(eng.best_energy, ref.best_energy), name
+            assert np.array_equal(eng.best_x, ref.best_x), name
+            assert np.array_equal(eng.offsets, ref.offsets), name
+            assert eng.counters.as_dict() == ref.counters.as_dict(), name
+
+
+class TestSolveLevelEquivalence:
+    """A full seeded solve is backend-independent, result and counters."""
+
+    def test_seeded_solve_identical_across_backends(self, problem):
+        from repro.api import solve
+
+        results = {}
+        for name in available_backends():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                results[name] = solve(
+                    problem, max_rounds=5, seed=42, blocks_per_gpu=8, backend=name
+                )
+        ref = results.pop("numpy")
+        for name, res in results.items():
+            assert res.best_energy == ref.best_energy, name
+            assert np.array_equal(res.best_x, ref.best_x), name
+            assert res.counters == ref.counters, name
+            assert res.rounds == ref.rounds, name
