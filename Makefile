@@ -1,6 +1,6 @@
 # Developer conveniences for the ABS reproduction.
 
-.PHONY: install test test-fast test-process test-backends bench bench-full trace-demo examples clean
+.PHONY: install test test-fast test-process test-backends test-exchange bench bench-full bench-exchange trace-demo examples clean
 
 install:
 	pip install -e .[test]
@@ -18,11 +18,18 @@ test-backends:          ## backend suite on both lanes: as-installed, then with 
 	pytest tests/backends -q
 	REPRO_NO_NUMBA=1 pytest tests/backends -q
 
+test-exchange:          ## exchange + process suites on both transports: shm rings, then Queue fallback
+	REPRO_EXCHANGE=shm pytest -m "exchange_shm or process" tests/ -q
+	REPRO_EXCHANGE=queue pytest -m "exchange_shm or process" tests/ -q
+
 bench:                  ## reduced-scale: regenerates every paper table/figure
 	pytest benchmarks/ --benchmark-only
 
 bench-full:             ## full instance lists (minutes to hours)
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only
+
+bench-exchange:         ## host-side exchange + GA hot-path speedup (Figure 5 rings)
+	pytest benchmarks/bench_exchange.py -q
 
 trace-demo:             ## traced solve + schema validation of the JSONL trace
 	python -m repro random 96 /tmp/abs-trace-demo.qubo --seed 7

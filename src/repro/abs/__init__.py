@@ -14,8 +14,10 @@ Two execution modes are provided by :class:`~repro.abs.solver.AdaptiveBulkSearch
   deterministically.  Reproducible; used by tests and TTS benchmarks.
 - ``"process"`` — one OS process per simulated GPU (the multi-GPU
   configuration of Figure 5), weights shared via shared memory,
-  targets/solutions exchanged through queues.  Used by the Figure 8
-  scaling benchmark.
+  targets/solutions exchanged through the :mod:`repro.abs.exchange`
+  transport (bit-packed shared-memory rings by default; a
+  ``multiprocessing.Queue`` fallback via ``exchange="queue"``).  Used
+  by the Figure 8 scaling benchmark.
 """
 
 from repro.abs.adaptive import WindowAdapter
@@ -28,6 +30,13 @@ from repro.abs.decompose import (
 )
 from repro.abs.buffers import SolutionBuffer, TargetBuffer
 from repro.abs.device import DeviceSimulator
+from repro.abs.exchange import (
+    EXCHANGE_NAMES,
+    ResultBatch,
+    SolutionRing,
+    TargetMailbox,
+    resolve_exchange,
+)
 from repro.abs.host import Host
 from repro.abs.result import SolveResult
 from repro.abs.solver import AdaptiveBulkSearch
@@ -46,6 +55,11 @@ __all__ = [
     "resolve_windows",
     "TargetBuffer",
     "SolutionBuffer",
+    "EXCHANGE_NAMES",
+    "resolve_exchange",
+    "TargetMailbox",
+    "SolutionRing",
+    "ResultBatch",
     "DeviceSimulator",
     "Host",
     "SolveResult",

@@ -10,7 +10,11 @@ Here:
 - :class:`SharedWeights` places the (large, read-only) weight matrix in
   POSIX shared memory so the multi-process mode never pickles or copies
   it per worker — the analogue of each GPU holding ``W`` in its global
-  memory.
+  memory;
+- :func:`pack_solutions` / :func:`unpack_solutions` convert between
+  one-byte-per-bit solution matrices and the bit-packed wire format the
+  shared-memory exchange rings use (:mod:`repro.abs.exchange`) — the
+  analogue of the paper packing 32 solution bits per register word.
 """
 
 from __future__ import annotations
@@ -22,6 +26,38 @@ from typing import Iterable
 import numpy as np
 
 from repro.utils.validation import check_bit_vector
+
+
+def packed_length(n: int) -> int:
+    """Bytes per bit-packed solution of ``n`` bits (``⌈n / 8⌉``)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return (int(n) + 7) // 8
+
+
+def pack_solutions(X: np.ndarray) -> np.ndarray:
+    """Bit-pack a ``(B, n)`` 0/1 matrix into ``(B, ⌈n/8⌉)`` bytes.
+
+    The packed form is what crosses the process boundary in the
+    shared-memory exchange — 8× smaller than one byte per bit.
+    """
+    X = np.asarray(X, dtype=np.uint8)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D (B, n), got shape {X.shape}")
+    return np.packbits(X, axis=1)
+
+
+def unpack_solutions(packed: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_solutions`: ``(B, ⌈n/8⌉)`` → ``(B, n)``."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    if packed.ndim != 2:
+        raise ValueError(f"packed must be 2-D, got shape {packed.shape}")
+    if packed.shape[1] != packed_length(n):
+        raise ValueError(
+            f"packed width {packed.shape[1]} does not match n={n} "
+            f"(want {packed_length(n)})"
+        )
+    return np.unpackbits(packed, axis=1, count=int(n))
 
 
 class TargetBuffer:

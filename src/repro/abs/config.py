@@ -113,6 +113,31 @@ class AbsConfig:
         platform default elsewhere.  Worker arguments stay picklable,
         so ``"spawn"`` works on platforms without ``fork`` (and is the
         safe choice in threaded parents).
+    exchange:
+        Process mode only: the host↔worker transport.  ``"shm"`` (the
+        default) exchanges targets and solutions through preallocated
+        bit-packed shared-memory rings — the paper's Figure-5 buffers
+        (:mod:`repro.abs.exchange`); ``"queue"`` is the pickling
+        ``multiprocessing.Queue`` fallback.  ``None`` consults the
+        ``REPRO_EXCHANGE`` environment variable, then defaults to
+        ``"shm"``.  Transport choice never changes the search result.
+    pipeline:
+        Process mode only: double-buffer GA targets — the host
+        prepares the *next* target batch for a worker right after
+        absorbing its round, so GA generation for round ``i + 1``
+        overlaps the worker's execution of round ``i`` and a fresh
+        result is answered with a pre-generated batch instantly.
+        Targets are generated from a pool state one round staler,
+        which the paper's asynchronous-tolerance argument already
+        licenses.  Off by default.
+    lockstep:
+        Process mode only: after each result, a worker *blocks* until
+        the host publishes fresh targets instead of reusing its
+        previous ones.  This removes the timing dependence of
+        free-running workers, making single-worker process runs
+        bit-identical to sync mode — used by the cross-transport
+        determinism tests.  Off by default (the paper's workers never
+        block).
     """
 
     n_gpus: int = 1
@@ -133,6 +158,9 @@ class AbsConfig:
     max_worker_restarts: int = 2
     worker_stall_timeout: float | None = None
     start_method: str | None = None
+    exchange: str | None = None
+    pipeline: bool = False
+    lockstep: bool = False
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:
@@ -174,6 +202,14 @@ class AbsConfig:
                 "start_method must be None, 'fork', 'spawn', or 'forkserver', "
                 f"got {self.start_method!r}"
             )
+        if self.exchange is not None:
+            from repro.abs.exchange import EXCHANGE_NAMES
+
+            if self.exchange not in EXCHANGE_NAMES:
+                raise ValueError(
+                    f"exchange must be None or one of {EXCHANGE_NAMES}, "
+                    f"got {self.exchange!r}"
+                )
         if (
             self.target_energy is None
             and self.time_limit is None

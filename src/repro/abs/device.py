@@ -18,7 +18,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.abs.adaptive import WindowAdapter
-from repro.abs.buffers import StoredSolution
 from repro.gpusim.engine import BulkSearchEngine
 from repro.qubo.matrix import WeightsLike
 from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
@@ -90,13 +89,18 @@ class DeviceSimulator:
         """Total solutions evaluated by this device (Definition 1)."""
         return self.engine.counters.evaluated
 
-    def round(self, targets: np.ndarray) -> list[StoredSolution]:
-        """Steps 2–5 for every block; returns the stored solutions.
+    def round(self, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Steps 2–5 for every block; returns ``(energies, best_x)``.
 
         ``targets`` has shape ``(n_blocks, n)`` — one GA target per
         block.  The walk position persists across rounds (iteration
         ``i`` starts from the final solution of iteration ``i − 1``,
         Figure 4), which is what keeps the search efficiency at O(1).
+
+        The Step-5 gather is batched: ``energies`` is the ``(B,)``
+        int64 per-block best energies and ``best_x`` the matching
+        ``(B, n)`` uint8 solutions — two array copies instead of B
+        per-block ``StoredSolution`` objects.
         """
         eng = self.engine
         c = eng.counters
@@ -125,7 +129,4 @@ class DeviceSimulator:
             adapted = self.adapter.maybe_adapt(eng.windows)
             if adapted is not None:
                 eng.windows = adapted
-        return [                                           # Step 5
-            StoredSolution(int(eng.best_energy[b]), eng.best_x[b].copy())
-            for b in range(eng.B)
-        ]
+        return eng.best_energy.copy(), eng.best_x.copy()  # Step 5

@@ -55,16 +55,20 @@ class Host:
         """Bits per solution."""
         return self.pool.n
 
-    def initial_targets(self, count: int) -> list[np.ndarray]:
+    def initial_targets(self, count: int) -> np.ndarray:
         """Targets for the very first round: the seeded random pool.
 
         The devices' first straight search therefore walks from the
         zero vector to these random solutions, giving the pool its
-        first real energies.
+        first real energies.  Returns a ``(count, n)`` uint8 matrix —
+        pool entries repeated cyclically when ``count`` exceeds the
+        pool size.
         """
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
-        return [self.pool[i % len(self.pool)].x.copy() for i in range(count)]
+        pool_mat = self.pool.as_matrix()
+        idx = np.arange(count) % len(self.pool)
+        return np.ascontiguousarray(pool_mat[idx])
 
     def absorb(self, solutions: Iterable[StoredSolution]) -> int:
         """Step 3: pool every arrived solution; returns #inserted."""
@@ -80,25 +84,62 @@ class Host:
                 self.best_x = sol.x.copy()
             if pool.insert(sol.x, sol.energy):
                 inserted += 1
-        bus = self.bus
-        if bus.enabled:
-            bus.counters.inc("host.solutions_absorbed", arrived)
-            rng = pool.finite_energy_range()
-            bus.emit(
-                "host.absorb",
-                arrived=arrived,
-                inserted=inserted,
-                rejected_duplicate=pool.rejected_duplicate - dup0,
-                rejected_worse=pool.rejected_worse - worse0,
-                pool_size=len(pool),
-                pool_best=rng[0] if rng else None,
-                pool_worst=rng[1] if rng else None,
-                pool_spread=rng[1] - rng[0] if rng else None,
-            )
+        self._emit_absorb(arrived, inserted, dup0, worse0)
         return inserted
 
-    def make_targets(self, count: int) -> list[np.ndarray]:
-        """Step 4: GA-generate ``count`` fresh targets."""
+    def absorb_batch(self, energies: np.ndarray, X: np.ndarray) -> int:
+        """Step 3, batched: pool one device round's ``(energies, X)``.
+
+        Semantically identical to :meth:`absorb` over the rows in
+        order — same best tracking, same counters, same
+        ``host.absorb`` event — but the best scan is one vectorized
+        ``argmin`` and the pool takes the whole matrix through
+        :meth:`~repro.ga.pool.SolutionPool.insert_batch` (one
+        ``np.packbits`` for every duplicate key).
+        """
+        energies = np.asarray(energies)
+        X = np.asarray(X, dtype=np.uint8)
+        if X.ndim != 2 or energies.shape != (X.shape[0],):
+            raise ValueError(
+                f"want energies (k,) and X (k, n); got {energies.shape} "
+                f"and {X.shape}"
+            )
+        pool = self.pool
+        dup0, worse0 = pool.rejected_duplicate, pool.rejected_worse
+        arrived = X.shape[0]
+        self.absorbed += arrived
+        if arrived:
+            b = int(energies.argmin())
+            if energies[b] < self.best_energy:
+                self.best_energy = int(energies[b])
+                self.best_x = X[b].copy()
+        inserted = pool.insert_batch(X, energies)
+        self._emit_absorb(arrived, inserted, dup0, worse0)
+        return inserted
+
+    def _emit_absorb(
+        self, arrived: int, inserted: int, dup0: int, worse0: int
+    ) -> None:
+        bus = self.bus
+        if not bus.enabled:
+            return
+        pool = self.pool
+        bus.counters.inc("host.solutions_absorbed", arrived)
+        rng = pool.finite_energy_range()
+        bus.emit(
+            "host.absorb",
+            arrived=arrived,
+            inserted=inserted,
+            rejected_duplicate=pool.rejected_duplicate - dup0,
+            rejected_worse=pool.rejected_worse - worse0,
+            pool_size=len(pool),
+            pool_best=rng[0] if rng else None,
+            pool_worst=rng[1] if rng else None,
+            pool_spread=rng[1] - rng[0] if rng else None,
+        )
+
+    def make_targets(self, count: int) -> np.ndarray:
+        """Step 4: GA-generate ``count`` fresh targets (``(count, n)``)."""
         targets = self.generator.generate(count)
         bus = self.bus
         if bus.enabled:

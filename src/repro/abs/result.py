@@ -18,7 +18,16 @@ class SolveResult:
     elapsed:
         Wall-clock seconds spent searching (setup excluded).
     rounds:
-        Completed device rounds (summed over devices).
+        Completed device rounds (summed over devices).  With two
+        devices and ``rounds == 6``, each device ran ~3 rounds.
+    sweeps:
+        Completed *sweeps*: full passes in which every (surviving)
+        device finished a round — ``min`` over the per-device round
+        counts.  ``rounds`` measures total work, ``sweeps`` measures
+        search depth; in sync mode ``rounds == sweeps × n_gpus`` up to
+        the partial final sweep, and both are counted identically in
+        process mode (workers lost to supervision are excluded from
+        the ``min``).
     evaluated:
         Total solutions evaluated (Definition 1 denominator).
     flips:
@@ -55,6 +64,7 @@ class SolveResult:
     rounds: int
     evaluated: int
     flips: int
+    sweeps: int = 0
     reached_target: bool = False
     time_to_target: float | None = None
     history: list[tuple[float, int]] = field(default_factory=list)
@@ -80,7 +90,8 @@ class SolveResult:
             )
         return (
             f"best={self.best_energy} elapsed={self.elapsed:.3g}s "
-            f"rounds={self.rounds} evaluated={self.evaluated:.3g} "
+            f"rounds={self.rounds} sweeps={self.sweeps} "
+            f"evaluated={self.evaluated:.3g} "
             f"rate={rate:.3g}/s gpus={self.n_gpus}"
             + degraded
             + (" [target reached]" if self.reached_target else "")

@@ -6,9 +6,14 @@ time-to-solution benchmark uses.  ``"process"`` mode launches one OS
 process per simulated GPU, mirroring the paper's multi-GPU deployment:
 the weight matrix lives in shared memory (one copy, like GPU global
 memory), targets flow host → device and solutions device → host through
-queues, and nobody blocks on anybody — a device that sees no fresh
+the exchange transport (:mod:`repro.abs.exchange` — bit-packed
+shared-memory rings by default, ``multiprocessing.Queue`` as the
+fallback), and nobody blocks on anybody — a device that sees no fresh
 targets keeps searching from its current state, exactly the paper's
-asynchronous tolerance.
+asynchronous tolerance.  ``AbsConfig.lockstep`` trades that freedom for
+determinism (workers wait for fresh targets after every round), and
+``AbsConfig.pipeline`` double-buffers targets so host GA for round
+``i + 1`` overlaps worker execution of round ``i``.
 
 Process mode is additionally *supervised*
 (:class:`~repro.abs.supervisor.WorkerSupervisor`): a worker whose
@@ -17,13 +22,15 @@ shipping results — is restarted up to ``max_worker_restarts`` times.
 A replacement starts from the engine's zero state and is rehydrated
 with fresh GA targets from the current pool (the straight-search
 handoff of Algorithm 5 makes workers state-free, so nothing else needs
-recovering); its target queue is recreated so stale targets never pile
-up.  When a worker's restart budget is exhausted the solve degrades
-onto the survivors (``SolveResult.workers_restarted`` /
-``workers_lost`` report what happened) and fails loudly only when no
-healthy worker remains.  The multiprocessing start method is
-configurable via ``AbsConfig.start_method`` (``fork`` where available
-by default; worker arguments stay picklable so ``spawn`` works too).
+recovering); the shared-memory rings *survive* the restart — the
+replacement binds to the same segments under a bumped epoch, so stale
+targets are skipped without reallocating anything.  When a worker's
+restart budget is exhausted the solve degrades onto the survivors
+(``SolveResult.workers_restarted`` / ``workers_lost`` report what
+happened) and fails loudly only when no healthy worker remains.  The
+multiprocessing start method is configurable via
+``AbsConfig.start_method`` (``fork`` where available by default; worker
+arguments stay picklable so ``spawn`` works too).
 """
 
 from __future__ import annotations
@@ -36,9 +43,14 @@ from multiprocessing import Event, Process, Queue, get_context
 import numpy as np
 
 from repro.abs.adaptive import WindowAdapter
-from repro.abs.buffers import SharedWeights, StoredSolution
+from repro.abs.buffers import SharedWeights
 from repro.abs.config import AbsConfig, resolve_windows
 from repro.abs.device import DeviceSimulator
+from repro.abs.exchange import (
+    make_host_transport,
+    open_worker_endpoint,
+    resolve_exchange,
+)
 from repro.abs.host import Host
 from repro.abs.result import SolveResult
 from repro.abs.supervisor import WorkerSupervisor
@@ -164,10 +176,6 @@ class AdaptiveBulkSearch:
         base = resolve_windows(cfg.window, cfg.blocks_per_gpu, self.n)
         return [np.roll(base, g) for g in range(cfg.n_gpus)]
 
-    @staticmethod
-    def _stack_targets(targets: list[np.ndarray]) -> np.ndarray:
-        return np.ascontiguousarray(np.stack(targets).astype(np.uint8))
-
     def _make_adapter(self, factory: RngFactory, g: int) -> WindowAdapter | None:
         cfg = self.config
         if not cfg.adapt_windows:
@@ -205,6 +213,7 @@ class AdaptiveBulkSearch:
             "solve.end",
             best_energy=result.best_energy,
             rounds=result.rounds,
+            sweeps=result.sweeps,
             elapsed=result.elapsed,
             evaluated=result.evaluated,
             flips=result.flips,
@@ -243,17 +252,20 @@ class AdaptiveBulkSearch:
         targets = host.initial_targets(cfg.total_blocks)
         history: list[tuple[float, int]] = []
         rounds = 0
-        flips = 0
+        rounds_by_device = [0] * cfg.n_gpus
         time_to_target: float | None = None
         done = False
 
         while not done:
             for g, device in enumerate(devices):
                 lo = g * cfg.blocks_per_gpu
-                batch = self._stack_targets(targets[lo : lo + cfg.blocks_per_gpu])
-                sols = device.round(batch)
-                host.absorb(sols)
+                batch = np.ascontiguousarray(
+                    targets[lo : lo + cfg.blocks_per_gpu]
+                )
+                energies, xs = device.round(batch)
+                host.absorb_batch(energies, xs)
                 rounds += 1
+                rounds_by_device[g] += 1
                 if bus.enabled:
                     bus.counters.inc("host.rounds")
                     bus.emit(
@@ -296,6 +308,7 @@ class AdaptiveBulkSearch:
             best_energy=best_e,
             elapsed=elapsed,
             rounds=rounds,
+            sweeps=min(rounds_by_device),
             evaluated=evaluated,
             flips=flips,
             reached_target=self._met_target(host.best_energy),
@@ -333,11 +346,20 @@ class AdaptiveBulkSearch:
             )
             weights_ref = ("shm", shared.descriptor)
         stop_evt = ctx.Event()
-        result_q: Queue = ctx.Queue()
+        transport = make_host_transport(
+            resolve_exchange(cfg.exchange),
+            ctx,
+            n_workers=cfg.n_gpus,
+            n_blocks=cfg.blocks_per_gpu,
+            n=self.n,
+        )
         watch = Stopwatch().start()
         history: list[tuple[float, int]] = []
         rounds = 0
+        rounds_by_worker = [0] * cfg.n_gpus
         time_to_target: float | None = None
+        # Pre-generated next target batch per worker (pipeline mode).
+        prepared: list[np.ndarray | None] = [None] * cfg.n_gpus
         # Latest cumulative numbers reported by each worker's *current*
         # incarnation; a defunct incarnation's totals are banked on
         # restart/loss so no completed work is ever dropped.
@@ -352,7 +374,7 @@ class AdaptiveBulkSearch:
             for g in range(cfg.n_gpus)
         ]
 
-        def _spawn(g: int, incarnation: int, target_q: "Queue") -> "Process":
+        def _spawn(g: int, incarnation: int, channel: object) -> "Process":
             # Resolved at call time so tests can monkeypatch the module
             # attribute and have replacements pick the patch up too.
             p = ctx.Process(
@@ -372,10 +394,10 @@ class AdaptiveBulkSearch:
                         cfg.adapt_fraction,
                         adapt_seeds[g],
                     ),
-                    target_q,
-                    result_q,
+                    transport.worker_ref(g, incarnation, channel),
                     stop_evt,
                     bus.enabled,
+                    cfg.lockstep,
                 ),
                 daemon=True,
             )
@@ -385,7 +407,7 @@ class AdaptiveBulkSearch:
         supervisor = WorkerSupervisor(
             cfg.n_gpus,
             _spawn,
-            queue_factory=ctx.Queue,
+            channel_factory=transport.make_target_channel,
             max_restarts=cfg.max_worker_restarts,
             stall_timeout=cfg.worker_stall_timeout,
             bus=bus,
@@ -410,37 +432,53 @@ class AdaptiveBulkSearch:
                     # Rehydrate the replacement from the current pool:
                     # Algorithm 5 walks it from the zero state to these
                     # targets, so no other worker state needs recovery.
-                    q = supervisor.target_queue(action.worker_id)
-                    if q is not None:
-                        fresh = host.make_targets(cfg.blocks_per_gpu)
-                        q.put(self._stack_targets(fresh))
+                    # (The channel is the replacement's — for the shm
+                    # transport it publishes under the new epoch into
+                    # the same surviving mailbox.)
+                    ch = supervisor.target_channel(action.worker_id)
+                    if ch is not None:
+                        ch.put(host.make_targets(cfg.blocks_per_gpu))
+                        if cfg.pipeline:
+                            prepared[action.worker_id] = host.make_targets(
+                                cfg.blocks_per_gpu
+                            )
+
+        def _relay_events() -> None:
+            # Worker-side telemetry events (device.round, engine.*,
+            # adapt.*) ride the transport's side channel; re-emit them
+            # host-side stamped with the worker id, but only for the
+            # worker's current incarnation (a killed predecessor's
+            # buffered events would misattribute counters otherwise).
+            for wid, winc, wevents in transport.event_bundles():
+                if winc != supervisor.incarnation(wid):
+                    continue
+                if supervisor.target_channel(wid) is None:  # lost
+                    continue
+                for name, fields in wevents:
+                    payload = dict(fields)
+                    payload.setdefault("device", wid)
+                    bus.emit(name, **payload)
 
         if bus.enabled:
             self._emit_start("process")
+            bus.emit("exchange.open", **transport.describe())
         try:
             supervisor.start()
             targets = host.initial_targets(cfg.total_blocks)
             for g in range(cfg.n_gpus):
                 lo = g * cfg.blocks_per_gpu
-                supervisor.target_queue(g).put(
-                    self._stack_targets(targets[lo : lo + cfg.blocks_per_gpu])
+                supervisor.target_channel(g).put(
+                    np.ascontiguousarray(targets[lo : lo + cfg.blocks_per_gpu])
                 )
+            if cfg.pipeline:
+                for g in range(cfg.n_gpus):
+                    prepared[g] = host.make_targets(cfg.blocks_per_gpu)
 
             done = False
             while not done:
                 _supervise()
-                try:
-                    (
-                        worker_id,
-                        incarnation,
-                        energies,
-                        xs,
-                        evaluated,
-                        flips,
-                        wcounts,
-                        wevents,
-                    ) = result_q.get(timeout=0.25)
-                except queue_mod.Empty:
+                batch = transport.poll(timeout=0.25)
+                if batch is None:
                     if cfg.time_limit is not None and watch.elapsed >= cfg.time_limit:
                         break
                     if supervisor.n_healthy == 0:
@@ -449,39 +487,44 @@ class AdaptiveBulkSearch:
                             f"(after {supervisor.workers_restarted} restarts)"
                         )
                     continue
+                worker_id = batch.worker_id
                 rounds += 1
-                fresh_result = supervisor.note_result(worker_id, incarnation)
+                rounds_by_worker[worker_id] += 1
+                fresh_result = supervisor.note_result(worker_id, batch.incarnation)
                 if fresh_result:
                     if bus.enabled:
                         # Session counters reconcile from the cumulative
                         # worker snapshots: increment by the delta since
                         # the previous report of this incarnation.
                         prev = counts_by_worker[worker_id]
-                        for key, value in wcounts.items():
+                        for key, value in batch.counters.items():
                             delta = int(value) - int(prev.get(key, 0))
                             if delta:
                                 bus.counters.inc(key, delta)
-                    eval_by_worker[worker_id] = evaluated
-                    flips_by_worker[worker_id] = flips
-                    counts_by_worker[worker_id] = wcounts
+                    eval_by_worker[worker_id] = batch.evaluated
+                    flips_by_worker[worker_id] = batch.flips
+                    counts_by_worker[worker_id] = batch.counters
                 if bus.enabled:
                     bus.counters.inc("host.rounds")
                     if fresh_result:
-                        for name, fields in wevents:
-                            payload = dict(fields)
-                            payload.setdefault("device", worker_id)
-                            bus.emit(name, **payload)
+                        _relay_events()
                     bus.emit(
                         "worker.result",
                         worker=worker_id,
                         round=rounds,
-                        best_energy=int(energies.min()),
-                        evaluated=evaluated,
-                        flips=flips,
+                        best_energy=int(batch.energies.min()),
+                        evaluated=batch.evaluated,
+                        flips=batch.flips,
                     )
-                host.absorb(
-                    StoredSolution(int(e), x) for e, x in zip(energies, xs)
-                )
+                if cfg.pipeline and prepared[worker_id] is not None:
+                    # Answer the result with the pre-generated batch
+                    # *before* absorbing — the worker's next round never
+                    # waits on host GA latency.
+                    ch = supervisor.target_channel(worker_id)
+                    if ch is not None:
+                        ch.put(prepared[worker_id])
+                        prepared[worker_id] = None
+                host.absorb_batch(batch.energies, batch.x)
                 if bus.enabled:
                     bus.emit(
                         "host.round",
@@ -501,19 +544,25 @@ class AdaptiveBulkSearch:
                     done = True
                 elif cfg.max_rounds is not None and rounds >= cfg.max_rounds:
                     done = True
+                elif cfg.pipeline:
+                    # Step 4, pipelined: this batch answers the *next*
+                    # result (targets one pool-state staler — the
+                    # asynchrony the paper already tolerates).
+                    if supervisor.target_channel(worker_id) is not None:
+                        prepared[worker_id] = host.make_targets(cfg.blocks_per_gpu)
                 else:
                     # Step 4: as many fresh targets as solutions arrived
-                    # — but never feed a queue nobody reads any more.
-                    tq = supervisor.target_queue(worker_id)
-                    if tq is not None:
-                        fresh = host.make_targets(cfg.blocks_per_gpu)
-                        tq.put(self._stack_targets(fresh))
+                    # — but never feed a channel nobody reads any more.
+                    ch = supervisor.target_channel(worker_id)
+                    if ch is not None:
+                        ch.put(host.make_targets(cfg.blocks_per_gpu))
                         if bus.enabled:
+                            tq, rq = transport.queue_depths(worker_id, ch)
                             bus.emit(
                                 "host.queue",
                                 device=worker_id,
-                                targets_queued=_safe_qsize(tq),
-                                results_queued=_safe_qsize(result_q),
+                                targets_queued=tq,
+                                results_queued=rq,
                             )
         finally:
             stop_evt.set()
@@ -525,13 +574,16 @@ class AdaptiveBulkSearch:
                 if p.is_alive():
                     p.terminate()
                     p.join(timeout=1.0)
-            # Drain queues so their feeder threads can exit.
-            for q in (*supervisor.all_queues, result_q):
+            # Drain channels so queue feeder threads can exit, then tear
+            # down the transport (unlinks the shm rings/mailboxes).
+            for ch in supervisor.all_channels:
                 try:
                     while True:
-                        q.get_nowait()
+                        ch.get_nowait()
                 except (queue_mod.Empty, OSError, EOFError):
                     pass
+            transport.drain()
+            transport.close()
             if shared is not None:
                 shared.unlink()
 
@@ -540,6 +592,8 @@ class AdaptiveBulkSearch:
         for wcounts in counts_by_worker:
             _merge_counts(engine_counts, wcounts)
         adapt_total = int(engine_counts.pop("adapt.reassignments", 0))
+        healthy = supervisor.healthy_ids
+        sweep_counts = [rounds_by_worker[g] for g in healthy] or rounds_by_worker
         best_x = host.best_x if host.best_x is not None else np.zeros(self.n, np.uint8)
         best_e = int(host.best_energy) if math.isfinite(host.best_energy) else 0
         result = SolveResult(
@@ -547,6 +601,7 @@ class AdaptiveBulkSearch:
             best_energy=best_e,
             elapsed=elapsed,
             rounds=rounds,
+            sweeps=min(sweep_counts),
             evaluated=sum(eval_by_worker) + banked_eval,
             flips=sum(flips_by_worker) + banked_flips,
             reached_target=self._met_target(host.best_energy),
@@ -560,6 +615,7 @@ class AdaptiveBulkSearch:
                 extra={
                     "supervisor.restarts": supervisor.workers_restarted,
                     "supervisor.workers_lost": supervisor.workers_lost,
+                    **transport.stats,
                 },
             ),
             workers_restarted=supervisor.workers_restarted,
@@ -568,15 +624,6 @@ class AdaptiveBulkSearch:
         if bus.enabled:
             self._emit_end(result)
         return result
-
-
-def _safe_qsize(q: "Queue") -> int:
-    """``Queue.qsize`` is approximate and unimplemented on some
-    platforms (macOS); report -1 rather than crash the host loop."""
-    try:
-        return q.qsize()
-    except (NotImplementedError, OSError):
-        return -1
 
 
 def _worker_main(
@@ -589,20 +636,24 @@ def _worker_main(
     scan_neighbors: bool,
     backend: str | None,
     adapt_params: tuple,
-    target_q: "Queue",
-    result_q: "Queue",
+    exchange_ref: tuple,
     stop_evt: "Event",
     telemetry_enabled: bool,
+    lockstep: bool,
 ) -> None:
     """Device-process entry point (module-level for picklability).
 
     ``weights_ref`` is ``("shm", descriptor)`` for a dense matrix in
-    shared memory or ``("sparse", SparseQubo)`` shipped by pickle.
-    Runs rounds forever: refresh targets if any are queued (otherwise
-    keep the previous ones — the device never idles), run Steps 3–5,
-    ship the per-block bests with cumulative counters, the incarnation
-    number (so the host can discard counter updates from a killed
-    predecessor), and — when telemetry is on — the worker-side events
+    shared memory or ``("sparse", SparseQubo)`` shipped by pickle;
+    ``exchange_ref`` selects and parameterizes the worker side of the
+    exchange transport (see :func:`repro.abs.exchange.
+    open_worker_endpoint`).  Runs rounds forever: refresh targets if
+    the host published fresh ones (otherwise keep the previous ones —
+    the device never idles, unless ``lockstep`` asks it to wait), run
+    Steps 3–5, ship the per-block bests (bit-packed on the shm
+    transport) with cumulative counters and the incarnation number (so
+    the host can discard counter updates from a killed predecessor),
+    and — when telemetry is on — the worker-side events
     (``device.round``, ``engine.*``, ``adapt.windows``) buffered on a
     :class:`~repro.telemetry.RelayBus` for the host to re-emit with
     this worker's id.
@@ -628,6 +679,12 @@ def _worker_main(
         if adapt_enabled
         else None
     )
+    endpoint = open_worker_endpoint(
+        exchange_ref,
+        worker_id=worker_id,
+        incarnation=incarnation,
+        stop_evt=stop_evt,
+    )
     try:
         device = DeviceSimulator(
             weights,
@@ -640,42 +697,32 @@ def _worker_main(
             bus=relay,
             device_id=worker_id,
         )
-        targets: np.ndarray | None = None
-        while targets is None and not stop_evt.is_set():
-            try:
-                targets = target_q.get(timeout=0.1)
-            except queue_mod.Empty:
-                continue
-        while not stop_evt.is_set():
-            sols = device.round(targets)
-            energies = np.fromiter(
-                (s.energy for s in sols), dtype=np.int64, count=len(sols)
-            )
-            xs = np.stack([s.x for s in sols])
+        targets = endpoint.fetch_targets(wait=True)
+        while targets is not None and not stop_evt.is_set():
+            energies, xs = device.round(targets)
             wcounts = device.engine.counters.as_dict()
             wcounts["adapt.reassignments"] = (
                 adapter.adaptations if adapter is not None else 0
             )
             wevents = relay.drain() if telemetry_enabled else []
-            result_q.put(
-                (
-                    worker_id,
-                    incarnation,
-                    energies,
-                    xs,
-                    device.evaluated,
-                    device.engine.counters.flips,
-                    wcounts,
-                    wevents,
-                )
+            shipped = endpoint.publish(
+                energies,
+                xs,
+                device.evaluated,
+                device.engine.counters.flips,
+                wcounts,
+                wevents,
             )
-            try:
-                while True:  # keep only the freshest queued targets
-                    targets = target_q.get_nowait()
-            except queue_mod.Empty:
-                pass
+            if not shipped:  # stop requested while the ring was full
+                break
+            fresh = endpoint.fetch_targets(wait=lockstep)
+            if fresh is not None:
+                targets = fresh
+            elif lockstep:  # stop requested while waiting for targets
+                break
     except (KeyboardInterrupt, BrokenPipeError):  # parent went away
         pass
     finally:
+        endpoint.close()
         if shared is not None:
             shared.close()

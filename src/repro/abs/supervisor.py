@@ -17,12 +17,14 @@ real OS processes:
   the solve degrades gracefully onto the survivors.  Only when *no*
   healthy worker remains does the caller fail the run.
 
-The state machine lives here, decoupled from queue plumbing: the
+The state machine lives here, decoupled from transport plumbing: the
 solver passes a ``spawn`` callable (create + start one worker process)
-and a ``queue_factory`` (fresh per-incarnation target queue), and calls
-:meth:`WorkerSupervisor.poll` from its polling loop.  Everything is
-injectable (clock, spawn, queues), so the supervision logic is unit
-tested without real processes.
+and a ``channel_factory(worker_id, incarnation)`` (the target channel a
+given incarnation reads — a fresh queue on the queue transport, a
+handle onto the *surviving* shared-memory mailbox with a bumped epoch
+on the ring transport), and calls :meth:`WorkerSupervisor.poll` from
+its polling loop.  Everything is injectable (clock, spawn, channels),
+so the supervision logic is unit tested without real processes.
 
 Telemetry: ``supervisor.stall`` when a progress deadline is missed,
 ``supervisor.restart`` per replacement, ``supervisor.degrade`` when a
@@ -98,15 +100,19 @@ class WorkerSupervisor:
     n_workers:
         Number of worker slots (``AbsConfig.n_gpus``).
     spawn:
-        ``spawn(worker_id, incarnation, target_q) -> process`` — create
-        and start one worker process reading from ``target_q``.  The
-        returned object needs ``is_alive()``, ``terminate()``,
+        ``spawn(worker_id, incarnation, channel) -> process`` — create
+        and start one worker process reading targets from ``channel``.
+        The returned object needs ``is_alive()``, ``terminate()``,
         ``kill()``, ``join(timeout)``, and ``exitcode``.
-    queue_factory:
-        Zero-argument callable producing a fresh target queue per
-        incarnation (``ctx.Queue`` in production).  A replacement never
-        inherits its predecessor's queue, so stale targets can neither
-        leak across incarnations nor pile up unread.
+    channel_factory:
+        ``channel_factory(worker_id, incarnation) -> channel`` — the
+        target channel that incarnation reads.  On the queue transport
+        this is a fresh ``ctx.Queue`` per incarnation, so stale targets
+        can neither leak across incarnations nor pile up unread; on the
+        shared-memory transport the underlying mailbox *survives* the
+        restart and the factory returns a handle bound to the new
+        incarnation's epoch, which makes the replacement skip anything
+        published for its predecessor.
     max_restarts:
         Restart budget *per worker*; 0 disables restarts entirely.
     stall_timeout:
@@ -124,7 +130,7 @@ class WorkerSupervisor:
         n_workers: int,
         spawn: Callable[[int, int, Any], Any],
         *,
-        queue_factory: Callable[[], Any],
+        channel_factory: Callable[[int, int], Any],
         max_restarts: int = 2,
         stall_timeout: float | None = None,
         bus: TelemetryBus | NullBus | None = None,
@@ -137,14 +143,14 @@ class WorkerSupervisor:
         if stall_timeout is not None and stall_timeout <= 0:
             raise ValueError(f"stall_timeout must be positive, got {stall_timeout}")
         self._spawn = spawn
-        self._queue_factory = queue_factory
+        self._channel_factory = channel_factory
         self._max_restarts = int(max_restarts)
         self._stall_timeout = stall_timeout
         self._bus = bus if bus is not None else NULL_BUS
         self._clock = clock
         self._workers = [_WorkerState(g) for g in range(n_workers)]
         self._all_procs: list[Any] = []
-        self._all_queues: list[Any] = []
+        self._all_channels: list[Any] = []
         #: Total successful restarts across all workers.
         self.workers_restarted = 0
         #: Workers permanently retired (restart budget exhausted).
@@ -161,14 +167,14 @@ class WorkerSupervisor:
         self._started = True
         now = self._clock()
         for st in self._workers:
-            st.target_q = self._queue_factory()
-            self._all_queues.append(st.target_q)
+            st.target_q = self._channel_factory(st.worker_id, st.incarnation)
+            self._all_channels.append(st.target_q)
             st.proc = self._spawn(st.worker_id, st.incarnation, st.target_q)
             self._all_procs.append(st.proc)
             st.last_progress = now
 
-    def target_queue(self, worker_id: int) -> Any | None:
-        """Current-incarnation target queue; ``None`` once lost."""
+    def target_channel(self, worker_id: int) -> Any | None:
+        """Current-incarnation target channel; ``None`` once lost."""
         st = self._workers[worker_id]
         return None if st.lost else st.target_q
 
@@ -192,9 +198,9 @@ class WorkerSupervisor:
         return list(self._all_procs)
 
     @property
-    def all_queues(self) -> list[Any]:
-        """Every target queue ever created (for final draining)."""
-        return list(self._all_queues)
+    def all_channels(self) -> list[Any]:
+        """Every target channel ever created (for final draining)."""
+        return list(self._all_channels)
 
     # ------------------------------------------------------------------
     # Progress accounting
@@ -265,8 +271,8 @@ class WorkerSupervisor:
     ) -> WorkerAction:
         st.restarts_used += 1
         st.incarnation += 1
-        st.target_q = self._queue_factory()
-        self._all_queues.append(st.target_q)
+        st.target_q = self._channel_factory(st.worker_id, st.incarnation)
+        self._all_channels.append(st.target_q)
         st.proc = self._spawn(st.worker_id, st.incarnation, st.target_q)
         self._all_procs.append(st.proc)
         st.last_progress = self._clock()

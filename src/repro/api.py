@@ -38,6 +38,9 @@ def solve(
     max_worker_restarts: int = 2,
     worker_stall_timeout: float | None = None,
     start_method: str | None = None,
+    exchange: str | None = None,
+    pipeline: bool = False,
+    lockstep: bool = False,
     telemetry: TelemetryBus | NullBus | None = None,
     trace_out: Union[str, Path, None] = None,
     log_level: str | None = None,
@@ -65,7 +68,16 @@ def solve(
     :class:`~repro.abs.supervisor.WorkerSupervisor` and the
     ``workers_restarted`` / ``workers_lost`` fields of the result.
     ``start_method`` picks the multiprocessing start method (default:
-    ``fork`` where available).
+    ``fork`` where available).  ``exchange`` picks the host↔worker
+    transport: ``"shm"`` (default — the paper's Figure-5 preallocated
+    buffers as bit-packed shared-memory rings) or ``"queue"`` (the
+    pickling ``multiprocessing.Queue`` fallback); ``None`` consults
+    ``REPRO_EXCHANGE``.  ``pipeline=True`` double-buffers GA targets so
+    host generation overlaps worker rounds; ``lockstep=True`` makes
+    workers block for fresh targets each round (deterministic
+    single-worker runs).  Transport choice never changes a seeded
+    search's results; ``pipeline`` trades one round of target freshness
+    for latency — see ``docs/exchange.md``.
 
     Observability (all optional, off by default; see
     ``docs/observability.md``): pass a ``telemetry`` bus you own, or let
@@ -98,6 +110,9 @@ def solve(
         max_worker_restarts=max_worker_restarts,
         worker_stall_timeout=worker_stall_timeout,
         start_method=start_method,
+        exchange=exchange,
+        pipeline=pipeline,
+        lockstep=lockstep,
     )
     owns_bus = telemetry is None and (trace_out is not None or log_level is not None)
     if telemetry is None:

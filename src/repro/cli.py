@@ -79,6 +79,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         max_worker_restarts=args.max_worker_restarts,
         worker_stall_timeout=args.worker_stall_timeout,
         start_method=args.start_method,
+        exchange=args.exchange,
+        pipeline=args.pipeline,
+        lockstep=args.lockstep,
     )
     with _telemetry(args) as bus:
         result = AdaptiveBulkSearch(matrix, config, telemetry=bus).solve(args.mode)
@@ -90,7 +93,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"best energy   : {result.best_energy}")
     print(f"elapsed       : {result.elapsed:.4g} s")
     print(f"search rate   : {result.search_rate:.4g} solutions/s")
-    print(f"rounds        : {result.rounds}")
+    print(f"rounds        : {result.rounds} ({result.sweeps} sweeps)")
     if result.workers_restarted or result.workers_lost:
         print(
             f"workers       : {result.workers_restarted} restarted, "
@@ -345,6 +348,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="process mode: multiprocessing start method "
         "(default: fork where available)",
+    )
+    p.add_argument(
+        "--exchange",
+        choices=("shm", "queue"),
+        default=None,
+        help="process mode: host<->worker transport — shm (Figure-5 "
+        "bit-packed shared-memory rings, the default) or queue "
+        "(pickling mp.Queue fallback); default: $REPRO_EXCHANGE or shm."
+        "  Never changes the search result.",
+    )
+    p.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="process mode: double-buffer GA targets so host generation "
+        "overlaps worker rounds (targets one round staler)",
+    )
+    p.add_argument(
+        "--lockstep",
+        action="store_true",
+        help="process mode: workers block for fresh targets every round "
+        "(deterministic single-worker runs; devices may idle)",
     )
     p.add_argument("--out", default=None, help="write best solution to .npy")
     _add_backend_flag(p)

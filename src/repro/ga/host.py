@@ -14,7 +14,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.ga.operators import crossover_uniform, mutate, select_parent
+from repro.ga.operators import (
+    crossover_uniform,
+    crossover_uniform_batch,
+    mutate,
+    mutate_batch,
+    select_parent,
+    select_parent_ranks,
+)
 from repro.ga.pool import SolutionPool
 from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
 from repro.utils.rng import SeedLike, as_generator
@@ -90,9 +97,69 @@ class TargetGenerator:
         self._bus.counters.inc("ga.copy")
         return parent.copy()
 
-    def generate(self, count: int) -> list[np.ndarray]:
-        """``count`` new targets (the paper matches the number of newly
-        arrived device solutions)."""
+    def generate(self, count: int) -> np.ndarray:
+        """``count`` new targets as one ``(count, n)`` uint8 matrix.
+
+        (The paper matches the number of newly arrived device
+        solutions.)  Fully vectorized: one RNG draw decides every
+        row's operator, one batched draw selects all parents, and the
+        mutation / crossover rows are produced by the ``*_batch``
+        operators — no per-target Python loop.  Draws from the RNG in
+        a different order than ``count`` :meth:`generate_one` calls,
+        so the two paths give different (equally valid) targets for
+        the same seed; :meth:`generate_scalar` keeps the scalar order
+        available for equivalence tests and benchmarks.
+        """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        return [self.generate_one() for _ in range(count)]
+        pool = self.pool
+        n = pool.n
+        if count == 0:
+            return np.zeros((0, n), dtype=np.uint8)
+        m = len(pool)
+        if m == 0:
+            raise IndexError("cannot select a parent from an empty pool")
+        cfg = self.config
+        rng = self._rng
+        u = rng.random(count)
+        pool_mat = pool.as_matrix()
+        ranks = select_parent_ranks(m, rng.random(count), cfg.elite_bias)
+        out = pool_mat[ranks]  # fancy indexing copies: rows are children
+        is_mut = u < cfg.p_mutation
+        is_cross = (
+            ~is_mut & (u < cfg.p_mutation + cfg.p_crossover) & (m >= 2)
+        )
+        k_cross = int(is_cross.sum())
+        if k_cross:
+            ranks2 = select_parent_ranks(m, rng.random(k_cross), cfg.elite_bias)
+            out[is_cross] = crossover_uniform_batch(
+                out[is_cross], pool_mat[ranks2], rng
+            )
+        k_mut = int(is_mut.sum())
+        if k_mut:
+            out[is_mut] = mutate_batch(out[is_mut], rng, cfg.mutation_flips)
+        k_copy = count - k_mut - k_cross
+        self.counts["mutation"] += k_mut
+        self.counts["crossover"] += k_cross
+        self.counts["copy"] += k_copy
+        bus = self._bus
+        if bus.enabled:
+            if k_mut:
+                bus.counters.inc("ga.mutation", k_mut)
+            if k_cross:
+                bus.counters.inc("ga.crossover", k_cross)
+            if k_copy:
+                bus.counters.inc("ga.copy", k_copy)
+        return np.ascontiguousarray(out)
+
+    def generate_scalar(self, count: int) -> np.ndarray:
+        """``count`` targets via the scalar per-row path.
+
+        Same return shape as :meth:`generate`; used by the equivalence
+        tests and as the baseline lane of ``bench_exchange``.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return np.zeros((0, self.pool.n), dtype=np.uint8)
+        return np.stack([self.generate_one() for _ in range(count)])

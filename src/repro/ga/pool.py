@@ -25,6 +25,16 @@ from repro.utils.rng import SeedLike, as_generator, random_bits
 from repro.utils.validation import check_bit_vector
 
 
+def pack_key(xb: np.ndarray) -> bytes:
+    """Hashable bit-packed identity of a bit vector (``⌈n/8⌉`` bytes).
+
+    The same packed form the exchange rings ship
+    (:func:`repro.abs.buffers.pack_solutions`), so batch inserts of
+    ring payloads never re-serialize per row.
+    """
+    return np.packbits(xb).tobytes()
+
+
 @dataclass(frozen=True)
 class PoolEntry:
     """One pooled solution; ``energy`` is ``math.inf`` until evaluated."""
@@ -34,7 +44,7 @@ class PoolEntry:
 
     def key(self) -> bytes:
         """Hashable identity of the bit vector."""
-        return self.x.tobytes()
+        return pack_key(self.x)
 
 
 class SolutionPool:
@@ -75,6 +85,10 @@ class SolutionPool:
         self._bus = bus if bus is not None else NULL_BUS
         self._energies: list[float] = []
         self._solutions: list[np.ndarray] = []
+        # Packed-bytes key per entry, kept position-aligned with
+        # _solutions so eviction pops the cached key instead of
+        # re-serializing the evicted vector.
+        self._entry_keys: list[bytes] = []
         self._keys: set[bytes] = set()
         #: Monotone counters for diagnostics.
         self.inserted = 0
@@ -109,7 +123,37 @@ class SolutionPool:
         a full pool, the worst entry is evicted (§2.2.1).
         """
         xb = check_bit_vector(x, self.n, "x")
-        key = xb.tobytes()
+        return self._insert_keyed(xb, pack_key(xb), float(energy))
+
+    def insert_batch(self, X: np.ndarray, energies: np.ndarray) -> int:
+        """Insert ``k`` solutions at once; returns the number inserted.
+
+        Semantically identical to ``k`` sequential :meth:`insert` calls
+        in row order (same eviction decisions, same counters) — but the
+        duplicate keys for all rows come from a single ``np.packbits``
+        call over the whole matrix, which is what makes absorbing a
+        device round O(1) serialization calls instead of O(B).
+        """
+        X = np.ascontiguousarray(X, dtype=np.uint8)
+        if X.ndim != 2 or X.shape[1] != self.n:
+            raise ValueError(
+                f"X must have shape (k, {self.n}), got {X.shape}"
+            )
+        energies = np.asarray(energies)
+        if energies.shape != (X.shape[0],):
+            raise ValueError(
+                f"energies must have shape ({X.shape[0]},), got {energies.shape}"
+            )
+        if X.size and (X > 1).any():
+            raise ValueError("X must contain only 0/1 values")
+        packed = np.packbits(X, axis=1) if X.shape[0] else X
+        inserted = 0
+        for i in range(X.shape[0]):
+            if self._insert_keyed(X[i], packed[i].tobytes(), float(energies[i])):
+                inserted += 1
+        return inserted
+
+    def _insert_keyed(self, xb: np.ndarray, key: bytes, energy: float) -> bool:
         if key in self._keys:
             self.rejected_duplicate += 1
             self._bus.counters.inc("pool.rejected_duplicate")
@@ -119,14 +163,15 @@ class SolutionPool:
                 self.rejected_worse += 1
                 self._bus.counters.inc("pool.rejected_worse")
                 return False
-            worst = self._solutions.pop()
+            self._solutions.pop()
             self._energies.pop()
-            self._keys.discard(worst.tobytes())
+            self._keys.discard(self._entry_keys.pop())
         pos = bisect.bisect_left(self._energies, energy)
         self._energies.insert(pos, float(energy))
         stored = xb.copy()
         stored.setflags(write=False)
         self._solutions.insert(pos, stored)
+        self._entry_keys.insert(pos, key)
         self._keys.add(key)
         self.inserted += 1
         self._bus.counters.inc("pool.inserted")
@@ -134,7 +179,7 @@ class SolutionPool:
 
     def contains(self, x: np.ndarray) -> bool:
         """Whether an identical bit vector is pooled."""
-        return check_bit_vector(x, self.n, "x").tobytes() in self._keys
+        return pack_key(check_bit_vector(x, self.n, "x")) in self._keys
 
     # ------------------------------------------------------------------
     # Access
@@ -166,6 +211,16 @@ class SolutionPool:
         """Sorted energies (copy)."""
         return list(self._energies)
 
+    def as_matrix(self) -> np.ndarray:
+        """All pooled solutions as one ``(len, n)`` uint8 matrix (copy).
+
+        Rows are in sorted-energy order (row 0 = best) — the batched
+        target generator fancy-indexes parents straight out of this.
+        """
+        if not self._solutions:
+            return np.zeros((0, self.n), dtype=np.uint8)
+        return np.stack(self._solutions)
+
     def finite_energy_range(self) -> tuple[float, float] | None:
         """``(best, worst)`` over entries with real energies.
 
@@ -189,8 +244,13 @@ class SolutionPool:
     # Invariants (used by property-based tests)
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
-        """Assert sortedness, distinctness, and capacity."""
-        assert len(self._energies) == len(self._solutions) == len(self._keys)
+        """Assert sortedness, distinctness, capacity, and key caching."""
+        assert (
+            len(self._energies)
+            == len(self._solutions)
+            == len(self._entry_keys)
+            == len(self._keys)
+        )
         assert len(self._energies) <= self.capacity
         assert all(
             self._energies[i] <= self._energies[i + 1]
@@ -199,6 +259,11 @@ class SolutionPool:
         assert len({s.tobytes() for s in self._solutions}) == len(
             self._solutions
         ), "pool contains duplicate solutions"
+        assert all(
+            cached == pack_key(s)
+            for cached, s in zip(self._entry_keys, self._solutions)
+        ), "cached entry keys out of sync with solutions"
+        assert set(self._entry_keys) == self._keys
 
     def __repr__(self) -> str:
         best = self._energies[0] if self._energies else None

@@ -101,11 +101,10 @@ def sample_round_work(
     work = np.zeros((n_blocks, rounds), dtype=np.float64)
     targets = host.initial_targets(n_blocks)
     for r in range(rounds):
-        batch = np.stack(targets).astype(np.uint8)
-        hamming = (device.engine.X ^ batch).sum(axis=1)
+        hamming = (device.engine.X ^ targets).sum(axis=1)
         work[:, r] = hamming + local_steps
-        sols = device.round(batch)
-        host.absorb(sols)
+        energies, xs = device.round(targets)
+        host.absorb_batch(energies, xs)
         targets = host.make_targets(n_blocks)
     return work
 

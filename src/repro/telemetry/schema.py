@@ -74,7 +74,9 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
             "best_energy": INT, "rounds": INT, "elapsed": NUM,
             "evaluated": INT, "flips": INT, "reached_target": BOOL,
         },
-        optional={"workers_restarted": INT, "workers_lost": INT},
+        # ``sweeps`` joined in 1.4 (min per-device round count);
+        # optional so earlier traces stay valid.
+        optional={"workers_restarted": INT, "workers_lost": INT, "sweeps": INT},
     ),
     # Host loop (paper §3.1 Steps 2–4) ---------------------------------
     "host.round": EventSpec(
@@ -95,6 +97,17 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
     ),
     "host.queue": EventSpec(
         required={"device": INT, "targets_queued": INT, "results_queued": INT}
+    ),
+    # Exchange transport (process mode; see repro.abs.exchange) -------
+    # Emitted once per solve after the transport is built.  On the shm
+    # transport the slot sizes are the bit-packed shared-memory record
+    # sizes; the queue transport reports its pickled-array sizes and
+    # ``ring_slots == 0``.
+    "exchange.open": EventSpec(
+        required={
+            "transport": STR, "workers": INT, "ring_slots": INT,
+            "target_slot_bytes": INT, "result_slot_bytes": INT,
+        }
     ),
     "worker.result": EventSpec(
         required={

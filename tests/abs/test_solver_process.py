@@ -169,7 +169,7 @@ class TestWorkerSupervision:
         real_worker = solver_mod._worker_main
 
         def flaky_worker(worker_id, incarnation, *rest):
-            stop_evt = rest[-2]  # (…, target_q, result_q, stop_evt, enabled)
+            stop_evt = rest[-3]  # (…, worker_ref, stop_evt, enabled, lockstep)
             if worker_id == 1 and incarnation == 0:
                 os._exit(9)
             if worker_id == 0:

@@ -73,7 +73,7 @@ def make_supervisor(n_workers=2, **kwargs):
     sup = WorkerSupervisor(
         n_workers,
         harness.spawn,
-        queue_factory=lambda: object(),
+        channel_factory=lambda wid, inc: object(),
         clock=clock,
         **kwargs,
     )
@@ -88,7 +88,7 @@ class TestLifecycle:
         assert sup.n_healthy == 3
         assert sup.healthy_ids == [0, 1, 2]
         assert len(sup.all_processes) == 3
-        assert len(sup.all_queues) == 3
+        assert len(sup.all_channels) == 3
 
     def test_double_start_rejected(self):
         sup, _, _ = make_supervisor()
@@ -103,14 +103,14 @@ class TestLifecycle:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            WorkerSupervisor(0, lambda *a: None, queue_factory=object)
+            WorkerSupervisor(0, lambda *a: None, channel_factory=lambda wid, inc: object())
         with pytest.raises(ValueError):
             WorkerSupervisor(
-                1, lambda *a: None, queue_factory=object, max_restarts=-1
+                1, lambda *a: None, channel_factory=lambda wid, inc: object(), max_restarts=-1
             )
         with pytest.raises(ValueError):
             WorkerSupervisor(
-                1, lambda *a: None, queue_factory=object, stall_timeout=0.0
+                1, lambda *a: None, channel_factory=lambda wid, inc: object(), stall_timeout=0.0
             )
 
     def test_healthy_workers_produce_no_actions(self):
@@ -122,10 +122,10 @@ class TestLifecycle:
 
 
 class TestRestartOnDeath:
-    def test_dead_worker_restarted_with_fresh_queue(self):
+    def test_dead_worker_restarted_with_fresh_channel(self):
         sup, harness, _ = make_supervisor(max_restarts=2)
         sup.start()
-        q0 = sup.target_queue(1)
+        q0 = sup.target_channel(1)
         harness.procs[1].die(exitcode=1)
         actions = sup.poll()
         assert [(a.worker_id, a.kind, a.reason) for a in actions] == [
@@ -134,9 +134,9 @@ class TestRestartOnDeath:
         assert actions[0].exitcode == 1
         assert sup.workers_restarted == 1
         assert sup.incarnation(1) == 1
-        # Replacement reads a *new* queue; the old one is retained only
-        # for final draining.
-        assert sup.target_queue(1) is not q0
+        # Replacement reads a *new* channel handle; the old one is
+        # retained only for final draining.
+        assert sup.target_channel(1) is not q0
         assert harness.spawned[-1][:2] == (1, 1)
         # The healthy worker was untouched.
         assert sup.incarnation(0) == 0
@@ -151,7 +151,7 @@ class TestRestartOnDeath:
         assert [(a.worker_id, a.kind) for a in actions] == [(1, "lost")]
         assert sup.workers_lost == 1
         assert sup.n_healthy == 1
-        assert sup.target_queue(1) is None
+        assert sup.target_channel(1) is None
         # A lost worker is never polled again.
         assert sup.poll() == []
 
@@ -241,7 +241,7 @@ class TestSupervisorTelemetry:
         sup = WorkerSupervisor(
             2,
             harness.spawn,
-            queue_factory=lambda: object(),
+            channel_factory=lambda wid, inc: object(),
             max_restarts=1,
             stall_timeout=5.0,
             bus=bus,

@@ -154,3 +154,62 @@ class TestInvariantsPropertyBased:
                 best_seen[x.tobytes()] = e
         if best_seen:
             assert pool.best().energy == min(best_seen.values())
+
+
+class TestBatchInsert:
+    def test_matches_sequential_inserts(self):
+        rng = np.random.default_rng(11)
+        X = rng.integers(0, 2, (40, 8), dtype=np.uint8)
+        energies = rng.integers(-50, 50, 40)
+        a = SolutionPool(8, capacity=10)
+        b = SolutionPool(8, capacity=10)
+        n_batch = a.insert_batch(X, energies)
+        n_seq = sum(b.insert(X[i], int(energies[i])) for i in range(40))
+        assert n_batch == n_seq
+        assert a.energies() == b.energies()
+        assert (a.as_matrix() == b.as_matrix()).all()
+        assert a.rejected_duplicate == b.rejected_duplicate
+        assert a.rejected_worse == b.rejected_worse
+        a.check_invariants()
+
+    def test_empty_batch(self):
+        pool = SolutionPool(8, capacity=4)
+        assert pool.insert_batch(
+            np.zeros((0, 8), dtype=np.uint8), np.zeros(0)
+        ) == 0
+
+    def test_shape_validation(self):
+        pool = SolutionPool(8, capacity=4)
+        with pytest.raises(ValueError, match="shape"):
+            pool.insert_batch(np.zeros((2, 7), dtype=np.uint8), np.zeros(2))
+        with pytest.raises(ValueError, match="energies"):
+            pool.insert_batch(np.zeros((2, 8), dtype=np.uint8), np.zeros(3))
+        with pytest.raises(ValueError, match="0/1"):
+            pool.insert_batch(
+                np.full((1, 8), 2, dtype=np.uint8), np.zeros(1)
+            )
+
+    def test_eviction_uses_cached_keys(self):
+        """Filling past capacity exercises the cached-key eviction path;
+        invariants confirm keys stay aligned with solutions."""
+        rng = np.random.default_rng(12)
+        pool = SolutionPool(10, capacity=5)
+        for batch in range(6):
+            X = rng.integers(0, 2, (8, 10), dtype=np.uint8)
+            energies = rng.integers(-100, 100, 8)
+            pool.insert_batch(X, energies)
+            pool.check_invariants()
+        assert len(pool) == 5
+
+    def test_as_matrix_roundtrip(self):
+        pool = SolutionPool(6, capacity=4)
+        X = np.eye(4, 6, dtype=np.uint8)
+        pool.insert_batch(X, np.arange(4))
+        mat = pool.as_matrix()
+        assert mat.shape == (4, 6)
+        assert (mat == X).all()  # already sorted by energy
+        assert pool.as_matrix() is not mat  # copies
+
+    def test_as_matrix_empty(self):
+        pool = SolutionPool(6, capacity=4)
+        assert pool.as_matrix().shape == (0, 6)
