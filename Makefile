@@ -1,6 +1,6 @@
 # Developer conveniences for the ABS reproduction.
 
-.PHONY: install test test-fast test-process test-backends test-exchange bench bench-full bench-exchange trace-demo examples clean
+.PHONY: install test test-fast test-process test-backends test-exchange test-analysis analyze lint bench bench-full bench-exchange trace-demo examples clean
 
 install:
 	pip install -e .[test]
@@ -21,6 +21,18 @@ test-backends:          ## backend suite on both lanes: as-installed, then with 
 test-exchange:          ## exchange + process suites on both transports: shm rings, then Queue fallback
 	REPRO_EXCHANGE=shm pytest -m "exchange_shm or process" tests/ -q
 	REPRO_EXCHANGE=queue pytest -m "exchange_shm or process" tests/ -q
+
+test-analysis:          ## static-analyzer + interleaving-explorer suite
+	PYTHONPATH=src pytest -m analysis tests/
+
+analyze:                ## project-invariant lint + exhaustive seqlock/SPSC race check
+	PYTHONPATH=src python -m repro analyze --interleave
+
+lint: analyze           ## analyze, then ruff/mypy when installed (pip install -e .[lint])
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests benchmarks; \
+		else echo "ruff not installed -- skipped (pip install -e .[lint])"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+		else echo "mypy not installed -- skipped (pip install -e .[lint])"; fi
 
 bench:                  ## reduced-scale: regenerates every paper table/figure
 	pytest benchmarks/ --benchmark-only

@@ -202,10 +202,13 @@ class TargetMailbox(_ShmRegion):
         self._header = None  # type: ignore[assignment]
         self._slots = None  # type: ignore[assignment]
 
+    @staticmethod
+    def _size(n_blocks: int, n: int) -> int:
+        return _HEADER_SLOTS * 8 + 2 * n_blocks * packed_length(n)
+
     @classmethod
     def create(cls, n_blocks: int, n: int) -> "TargetMailbox":
-        size = _HEADER_SLOTS * 8 + 2 * n_blocks * packed_length(n)
-        shm = shared_memory.SharedMemory(create=True, size=size)
+        shm = shared_memory.SharedMemory(create=True, size=cls._size(n_blocks, n))
         box = cls(shm, n_blocks, n, owner=True)
         box._header[:] = 0
         return box

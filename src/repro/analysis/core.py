@@ -1,0 +1,266 @@
+"""Rule-registry AST lint framework behind ``python -m repro analyze``.
+
+The framework is deliberately small: a :class:`Module` wraps one parsed
+source file, a :class:`Rule` couples an id/description to a check
+callable, and :func:`analyze_paths` parses a file set once, fans it out
+to every selected rule, and filters the resulting :class:`Finding` list
+through ``# repro: noqa[rule]`` suppressions.
+
+Two rule scopes exist:
+
+- ``module`` rules see one :class:`Module` at a time (optionally
+  restricted to path fragments via ``Rule.path_parts``);
+- ``project`` rules see the whole module set at once — needed for
+  cross-file invariants like schema/emit-site consistency and
+  ``AbsConfig`` plumbing.
+
+Suppressions are line-scoped and rule-scoped: ``# repro: noqa[rule-id]``
+on the flagged line silences that rule only; a bare ``# repro: noqa``
+silences every rule on the line.  File-wide waivers are intentionally
+not supported — a suppression should sit next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "get_rule",
+    "load_module",
+    "register_rule",
+    "render_findings",
+]
+
+#: ``# repro: noqa`` or ``# repro: noqa[rule-a, rule-b]`` anywhere in a line.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s-]*)\])?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, pinned to a source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.severity}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Module:
+    """One parsed source file plus the context rules need.
+
+    ``rel`` is the display path (relative to the analysis root when
+    possible) used in findings; ``noqa`` maps line numbers to the set of
+    suppressed rule ids on that line (``None`` = all rules).
+    """
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    noqa: Mapping[int, set[str] | None] = field(default_factory=dict)
+
+    def finding(
+        self, node: ast.AST | int, rule: str, message: str, severity: str = "error"
+    ) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(path=self.rel, line=line, rule=rule, message=message,
+                       severity=severity)
+
+
+ModuleCheck = Callable[[Module], Iterable[Finding]]
+ProjectCheck = Callable[[Sequence[Module]], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named invariant check.
+
+    ``scope`` is ``"module"`` or ``"project"``.  For module rules,
+    ``path_parts`` (POSIX path fragments, e.g. ``"repro/backends/"``)
+    restricts which files the rule runs on; empty means every file.
+    """
+
+    id: str
+    description: str
+    scope: str
+    check: ModuleCheck | ProjectCheck
+    path_parts: tuple[str, ...] = ()
+
+    def applies_to(self, module: Module) -> bool:
+        if not self.path_parts:
+            return True
+        posix = module.path.as_posix()
+        return any(part in posix for part in self.path_parts)
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    if rule.scope not in ("module", "project"):
+        raise ValueError(f"rule {rule.id!r}: unknown scope {rule.scope!r}")
+    _RULES[rule.id] = rule
+    return rule
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by id (import triggers registration)."""
+    from repro.analysis import rules as _rules  # noqa: F401  (registry side effect)
+
+    return tuple(_RULES[k] for k in sorted(_RULES))
+
+
+def get_rule(rule_id: str) -> Rule:
+    from repro.analysis import rules as _rules  # noqa: F401  (registry side effect)
+
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None
+
+
+def _parse_noqa(source: str) -> dict[int, set[str] | None]:
+    table: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line or "noqa" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            table[lineno] = None  # blanket: every rule suppressed
+        else:
+            ids = {r.strip() for r in rules.split(",") if r.strip()}
+            existing = table.get(lineno)
+            if existing is None and lineno in table:
+                continue  # already blanket-suppressed
+            table[lineno] = ids if existing is None else existing | ids
+    return table
+
+
+def load_module(path: Path, root: Path | None = None) -> Module | Finding:
+    """Parse one file; returns a :class:`Finding` if it cannot be parsed."""
+    try:
+        rel = path.relative_to(root).as_posix() if root else path.as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return Finding(path=rel, line=line, rule="parse-error",
+                       message=f"cannot analyze: {exc}")
+    return Module(path=path, rel=rel, source=source, tree=tree,
+                  noqa=_parse_noqa(source))
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _suppressed(finding: Finding, noqa: Mapping[int, set[str] | None]) -> bool:
+    rules = noqa.get(finding.line, ...)
+    if rules is ...:
+        return False
+    return rules is None or finding.rule in rules  # type: ignore[union-attr]
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    *,
+    rules: Sequence[Rule] | None = None,
+    root: Path | str | None = None,
+) -> list[Finding]:
+    """Run ``rules`` (default: all) over every ``.py`` file under ``paths``.
+
+    Findings are sorted by location and already filtered through each
+    file's ``# repro: noqa`` table.  Unparseable files surface as
+    ``parse-error`` findings rather than exceptions, so one bad file
+    cannot hide findings in the rest of the tree.
+    """
+    selected = tuple(rules) if rules is not None else all_rules()
+    root_path = Path(root).resolve() if root is not None else None
+    modules: list[Module] = []
+    findings: list[Finding] = []
+    for path in iter_python_files([Path(p) for p in paths]):
+        loaded = load_module(path.resolve(), root_path)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+        else:
+            modules.append(loaded)
+
+    noqa_by_rel = {m.rel: m.noqa for m in modules}
+    raw: list[Finding] = []
+    for rule in selected:
+        if rule.scope == "module":
+            check: ModuleCheck = rule.check  # type: ignore[assignment]
+            for module in modules:
+                if rule.applies_to(module):
+                    raw.extend(check(module))
+        else:
+            project_check: ProjectCheck = rule.check  # type: ignore[assignment]
+            raw.extend(project_check(modules))
+
+    for finding in raw:
+        if not _suppressed(finding, noqa_by_rel.get(finding.path, {})):
+            findings.append(finding)
+    return sorted(set(findings))
+
+
+def render_findings(
+    findings: Sequence[Finding],
+    fmt: str = "text",
+    extra: Mapping[str, object] | None = None,
+) -> str:
+    """Render findings as ``text`` (one ``file:line`` per row) or ``json``."""
+    if fmt == "json":
+        payload: dict[str, object] = {
+            "findings": [f.as_dict() for f in findings],
+            "count": len(findings),
+        }
+        if extra:
+            payload.update(extra)
+        return json.dumps(payload, indent=2, sort_keys=True)
+    lines = [f.format() for f in findings]
+    if findings:
+        lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.abs.config import AbsConfig, WindowSpec
 from repro.abs.result import SolveResult
 from repro.abs.solver import AdaptiveBulkSearch
+from repro.ga.host import GaConfig
 from repro.qubo.ising import IsingModel, ising_to_qubo, bits_to_spins
 from repro.telemetry import NullBus, TelemetryBus, make_bus
 
@@ -32,7 +33,12 @@ def solve(
     local_steps: int = 32,
     window: WindowSpec = "spread",
     backend: str | None = None,
+    pool_capacity: int = 64,
+    ga: GaConfig | None = None,
+    scan_neighbors: bool = True,
     adapt_windows: bool = False,
+    adapt_period: int = 4,
+    adapt_fraction: float = 0.25,
     seed: int | None = None,
     mode: str = "sync",
     max_worker_restarts: int = 2,
@@ -60,6 +66,12 @@ def solve(
     ``REPRO_BACKEND`` environment variable).  Backend choice never
     changes the result of a seeded solve — every backend is pinned
     step-for-step to the same search (see ``docs/backends.md``).
+
+    ``pool_capacity``, ``ga`` (a :class:`~repro.ga.host.GaConfig`),
+    ``scan_neighbors``, ``adapt_period`` and ``adapt_fraction`` expose
+    the remaining host-side knobs; every :class:`AbsConfig` field is
+    reachable from here (the ``config-plumbing`` rule of ``python -m
+    repro analyze`` enforces it).
 
     In ``mode="process"`` the worker processes are supervised: a dead
     (or, with ``worker_stall_timeout`` set, silent) worker is restarted
@@ -102,7 +114,12 @@ def solve(
         local_steps=local_steps,
         window=window,
         backend=backend,
+        pool_capacity=pool_capacity,
+        ga=ga if ga is not None else GaConfig(),
+        scan_neighbors=scan_neighbors,
         adapt_windows=adapt_windows,
+        adapt_period=adapt_period,
+        adapt_fraction=adapt_fraction,
         target_energy=target_energy,
         time_limit=time_limit,
         max_rounds=max_rounds,

@@ -8,8 +8,10 @@ Subcommands
 - ``random``    — generate a random 16-bit instance file
 - ``occupancy`` — print the Table 2 occupancy sweep for a problem size
 - ``rate``      — print modeled search rates (calibrated Table 2 model)
-- ``analyze``   — landscape anatomy of an instance (ruggedness, traps)
+- ``landscape`` — landscape anatomy of an instance (ruggedness, traps)
 - ``trace``     — validate a ``--trace-out`` JSONL file against the schema
+- ``analyze``   — project-invariant static analyzer (``repro.analysis``)
+  with an optional exchange-protocol interleaving check
 
 The solving subcommands accept ``--trace-out FILE`` (write the
 telemetry JSONL trace documented in ``docs/observability.md``) and
@@ -60,8 +62,18 @@ def _add_observability_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_window(value: str):
+    """``--window`` values: 'spread', an int, or comma-separated ints."""
+    if value == "spread":
+        return "spread"
+    if "," in value:
+        return [int(v) for v in value.split(",") if v.strip()]
+    return int(value)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.abs import AbsConfig, AdaptiveBulkSearch
+    from repro.ga.host import GaConfig
     from repro.qubo import io as qio
 
     matrix = qio.load(args.instance)
@@ -69,9 +81,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         n_gpus=args.gpus,
         blocks_per_gpu=args.blocks,
         local_steps=args.local_steps,
+        window=args.window,
         backend=args.backend,
         pool_capacity=args.pool,
+        ga=GaConfig(
+            p_mutation=args.ga_mutation, p_crossover=args.ga_crossover
+        ),
+        scan_neighbors=args.scan_neighbors,
         adapt_windows=args.adapt,
+        adapt_period=args.adapt_period,
+        adapt_fraction=args.adapt_fraction,
         target_energy=args.target,
         time_limit=args.time_limit,
         max_rounds=args.rounds,
@@ -269,7 +288,7 @@ def _cmd_rate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
+def _cmd_landscape(args: argparse.Namespace) -> int:
     from repro.metrics.landscape import (
         descent_statistics,
         escape_radius,
@@ -302,6 +321,58 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import all_rules, analyze_paths, get_rule, render_findings
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:<22} [{rule.scope}] {rule.description}")
+        return 0
+    rules = [get_rule(r) for r in args.rule] if args.rule else None
+    pkg_root = Path(repro.__file__).resolve().parent
+    paths = [Path(p) for p in args.paths] or [pkg_root]
+    findings = analyze_paths(paths, rules=rules, root=pkg_root.parent)
+
+    reports = []
+    if args.interleave:
+        from repro.analysis.interleave import run_all
+
+        reports = run_all(depth=args.interleave_depth)
+
+    if args.format == "json":
+        extra = {
+            "interleave": [
+                {
+                    "structure": r.structure,
+                    "depth": r.depth,
+                    "states": r.states,
+                    "transitions": r.transitions,
+                    "terminals": r.terminals,
+                    "violations": r.violations,
+                    "ok": r.ok,
+                }
+                for r in reports
+            ]
+        }
+        print(render_findings(findings, "json", extra=extra))
+    else:
+        text = render_findings(findings, "text")
+        if text:
+            print(text)
+        for report in reports:
+            print(report.summary())
+            for violation in report.violations:
+                print(f"  {violation}")
+        if not findings and not any(not r.ok for r in reports):
+            checked = ", ".join(r.id for r in (rules or all_rules()))
+            print(f"OK: no findings ({checked})")
+    failed = bool(findings) or any(not r.ok for r in reports)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -315,7 +386,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpus", type=int, default=1, help="simulated GPUs (default 1)")
     p.add_argument("--blocks", type=int, default=32, help="blocks per GPU (default 32)")
     p.add_argument("--local-steps", type=int, default=32, help="flips per round (default 32)")
+    p.add_argument(
+        "--window",
+        type=_parse_window,
+        default="spread",
+        metavar="W",
+        help="Figure-2 selection window: an int, 'spread' (temperature "
+        "ladder, the default), or comma-separated per-block values",
+    )
     p.add_argument("--pool", type=int, default=64, help="host pool capacity (default 64)")
+    p.add_argument(
+        "--scan-neighbors",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="track the incumbent over all n neighbors per flip "
+        "(Algorithm 4's inner check; default on)",
+    )
+    p.add_argument(
+        "--ga-mutation",
+        type=float,
+        default=0.45,
+        metavar="P",
+        help="GA mutation probability (default 0.45; remainder after "
+        "mutation+crossover is plain copy)",
+    )
+    p.add_argument(
+        "--ga-crossover",
+        type=float,
+        default=0.45,
+        metavar="P",
+        help="GA crossover probability (default 0.45)",
+    )
     p.add_argument("--target", type=int, default=None, help="stop at this energy")
     p.add_argument("--time-limit", type=float, default=None, help="seconds budget")
     p.add_argument("--rounds", type=int, default=None, help="round budget")
@@ -325,6 +426,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--adapt",
         action="store_true",
         help="adapt per-block windows automatically (paper §5 future work)",
+    )
+    p.add_argument(
+        "--adapt-period",
+        type=int,
+        default=4,
+        metavar="R",
+        help="rounds between window adaptations (with --adapt; default 4)",
+    )
+    p.add_argument(
+        "--adapt-fraction",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help="share of blocks reassigned per adaptation "
+        "(with --adapt; default 0.25)",
     )
     p.add_argument(
         "--max-worker-restarts",
@@ -425,11 +541,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace", help="path to a --trace-out JSONL file")
     p.set_defaults(func=_cmd_trace)
 
-    p = sub.add_parser("analyze", help="landscape anatomy of an instance")
+    p = sub.add_parser("landscape", help="landscape anatomy of an instance")
     p.add_argument("instance", help="path to a .qubo/.json/.npy instance")
     p.add_argument("--walk-steps", type=int, default=2000)
     p.add_argument("--descents", type=int, default=20)
     p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_landscape)
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the project-invariant static analyzer "
+        "(rule catalog: docs/analysis.md)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files/directories to analyze (default: the installed "
+        "repro package tree)",
+    )
+    p.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    p.add_argument(
+        "--interleave",
+        action="store_true",
+        help="also exhaustively explore the exchange seqlock/SPSC "
+        "protocols for torn reads and lost records",
+    )
+    p.add_argument(
+        "--interleave-depth",
+        type=int,
+        default=6,
+        metavar="D",
+        help="operations per actor for --interleave (default 6)",
+    )
     p.set_defaults(func=_cmd_analyze)
 
     return parser

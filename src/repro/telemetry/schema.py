@@ -176,9 +176,77 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
 #: Fields present on every record regardless of event name.
 COMMON_FIELDS: dict[str, Sequence[str]] = {"event": STR, "t": NUM, "seq": INT}
 
+#: Every *fixed* counter name the pipeline increments.  Like
+#: ``EVENT_SCHEMAS``, this is the machine-checkable registry: the
+#: ``telemetry-consistency`` rule in ``repro.analysis`` statically
+#: extracts every ``bus.counters.inc(...)`` site from the tree and
+#: cross-checks both directions (undeclared increments *and* dead
+#: declarations are errors).  Keep in lock-step with
+#: docs/observability.md.
+COUNTER_NAMES: frozenset[str] = frozenset(
+    {
+        # solution pool (repro.ga.pool)
+        "pool.inserted",
+        "pool.rejected_duplicate",
+        "pool.rejected_worse",
+        # GA operator mix (repro.ga.host)
+        "ga.mutation",
+        "ga.crossover",
+        "ga.copy",
+        # host loop (repro.abs.host / solver)
+        "host.rounds",
+        "host.solutions_absorbed",
+        "host.targets_generated",
+        # window adapter (repro.abs.adapt)
+        "adapt.reassignments",
+        # worker supervision (repro.abs.supervisor)
+        "supervisor.restarts",
+        "supervisor.workers_lost",
+        # scalar reference search (repro.search)
+        "search.flips",
+        "search.evaluated",
+        # bulk engine (repro.gpusim.engine)
+        "engine.flips",
+        "engine.evaluated",
+        "engine.delta_updates",
+        "engine.straight_flips",
+        "engine.local_flips",
+        "engine.straight_retirements",
+        # exchange transport (repro.abs.exchange)
+        "exchange.targets_published",
+        "exchange.results_consumed",
+        "exchange.bytes_to_device",
+        "exchange.bytes_from_device",
+        "exchange.packs",
+        "exchange.unpacks",
+        "exchange.publish_stalls",
+        "exchange.target_waits",
+    }
+)
+
+#: Parameterized counter families: ``*`` stands for one dynamic path
+#: segment (today: the active kernel-backend name).  An f-string
+#: increment site must normalize to exactly one of these patterns.
+COUNTER_PATTERNS: tuple[str, ...] = (
+    "backend.*.local_steps_ns",
+    "backend.*.straight_select_ns",
+    "backend.*.flip_ns",
+    "backend.*.best_ns",
+)
+
 
 class SchemaError(ValueError):
-    """Raised for a record that violates the declared schema."""
+    """Raised for a record that violates the declared schema.
+
+    ``lineno`` carries the 1-based trace line of the first violation
+    when the error came from :func:`validate_trace` (``None`` for
+    single-record validation), so callers can print machine-parseable
+    ``path:line:`` locations.
+    """
+
+    def __init__(self, message: str, lineno: int | None = None) -> None:
+        super().__init__(message)
+        self.lineno = lineno
 
 
 def validate_record(record: Mapping[str, Any]) -> None:
@@ -232,17 +300,22 @@ def validate_trace(path: str | Path) -> dict[str, int]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise SchemaError(f"line {lineno}: not valid JSON ({exc})") from exc
+                raise SchemaError(
+                    f"line {lineno}: not valid JSON ({exc})", lineno=lineno
+                ) from exc
             if not isinstance(record, dict):
-                raise SchemaError(f"line {lineno}: record is not a JSON object")
+                raise SchemaError(
+                    f"line {lineno}: record is not a JSON object", lineno=lineno
+                )
             try:
                 validate_record(record)
             except SchemaError as exc:
-                raise SchemaError(f"line {lineno}: {exc}") from exc
+                raise SchemaError(f"line {lineno}: {exc}", lineno=lineno) from exc
             if record["seq"] <= last_seq:
                 raise SchemaError(
                     f"line {lineno}: seq {record['seq']} not increasing "
-                    f"(previous {last_seq})"
+                    f"(previous {last_seq})",
+                    lineno=lineno,
                 )
             last_seq = record["seq"]
             counts[record["event"]] = counts.get(record["event"], 0) + 1
@@ -258,7 +331,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         counts = validate_trace(args.trace)
-    except (SchemaError, OSError) as exc:
+    except SchemaError as exc:
+        # Machine-parseable location first (`path:line:`), so CI log
+        # scrapers and editors can jump straight to the offending record.
+        if exc.lineno is not None:
+            print(f"{args.trace}:{exc.lineno}: INVALID: {exc}", file=sys.stderr)
+        else:
+            print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
         print(f"INVALID: {exc}", file=sys.stderr)
         return 1
     total = sum(counts.values())

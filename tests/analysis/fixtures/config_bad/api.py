@@ -1,0 +1,7 @@
+"""Fixture api: solve() forgets gamma."""
+
+from .config import AbsConfig
+
+
+def solve(weights, *, alpha=1):
+    return AbsConfig(alpha=alpha)

@@ -1,0 +1,7 @@
+"""Fixture cli: the parser forgets gamma too."""
+
+from .config import AbsConfig
+
+
+def run(args):
+    return AbsConfig(alpha=args.alpha)

@@ -1,0 +1,9 @@
+"""Fixture config: `gamma` is plumbed nowhere."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AbsConfig:
+    alpha: int = 1
+    gamma: int = 3

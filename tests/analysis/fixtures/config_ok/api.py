@@ -1,0 +1,7 @@
+"""Fixture api: solve() exposes every AbsConfig field."""
+
+from .config import AbsConfig
+
+
+def solve(weights, *, alpha=1, beta=0.5):
+    return AbsConfig(alpha=alpha, beta=beta)

@@ -1,0 +1,7 @@
+"""Fixture cli: the parser passes every AbsConfig field."""
+
+from .config import AbsConfig
+
+
+def run(args):
+    return AbsConfig(alpha=args.alpha, beta=args.beta)

@@ -1,0 +1,9 @@
+"""Fixture config: two fields, both plumbed everywhere."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AbsConfig:
+    alpha: int = 1
+    beta: float = 0.5

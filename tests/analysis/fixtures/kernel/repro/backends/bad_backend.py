@@ -1,0 +1,19 @@
+"""Fixture backend breaking all three purity constraints."""
+
+from repro.backends.base import KernelBackend
+from repro.telemetry import make_bus
+
+_CACHE = {}
+
+
+class BadBackend(KernelBackend):
+    name = "bad"
+
+    def flip(self, bus, state, k):
+        _CACHE[k] = state[k]
+        bus.counters.inc("engine.flips")
+        state[k] ^= 1
+
+    def reset(self):
+        global _CACHE
+        _CACHE = {}

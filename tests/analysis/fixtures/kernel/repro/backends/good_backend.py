@@ -1,0 +1,13 @@
+"""Fixture backend: pure kernels, immutable module state only."""
+
+from repro.backends.base import KernelBackend
+
+_LIMIT = 64
+
+
+class GoodBackend(KernelBackend):
+    name = "good"
+
+    def flip(self, state, k):
+        state[k] ^= 1
+        return _LIMIT

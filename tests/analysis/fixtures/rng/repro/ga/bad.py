@@ -1,0 +1,13 @@
+"""Fixture: every way to break RNG discipline."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    np.random.seed(0)
+    a = np.random.rand(4)
+    b = random.random()
+    rng = np.random.default_rng()
+    return a, b, rng

@@ -1,0 +1,8 @@
+"""Fixture: disciplined RNG use (seeded generators only)."""
+
+import numpy as np
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=8)

@@ -1,0 +1,7 @@
+"""Fixture: a violation excused line-by-line with noqa."""
+
+import numpy as np
+
+
+def draw():
+    return np.random.rand(4)  # repro: noqa[rng-discipline]

@@ -1,0 +1,31 @@
+"""Fixture protocol module with every store-ordering mistake."""
+
+import numpy as np
+
+_H_SEQ = 0
+_H_EPOCH = 1
+
+
+class TornMailbox:
+    def publish(self, payload, epoch):
+        gen = int(self._header[_H_SEQ]) + 1
+        self._header[_H_SEQ] = gen
+        self._slots[gen % 2, :] = payload
+        self._header[_H_EPOCH] = epoch
+        return gen
+
+    def fetch(self, last_gen):
+        gen = int(self._header[_H_SEQ])
+        if gen <= last_gen:
+            return None
+        payload = self._slots[gen % 2].copy()
+        return gen, payload
+
+
+class TornRing:
+    def consume(self):
+        tail = int(self._header[_H_EPOCH])
+        s = tail % self.slots
+        self._header[_H_EPOCH] = tail + 1
+        record = (self._energies[s].copy(), self._packed[s].copy())
+        return record

@@ -1,0 +1,10 @@
+"""Fixture: raw shared-memory arithmetic outside the protocol module."""
+
+import numpy as np
+
+
+def peek(shm, mailbox):
+    first = shm.buf[0]
+    view = np.ndarray((4,), dtype=np.int64, buffer=shm.buf, offset=32)
+    gen = mailbox._header[0]
+    return first, view, gen

@@ -1,0 +1,41 @@
+"""Fixture protocol module mirroring the real store ordering."""
+
+import numpy as np
+
+_H_SEQ = 0
+_H_EPOCH = 1
+
+
+class GoodMailbox:
+    def publish(self, payload, epoch):
+        gen = int(self._header[_H_SEQ]) + 1
+        self._slots[gen % 2, :] = payload
+        self._header[_H_EPOCH] = epoch
+        self._header[_H_SEQ] = gen
+        return gen
+
+    def fetch(self, last_gen):
+        while True:
+            gen = int(self._header[_H_SEQ])
+            if gen <= last_gen:
+                return None
+            payload = self._slots[gen % 2].copy()
+            if int(self._header[_H_SEQ]) != gen:
+                continue
+            return gen, payload
+
+
+class GoodRing:
+    def write(self, energies, packed):
+        head = int(self._header[_H_SEQ])
+        s = head % self.slots
+        self._energies[s, :] = energies
+        self._packed[s, :] = packed
+        self._header[_H_SEQ] = head + 1
+
+    def consume(self):
+        tail = int(self._header[_H_EPOCH])
+        s = tail % self.slots
+        record = (self._energies[s].copy(), self._packed[s].copy())
+        self._header[_H_EPOCH] = tail + 1
+        return record

@@ -1,0 +1,11 @@
+"""Fixture emitter with undeclared names and dynamic-event abuse."""
+
+
+def run(bus, name):
+    bus.emit("demo.event", value=1)
+    bus.emit("undeclared.event", value=2)
+    bus.emit(f"demo.{name}", value=3)
+    bus.counters.inc("demo.count")
+    bus.counters.inc("undeclared.count")
+    bus.counters.inc(f"demo.{name}.ns", 5)
+    bus.counters.inc(f"other.{name}.ns", 5)

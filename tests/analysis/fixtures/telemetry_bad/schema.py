@@ -1,0 +1,10 @@
+"""Fixture schema with one live and one dead entry of each kind."""
+
+EVENT_SCHEMAS = {
+    "demo.event": None,
+    "dead.event": None,
+}
+
+COUNTER_NAMES = frozenset({"demo.count", "dead.count"})
+
+COUNTER_PATTERNS = ("demo.*.ns", "dead.*.ns")

@@ -1,0 +1,7 @@
+"""Fixture emitter matching telemetry_ok/schema.py exactly."""
+
+
+def run(bus, name):
+    bus.emit("demo.event", value=1)
+    bus.counters.inc("demo.count")
+    bus.counters.inc(f"demo.{name}.ns", 5)

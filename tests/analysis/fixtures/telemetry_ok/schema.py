@@ -1,0 +1,9 @@
+"""Fixture schema: one event, one counter, one pattern — all emitted."""
+
+EVENT_SCHEMAS = {
+    "demo.event": None,
+}
+
+COUNTER_NAMES = frozenset({"demo.count"})
+
+COUNTER_PATTERNS = ("demo.*.ns",)

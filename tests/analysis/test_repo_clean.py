@@ -1,0 +1,74 @@
+"""Tier-1 gate: the analyzer must come back clean on the repo itself.
+
+Any new telemetry drift, global-RNG call, unplumbed config knob,
+impure kernel, or exchange-protocol violation in ``src/repro`` fails
+this test — turning the project conventions into CI-enforced
+invariants (the point of the ``repro.analysis`` subsystem).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import all_rules, analyze_paths
+from repro.cli import main
+
+pytestmark = pytest.mark.analysis
+
+PKG_ROOT = Path(repro.__file__).resolve().parent
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_source_tree_has_no_findings():
+    findings = analyze_paths([PKG_ROOT], root=PKG_ROOT.parent)
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+
+
+def test_every_rule_registered():
+    assert {r.id for r in all_rules()} == {
+        "config-plumbing",
+        "kernel-purity",
+        "rng-discipline",
+        "shm-protocol",
+        "telemetry-consistency",
+    }
+
+
+def test_cli_analyze_exits_zero_on_head(capsys):
+    assert main(["analyze"]) == 0
+    assert "OK: no findings" in capsys.readouterr().out
+
+
+def test_cli_analyze_exits_nonzero_on_bad_fixture(capsys):
+    rc = main(["analyze", str(FIXTURES / "shm_bad"), "--rule", "shm-protocol"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "shm_bad/exchange.py:" in out  # file:line findings
+    assert "[shm-protocol]" in out
+
+
+def test_cli_analyze_json_format(capsys):
+    rc = main([
+        "analyze", str(FIXTURES / "rng"), "--rule", "rng-discipline",
+        "--format", "json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["count"] == len(payload["findings"]) > 0
+    assert all(f["rule"] == "rng-discipline" for f in payload["findings"])
+
+
+def test_cli_list_rules(capsys):
+    assert main(["analyze", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.id in out
+
+
+def test_cli_unknown_rule_is_an_error(capsys):
+    assert main(["analyze", "--rule", "bogus"]) == 2
+    assert "unknown rule" in capsys.readouterr().err

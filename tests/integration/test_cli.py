@@ -77,10 +77,10 @@ class TestOtherCommands:
         rc = main(["occupancy", "-5"])
         assert rc == 2
 
-    def test_analyze_instance(self, instance_file, capsys):
+    def test_landscape_instance(self, instance_file, capsys):
         path, _ = instance_file
         rc = main(
-            ["analyze", str(path), "--walk-steps", "300", "--descents", "5",
+            ["landscape", str(path), "--walk-steps", "300", "--descents", "5",
              "--seed", "1"]
         )
         assert rc == 0
@@ -88,6 +88,6 @@ class TestOtherCommands:
         assert "correlation length" in out
         assert "2-flip escapable" in out
 
-    def test_analyze_missing_file(self, capsys):
-        rc = main(["analyze", "/no/such/file.qubo"])
+    def test_landscape_missing_file(self, capsys):
+        rc = main(["landscape", "/no/such/file.qubo"])
         assert rc == 2
