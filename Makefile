@@ -1,6 +1,6 @@
 # Developer conveniences for the ABS reproduction.
 
-.PHONY: install test test-fast test-process test-backends test-exchange test-analysis analyze lint bench bench-full bench-exchange trace-demo examples clean
+.PHONY: install test test-fast test-process test-backends test-exchange test-analysis analyze docs-check lint bench bench-full bench-exchange trace-demo examples clean
 
 install:
 	pip install -e .[test]
@@ -14,9 +14,9 @@ test-fast:              ## skip the slow example subprocess smoke tests
 test-process:           ## only the multiprocessing (worker supervision) tests
 	pytest -m process tests/
 
-test-backends:          ## backend suite on both lanes: as-installed, then with numba masked
+test-backends:          ## backend suite on all lanes: as-installed, then with numba/cc masked
 	pytest tests/backends -q
-	REPRO_NO_NUMBA=1 pytest tests/backends -q
+	REPRO_NO_NUMBA=1 REPRO_NO_CC=1 pytest tests/backends -q
 
 test-exchange:          ## exchange + process suites on both transports: shm rings, then Queue fallback
 	REPRO_EXCHANGE=shm pytest -m "exchange_shm or process" tests/ -q
@@ -27,6 +27,9 @@ test-analysis:          ## static-analyzer + interleaving-explorer suite
 
 analyze:                ## project-invariant lint + exhaustive seqlock/SPSC race check
 	PYTHONPATH=src python -m repro analyze --interleave
+
+docs-check:             ## validate doc links + CLI examples against the live parser
+	PYTHONPATH=src python -m repro.analysis.docscheck
 
 lint: analyze           ## analyze, then ruff/mypy when installed (pip install -e .[lint])
 	@if command -v ruff >/dev/null 2>&1; then ruff check src tests benchmarks; \

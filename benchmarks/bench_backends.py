@@ -1,17 +1,24 @@
-"""Backend shoot-out — reference numpy vs optional numba JIT kernels.
+"""Backend shoot-out — numpy reference vs numba JIT vs bit-plane C kernels.
 
 Measures ``local_steps`` throughput (the dominant hot path of a solve)
-for every registered kernel backend at several ``(n, B)`` operating
-points, including the paper-scale-ish ``n=1024, B=256``.  Results land
-in ``benchmarks/results/BENCH_backends.json`` with per-point flip rates
-and the speedup of each backend over the numpy reference.
+for every *actually available* kernel backend at several ``(n, B)``
+operating points, including the acceptance point ``n=1024, B=256``
+where the ``bitplane`` backend must clear **10×** the numpy reference.
+Results land in ``benchmarks/results/BENCH_backends.json`` with
+per-point flip rates and the speedup of each backend over numpy.
 
-On a machine without numba the ``numba`` entry records the fallback
-(``resolved: numpy``, ``fallback: true``) and a speedup of ~1× — the
-JSON then documents that the fallback lane was exercised rather than
-the JIT.  With numba installed, the fused multi-step kernels are
-expected to clear 2× on the large point (the per-step Python loop is
-gone entirely).
+Fallbacks are a hard bench failure, never a measurement: a backend
+whose factory degrades (no numba, no C compiler) is resolved through
+:func:`benchmarks.conftest.resolve_backend_strict`, listed under
+``"unavailable"`` in the JSON with the reason, and records **no
+points** — and ``bitplane`` specifically is required to be available,
+so a machine that silently lost its C compiler fails the bench instead
+of publishing numpy numbers under the bitplane name.
+
+The ``graycode`` backend is measured too (engine kernels inherited
+from numpy, so ~1×) and additionally benched at its real job: the
+``graycode_exact`` section times exhaustive enumeration states/s and
+cross-checks the optimum against ``repro.search.exact.solve_exact``.
 
 Runnable both ways::
 
@@ -23,20 +30,30 @@ from __future__ import annotations
 
 import json
 import time
-import warnings
 from pathlib import Path
 
 import numpy as np
 
-from repro.backends import available_backends, resolve_backend
+from repro.backends import available_backends
+from repro.backends.graycode import graycode_minimum
 from repro.gpusim import BulkSearchEngine
 from repro.qubo import QuboMatrix
+from repro.search.exact import solve_exact
 from repro.utils.tables import Table
 
 try:  # standalone execution has no package context for conftest
-    from benchmarks.conftest import FULL, RESULTS_DIR
+    from benchmarks.conftest import (
+        FULL,
+        RESULTS_DIR,
+        BackendUnavailable,
+        resolve_backend_strict,
+    )
 except ImportError:  # pragma: no cover - `python benchmarks/bench_backends.py`
     import os
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import BackendUnavailable, resolve_backend_strict  # type: ignore
 
     FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
     RESULTS_DIR = Path(__file__).parent / "results"
@@ -50,23 +67,28 @@ _POINTS = (
 if FULL:
     _POINTS += ((2048, 512, 20),)
 
+#: The bitplane backend must beat numpy by at least this factor on the
+#: n=1024 acceptance point (ISSUE 6 gate).
+BITPLANE_MIN_SPEEDUP = 10.0
 
-def _measure(backend_name: str, n: int, blocks: int, steps: int) -> dict:
-    """One timed ``local_steps`` run; returns rate + resolution info."""
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", RuntimeWarning)
-        backend = resolve_backend(backend_name)
+#: Gray-code enumeration size for the exact-finisher section (2^18
+#: states — sub-second, large enough for a stable states/s figure).
+_GRAYCODE_N = 18
+
+
+def _measure(backend, requested: str, n: int, blocks: int, steps: int) -> dict:
+    """One timed ``local_steps`` run with an already-resolved backend."""
     problem = QuboMatrix.random(n, seed=n)
     eng = BulkSearchEngine(
         problem, blocks, windows=16, offsets=np.zeros(blocks, dtype=np.int64),
         backend=backend,
     )
-    eng.local_steps(4)  # warm-up (and JIT compilation, for numba)
+    eng.local_steps(4)  # warm-up (JIT / C compile happened at prepare time)
     t0 = time.perf_counter()
     eng.local_steps(steps)
     elapsed = time.perf_counter() - t0
     return {
-        "requested": backend_name,
+        "requested": requested,
         "resolved": backend.name,
         "fallback": bool(backend.fallback_from),
         "elapsed_s": round(elapsed, 6),
@@ -76,11 +98,36 @@ def _measure(backend_name: str, n: int, blocks: int, steps: int) -> dict:
     }
 
 
+def _bench_graycode_exact() -> dict:
+    """Time exhaustive Gray-code enumeration and cross-check the optimum."""
+    problem = QuboMatrix.random(_GRAYCODE_N, seed=_GRAYCODE_N)
+    reference = solve_exact(problem.W)
+    t0 = time.perf_counter()
+    solution = graycode_minimum(problem)
+    elapsed = time.perf_counter() - t0
+    return {
+        "n": _GRAYCODE_N,
+        "evaluated": solution.evaluated,
+        "elapsed_s": round(elapsed, 6),
+        "states_per_s": round(solution.evaluated / elapsed, 1),
+        "energy": solution.energy,
+        "agrees_with_solve_exact": solution.energy == reference.energy,
+    }
+
+
 def run_bench() -> dict:
+    available: dict[str, object] = {}
+    unavailable: dict[str, str] = {}
+    for name in available_backends():
+        try:
+            available[name] = resolve_backend_strict(name)
+        except BackendUnavailable as exc:
+            unavailable[name] = str(exc)
     points = []
     for n, blocks, steps in _POINTS:
         measurements = {
-            name: _measure(name, n, blocks, steps) for name in available_backends()
+            name: _measure(backend, name, n, blocks, steps)
+            for name, backend in available.items()
         }
         ref_rate = measurements["numpy"]["flips_per_s"]
         checksums = {m["final_energy_checksum"] for m in measurements.values()}
@@ -102,7 +149,10 @@ def run_bench() -> dict:
         "bench": "backends",
         "full_scale": FULL,
         "registered": list(available_backends()),
+        "measured": sorted(available),
+        "unavailable": unavailable,
         "points": points,
+        "graycode_exact": _bench_graycode_exact(),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_backends.json").write_text(
@@ -118,26 +168,52 @@ def _render(payload: dict) -> str:
     )
     for point in payload["points"]:
         for name, m in sorted(point["backends"].items()):
-            resolved = m["resolved"] + (" (fallback)" if m["fallback"] else "")
             table.add_row(
                 [
                     point["n"],
                     point["blocks"],
                     name,
-                    resolved,
+                    m["resolved"],
                     f"{m['flips_per_s']:,.0f}",
                     f"{point['speedup_vs_numpy'][name]:.2f}x",
                 ]
             )
-    return table.render()
+    lines = [table.render()]
+    for name, reason in sorted(payload["unavailable"].items()):
+        lines.append(f"unavailable: {name} — {reason}")
+    g = payload["graycode_exact"]
+    lines.append(
+        f"graycode exact: n={g['n']}, {g['states_per_s']:,.0f} states/s, "
+        f"agrees_with_solve_exact={g['agrees_with_solve_exact']}"
+    )
+    return "\n".join(lines)
 
 
 def test_bench_backends(report):
     payload = run_bench()
+    # The bit-plane backend is this repo's own code, not an optional
+    # third-party JIT: it falling back means the bench machine (or a
+    # regression) broke it — fail, don't record numpy numbers for it.
+    assert "bitplane" in payload["measured"], (
+        "bitplane backend unavailable: "
+        + payload["unavailable"].get("bitplane", "not registered")
+    )
     for point in payload["points"]:
         assert point["identical_results"], (
             f"backends diverged at n={point['n']}, B={point['blocks']}"
         )
+        for name, m in point["backends"].items():
+            assert not m["fallback"], (
+                f"{name} recorded a fallback point at n={point['n']} — "
+                "strict resolution should have excluded it"
+            )
+    accept = next(p for p in payload["points"] if p["n"] == 1024)
+    speedup = accept["speedup_vs_numpy"]["bitplane"]
+    assert speedup >= BITPLANE_MIN_SPEEDUP, (
+        f"bitplane speedup {speedup:.2f}x at n=1024 is below the "
+        f"{BITPLANE_MIN_SPEEDUP:.0f}x acceptance gate"
+    )
+    assert payload["graycode_exact"]["agrees_with_solve_exact"]
     report("Backend throughput", _render(payload))
 
 

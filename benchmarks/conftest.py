@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 
 import pytest
@@ -27,6 +28,43 @@ RESULTS_DIR = Path(__file__).parent / "results"
 FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
 
 _reports: list[tuple[str, str]] = []
+
+
+class BackendUnavailable(RuntimeError):
+    """A requested kernel backend resolved to a fallback, not itself.
+
+    Benches must never time a fallback under the requested backend's
+    name: the recorded numbers would silently describe the numpy
+    reference while claiming to describe the accelerated kernels.
+    """
+
+
+def resolve_backend_strict(name: str):
+    """Resolve ``name`` and *fail hard* if it degraded to a fallback.
+
+    The registry's graceful degradation (``fallback_from``) is the
+    right behaviour for solves; for benches it is a lie waiting to be
+    published.  Raises :class:`BackendUnavailable` instead of recording
+    fallback measurement points.
+    """
+    from repro.backends import resolve_backend
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        backend = resolve_backend(name)
+    if backend.fallback_from:
+        raise BackendUnavailable(
+            f"backend {name!r} is unavailable on this machine (resolved to "
+            f"{backend.name!r} via fallback) — refusing to bench the fallback "
+            f"under the requested backend's name"
+        )
+    return backend
+
+
+@pytest.fixture
+def strict_backend():
+    """Fixture form of :func:`resolve_backend_strict` for benches."""
+    return resolve_backend_strict
 
 
 @pytest.fixture

@@ -30,9 +30,11 @@ import numpy as np
 
 from repro.abs.config import AbsConfig
 from repro.abs.solver import AdaptiveBulkSearch
+from repro.backends.graycode import MAX_GRAYCODE_BITS, graycode_minimum
 from repro.qubo.matrix import QuboMatrix, as_weight_matrix
 from repro.qubo.sparse import SparseQubo
 from repro.qubo.state import SearchState
+from repro.telemetry import NULL_BUS
 from repro.utils.rng import RngFactory
 from repro.utils.timer import Stopwatch
 
@@ -53,6 +55,12 @@ class DecompositionConfig:
         diversification); ``"random"`` — all uniform.
     inner_rounds, inner_blocks, inner_steps:
         Budget of each inner ABS solve.
+    exact_below:
+        Subproblems of this many variables or fewer are solved to
+        proven optimality by Gray-code enumeration
+        (:func:`repro.backends.graycode.graycode_minimum`) instead of
+        an inner ABS run; ``None`` disables the exact finisher.  Capped
+        at :data:`~repro.backends.graycode.MAX_GRAYCODE_BITS`.
     patience:
         Stop after this many consecutive non-improving iterations
         (``None`` disables).
@@ -67,6 +75,7 @@ class DecompositionConfig:
     inner_rounds: int = 12
     inner_blocks: int = 16
     inner_steps: int = 24
+    exact_below: int | None = None
     patience: int | None = None
     seed: int | None = None
 
@@ -84,6 +93,13 @@ class DecompositionConfig:
         for name in ("inner_rounds", "inner_blocks", "inner_steps"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        if self.exact_below is not None and not (
+            2 <= self.exact_below <= MAX_GRAYCODE_BITS
+        ):
+            raise ValueError(
+                f"exact_below must be in [2, {MAX_GRAYCODE_BITS}], "
+                f"got {self.exact_below}"
+            )
         if self.patience is not None and self.patience < 1:
             raise ValueError(f"patience must be >= 1, got {self.patience}")
 
@@ -103,7 +119,12 @@ class DecompositionResult:
 class DecompositionSolver:
     """qbsolv-style outer loop around :class:`AdaptiveBulkSearch`."""
 
-    def __init__(self, weights, config: DecompositionConfig | None = None) -> None:
+    def __init__(
+        self,
+        weights,
+        config: DecompositionConfig | None = None,
+        telemetry=None,
+    ) -> None:
         if isinstance(weights, SparseQubo):
             self.weights = weights
             self.n = weights.n
@@ -111,6 +132,7 @@ class DecompositionSolver:
             self.weights = as_weight_matrix(weights)
             self.n = self.weights.shape[0]
         self.config = config or DecompositionConfig()
+        self._bus = telemetry if telemetry is not None else NULL_BUS
         if self.config.subproblem_size > self.n:
             raise ValueError(
                 f"subproblem_size ({self.config.subproblem_size}) exceeds "
@@ -180,20 +202,34 @@ class DecompositionSolver:
             iterations += 1
             subset = self._select(state, rng)
             sub = self.build_subproblem(state.x, subset)
-            inner_cfg = AbsConfig(
-                blocks_per_gpu=cfg.inner_blocks,
-                local_steps=cfg.inner_steps,
-                pool_capacity=max(8, cfg.inner_blocks),
-                max_rounds=cfg.inner_rounds,
-                seed=int(factory.stream("inner", it).integers(2**62)),
-            )
-            sub_res = AdaptiveBulkSearch(sub, inner_cfg).solve("sync")
-            y = sub_res.best_x
+            if cfg.exact_below is not None and len(subset) <= cfg.exact_below:
+                # Exact finisher: small subproblems get a proven-optimal
+                # sub-assignment instead of a cold inner ABS run.
+                sol = graycode_minimum(sub)
+                y = sol.x
+                sub_best = sol.energy
+                if self._bus.enabled:
+                    self._bus.counters.inc("backend.graycode.finisher_calls")
+                    self._bus.counters.inc(
+                        "backend.graycode.enumerated", sol.evaluated
+                    )
+            else:
+                inner_cfg = AbsConfig(
+                    blocks_per_gpu=cfg.inner_blocks,
+                    local_steps=cfg.inner_steps,
+                    pool_capacity=max(8, cfg.inner_blocks),
+                    max_rounds=cfg.inner_rounds,
+                    seed=int(factory.stream("inner", it).integers(2**62)),
+                )
+                sub_res = AdaptiveBulkSearch(sub, inner_cfg).solve("sync")
+                y = sub_res.best_x
+                sub_best = sub_res.best_energy
             # Accept only sub-solutions at least as good as the current
-            # sub-assignment (the inner solver starts cold and can lose).
+            # sub-assignment (the inner solver starts cold and can lose;
+            # the exact finisher never does).
             from repro.qubo.energy import energy as _energy
 
-            if sub_res.best_energy <= _energy(sub, state.x[subset]):
+            if sub_best <= _energy(sub, state.x[subset]):
                 # Apply: flip exactly the in-subset bits that changed;
                 # incremental updates keep E and Δ exact for next round.
                 changed = subset[state.x[subset] != y]

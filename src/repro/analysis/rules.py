@@ -437,6 +437,23 @@ _FORBIDDEN_BACKEND_IMPORTS = (
 
 _MUTABLE_CTORS = frozenset({"dict", "list", "set", "defaultdict", "deque", "Counter"})
 
+#: The per-flip kernel interface: methods with these names on a Backend
+#: class run once per step (or per batch of steps) on the hot path.
+_HOT_KERNEL_METHODS = frozenset({
+    "flip", "select_window", "select_straight", "update_best",
+    "track_position", "run_local_steps",
+})
+
+#: Call roots that mean process/filesystem/warning work.  Legal in
+#: ``prepare_*()`` and registry factories (that is where the bitplane
+#: backend compiles its C library); never in a hot kernel method.
+#: ``ctypes``/``os`` are deliberately absent — calling an already
+#: compiled function is exactly what a hot kernel is for.
+_HOT_KERNEL_FORBIDDEN_ROOTS = frozenset({
+    "subprocess", "tempfile", "shutil", "warnings",
+})
+_HOT_KERNEL_FORBIDDEN_BUILTINS = frozenset({"open", "print", "exec", "compile"})
+
 
 def _module_mutable_globals(tree: ast.Module) -> set[str]:
     mutable: set[str] = set()
@@ -543,12 +560,46 @@ def _check_kernel_purity(module: Module) -> Iterable[Finding]:
                     "process isolation)",
                 )
 
+    for klass in ast.walk(module.tree):
+        if not (
+            isinstance(klass, ast.ClassDef)
+            and any(
+                (base_name := _dotted(base))
+                and "Backend" in base_name.split(".")[-1]
+                for base in klass.bases
+            )
+        ):
+            continue
+        for func in ast.walk(klass):
+            if (
+                not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+                or func.name not in _HOT_KERNEL_METHODS
+            ):
+                continue
+            for call in ast.walk(func):
+                if not isinstance(call, ast.Call):
+                    continue
+                dotted = _dotted(call.func)
+                if not dotted:
+                    continue
+                root = dotted.split(".")[0]
+                if root in _HOT_KERNEL_FORBIDDEN_ROOTS or (
+                    "." not in dotted and dotted in _HOT_KERNEL_FORBIDDEN_BUILTINS
+                ):
+                    yield module.finding(
+                        call, rule,
+                        f"hot kernel {func.name!r} calls {dotted!r} — "
+                        "process/file/warning work belongs in prepare_*() "
+                        "or the registry factory, not the per-flip path",
+                    )
+
 
 RULE_KERNEL_PURITY = register_rule(Rule(
     id="kernel-purity",
     description=(
         "repro.backends kernel bodies must not emit telemetry, close over "
-        "mutable module globals, or import engine state"
+        "mutable module globals, or import engine state; hot kernel methods "
+        "must not do process/file/warning work"
     ),
     scope="module",
     check=_check_kernel_purity,

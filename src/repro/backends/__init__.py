@@ -13,6 +13,15 @@ semantics:
   eliminate the per-step Python loop in ``local_steps``.  Falls back to
   ``numpy`` (with a one-time warning and a ``backend.fallback``
   telemetry event) when numba is not importable.
+- ``bitplane`` — packed uint64 bit-plane state with runtime-compiled C
+  kernels (``cc -O3 -fwrapv``): the whole ``run_local_steps`` batch is
+  one C call, with XOR/popcount Hamming helpers for straight-search
+  distances.  Falls back to ``numpy`` exactly like ``numba`` when no C
+  compiler is available (or ``REPRO_NO_CC`` is set).
+- ``graycode`` — exact Gray-code enumerator for ``n ≤ 30``
+  (:func:`~repro.backends.graycode.graycode_minimum`): the ground-truth
+  oracle of the differential suite and the decomposition loop's exact
+  finisher.  Engine kernels are inherited from ``numpy``.
 
 Selection flows through :attr:`AbsConfig.backend <repro.abs.config.AbsConfig>`,
 ``repro.solve(backend=...)``, the CLI ``--backend`` flag, or the
@@ -32,6 +41,8 @@ import os
 from typing import Callable, Union
 
 from repro.backends.base import KernelBackend, PreparedWeights
+from repro.backends.bitplane import cc_available, make_bitplane_backend
+from repro.backends.graycode import GraycodeBackend, graycode_minimum
 from repro.backends.numba_backend import make_numba_backend, numba_available
 from repro.backends.numpy_backend import NumpyBackend
 
@@ -96,15 +107,21 @@ def resolve_backend(spec: BackendSpec = None) -> KernelBackend:
 
 register_backend("numpy", NumpyBackend)
 register_backend("numba", make_numba_backend)
+register_backend("bitplane", make_bitplane_backend)
+register_backend("graycode", GraycodeBackend)
 
 __all__ = [
     "KernelBackend",
     "PreparedWeights",
     "NumpyBackend",
+    "GraycodeBackend",
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
     "available_backends",
+    "cc_available",
     "get_backend",
+    "graycode_minimum",
+    "make_bitplane_backend",
     "make_numba_backend",
     "numba_available",
     "register_backend",

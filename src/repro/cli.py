@@ -41,9 +41,12 @@ def _add_backend_flag(p: argparse.ArgumentParser) -> None:
         "--backend",
         default=None,
         metavar="NAME",
-        help="kernel backend: numpy (reference) or numba (JIT, falls "
-        "back to numpy when not installed); default: $REPRO_BACKEND "
-        "or numpy.  Never changes the search result, only speed.",
+        help="kernel backend: numpy (reference), numba (JIT), bitplane "
+        "(packed uint64 state + compiled C kernels), or graycode "
+        "(exact enumerator, engine kernels = numpy).  numba/bitplane "
+        "fall back to numpy when their toolchain is missing; default: "
+        "$REPRO_BACKEND or numpy.  Never changes the search result, "
+        "only speed.",
     )
 
 

@@ -126,6 +126,8 @@ class BulkSearchEngine:
         if n_blocks < 1:
             raise ValueError(f"n_blocks must be >= 1, got {n_blocks}")
         self.backend = resolve_backend(backend)
+        self._bus = bus if bus is not None else NULL_BUS
+        t0 = time.perf_counter_ns()
         if isinstance(weights, SparseQubo):
             # Sparse path: per-flip scatter over touched columns only.
             self.sparse: SparseQubo | None = weights
@@ -140,6 +142,11 @@ class BulkSearchEngine:
             self.W = np.ascontiguousarray(W, dtype=np.int64)
             diag_src = np.diagonal(self.W)
             self._pw = self.backend.prepare_dense(self.W)
+        if self._bus.enabled:
+            self._bus.counters.inc(
+                f"backend.{self.backend.name}.prepare_ns",
+                time.perf_counter_ns() - t0,
+            )
         if self.n < 1:
             raise ValueError("engine requires at least one bit")
         self.B = int(n_blocks)
@@ -167,7 +174,6 @@ class BulkSearchEngine:
         self.best_x = np.zeros((self.B, self.n), dtype=np.uint8)
         self.counters = EngineCounters()
         self._ids = np.arange(self.B)
-        self._bus = bus if bus is not None else NULL_BUS
         if self._bus.enabled and self.backend.fallback_from:
             self._bus.emit(
                 "backend.fallback",

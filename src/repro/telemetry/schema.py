@@ -212,6 +212,9 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "engine.straight_flips",
         "engine.local_flips",
         "engine.straight_retirements",
+        # graycode exact finisher (repro.abs.decompose)
+        "backend.graycode.finisher_calls",
+        "backend.graycode.enumerated",
         # exchange transport (repro.abs.exchange)
         "exchange.targets_published",
         "exchange.results_consumed",
@@ -232,6 +235,7 @@ COUNTER_PATTERNS: tuple[str, ...] = (
     "backend.*.straight_select_ns",
     "backend.*.flip_ns",
     "backend.*.best_ns",
+    "backend.*.prepare_ns",
 )
 
 

@@ -1,4 +1,7 @@
-"""Fixture backend breaking all three purity constraints."""
+"""Fixture backend breaking every purity constraint."""
+
+import subprocess
+import warnings
 
 from repro.backends.base import KernelBackend
 from repro.telemetry import make_bus
@@ -13,6 +16,12 @@ class BadBackend(KernelBackend):
         _CACHE[k] = state[k]
         bus.counters.inc("engine.flips")
         state[k] ^= 1
+
+    def run_local_steps(self, pw, X, steps):
+        subprocess.run(["cc", "-O3", "kernel.c"])
+        warnings.warn("recompiled mid-search")
+        print("stepping")
+        return steps
 
     def reset(self):
         global _CACHE

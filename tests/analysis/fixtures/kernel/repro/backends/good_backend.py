@@ -1,4 +1,12 @@
-"""Fixture backend: pure kernels, immutable module state only."""
+"""Fixture backend: pure kernels, immutable module state only.
+
+``prepare_dense`` legitimately does process/filesystem work (runtime
+compilation, à la the bitplane backend) — the hot-kernel check must
+leave non-hot methods alone.
+"""
+
+import subprocess
+import tempfile
 
 from repro.backends.base import KernelBackend
 
@@ -7,6 +15,11 @@ _LIMIT = 64
 
 class GoodBackend(KernelBackend):
     name = "good"
+
+    def prepare_dense(self, W):
+        workdir = tempfile.mkdtemp()
+        subprocess.run(["cc", "--version"], capture_output=True)
+        return workdir
 
     def flip(self, state, k):
         state[k] ^= 1

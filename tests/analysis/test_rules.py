@@ -114,6 +114,17 @@ def test_kernel_flags_impurities():
     assert "rebinds outer state via global" in joined
 
 
+def test_kernel_flags_hot_path_process_work():
+    findings = run_rule("kernel-purity", "kernel/repro/backends/bad_backend.py")
+    hot = [f.message for f in findings if "hot kernel" in f.message]
+    joined = " ".join(hot)
+    assert "'run_local_steps' calls 'subprocess.run'" in joined
+    assert "'run_local_steps' calls 'warnings.warn'" in joined
+    assert "'run_local_steps' calls 'print'" in joined
+    # prepare_dense in the clean fixture does the same work legally.
+    assert run_rule("kernel-purity", "kernel/repro/backends/good_backend.py") == []
+
+
 # -- shm-protocol ----------------------------------------------------------
 
 def test_shm_clean_fixture_passes():

@@ -1,0 +1,230 @@
+"""Bit-plane backend: packing helpers, tiers, fallback, exactness.
+
+The registry-wide differential suite (``test_equivalence.py``) already
+pins ``bitplane`` step-for-step against the scalar references via the
+``available_backends()`` parametrization; this module covers what that
+sweep cannot: the packed-plane helper algebra, the ``REPRO_NO_CC``
+fallback lane (mirroring the numba gating contract exactly), dtype-tier
+selection including the forced int64 tier, and explicit single-step
+lockstep runs of both dense tiers and the sparse CSR kernel.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.backends.bitplane as bp_mod
+from repro.backends import NumpyBackend, resolve_backend
+from repro.backends.bitplane import (
+    BitplaneBackend,
+    cc_available,
+    hamming_distances,
+    make_bitplane_backend,
+    pack_rows,
+    unpack_rows,
+)
+from repro.gpusim import BulkSearchEngine
+from repro.qubo import QuboMatrix, SparseQubo
+from repro.telemetry import MemorySink, TelemetryBus, validate_record
+
+needs_cc = pytest.mark.skipif(not cc_available(), reason="no C compiler")
+
+
+class TestPackedPlanes:
+    @pytest.mark.parametrize("n", [1, 5, 63, 64, 65, 130, 256])
+    def test_pack_unpack_roundtrip(self, n):
+        rng = np.random.default_rng(n)
+        X = rng.integers(0, 2, (7, n), dtype=np.uint8)
+        planes = pack_rows(X)
+        assert planes.dtype == np.uint64
+        assert planes.shape == (7, (n + 63) // 64)
+        assert np.array_equal(unpack_rows(planes, n), X)
+
+    def test_bit_layout_is_little_endian(self):
+        # Bit i lives in word i >> 6 at position i & 63.
+        x = np.zeros((1, 130), dtype=np.uint8)
+        x[0, 0] = 1
+        x[0, 64] = 1
+        x[0, 129] = 1
+        planes = pack_rows(x)
+        assert planes[0, 0] == 1
+        assert planes[0, 1] == 1
+        assert planes[0, 2] == 1 << (129 - 128)
+
+    def test_pad_bits_are_zero(self):
+        x = np.ones((2, 70), dtype=np.uint8)
+        planes = pack_rows(x)
+        assert planes[0, 1] == (1 << (70 - 64)) - 1
+
+    @pytest.mark.parametrize("n", [1, 64, 100, 257])
+    def test_hamming_matches_unpacked_xor(self, n):
+        rng = np.random.default_rng(n + 1)
+        X = rng.integers(0, 2, (9, n), dtype=np.uint8)
+        target = rng.integers(0, 2, (n,), dtype=np.uint8)
+        got = hamming_distances(pack_rows(X), pack_rows(target[None, :]))
+        expected = (X ^ target).sum(axis=1)
+        assert np.array_equal(got, expected)
+        # The distance IS the straight-search flip count (Algorithm 5).
+        assert got.dtype == np.int64
+
+
+class TestFallback:
+    @pytest.fixture
+    def masked(self, monkeypatch):
+        """Compiler masked (as on a machine without cc), warning reset."""
+        monkeypatch.setenv("REPRO_NO_CC", "1")
+        monkeypatch.setattr(bp_mod, "_warned", False)
+
+    def test_cc_available_respects_mask(self, masked):
+        assert not cc_available()
+
+    def test_fallback_is_tagged_numpy(self, masked):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = make_bitplane_backend()
+        assert isinstance(backend, NumpyBackend)
+        assert not isinstance(backend, BitplaneBackend)
+        assert backend.name == "numpy"
+        assert backend.fallback_from == "bitplane"
+
+    def test_warning_fires_once_per_process(self, masked):
+        with pytest.warns(RuntimeWarning):
+            make_bitplane_backend()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            make_bitplane_backend()
+
+    def test_engine_emits_fallback_event(self, masked):
+        sink = MemorySink()
+        bus = TelemetryBus([sink])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            BulkSearchEngine(
+                QuboMatrix.random(16, seed=0), 2, backend="bitplane", bus=bus
+            )
+        events = sink.named("backend.fallback")
+        assert len(events) == 1
+        assert events[0].fields["requested"] == "bitplane"
+        assert events[0].fields["using"] == "numpy"
+        for record in sink.records():
+            validate_record(record)
+
+    def test_fallback_still_solves(self, masked):
+        from repro.api import solve
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            res = solve(
+                QuboMatrix.random(24, seed=5), max_rounds=3, seed=7,
+                backend="bitplane",
+            )
+        assert res.best_energy <= 0
+
+
+@needs_cc
+class TestTierSelection:
+    def test_int16_weights_pick_w16_d32(self):
+        pw = BitplaneBackend().prepare_dense(
+            np.ascontiguousarray(QuboMatrix.random(64, seed=1).W, dtype=np.int64)
+        )
+        assert pw.planes.variant == "dense_w16_d32"
+        assert pw.planes.weights.dtype == np.int16
+
+    def test_wide_weights_pick_w64(self):
+        W = np.ascontiguousarray(QuboMatrix.random(64, seed=2).W, dtype=np.int64)
+        pw = BitplaneBackend().prepare_dense(W * 3)  # beyond int16
+        assert pw.planes.variant == "dense_w64"
+
+    def test_int16_min_edge_stays_w16(self):
+        # -32768 is representable in int16; sign is applied after the
+        # int32 widening in-kernel, so no wrap fixup is needed.
+        W = np.zeros((4, 4), dtype=np.int64)
+        W[0, 1] = W[1, 0] = -(2**15)
+        pw = BitplaneBackend().prepare_dense(W)
+        assert pw.planes.variant == "dense_w16_d32"
+
+    def test_huge_diagonal_forces_w64(self):
+        # Off-diagonals fit int16 but the Δ bound exceeds int32.
+        W = np.zeros((4, 4), dtype=np.int64)
+        W[0, 1] = W[1, 0] = 7
+        W[2, 2] = 2**40
+        pw = BitplaneBackend().prepare_dense(W)
+        assert pw.planes.variant == "dense_w64"
+
+    def test_sparse_uses_csr_kernel(self):
+        q = QuboMatrix.random(32, seed=3)
+        pw = BitplaneBackend().prepare_sparse(SparseQubo.from_dense(q.W))
+        assert pw.planes.variant == "sparse_w64"
+
+    def test_stored_rows_have_zero_diagonal(self):
+        pw = BitplaneBackend().prepare_dense(
+            np.ascontiguousarray(QuboMatrix.random(16, seed=4).W, dtype=np.int64)
+        )
+        assert not np.diagonal(pw.planes.weights).any()
+
+
+def _lockstep(problem, *, steps, windows=16, sparse=False):
+    """Two engines, one step at a time: every intermediate state equal."""
+    weights = SparseQubo.from_dense(problem.W) if sparse else problem
+    ref = BulkSearchEngine(weights, 6, windows=windows, backend="numpy")
+    bit = BulkSearchEngine(weights, 6, windows=windows, backend=resolve_backend("bitplane"))
+    assert bit.backend.name == "bitplane"
+    for step in range(steps):
+        ref.local_steps(1)
+        bit.local_steps(1)
+        for field in ("X", "delta", "energy", "best_energy", "best_x", "offsets"):
+            assert np.array_equal(getattr(ref, field), getattr(bit, field)), (
+                f"{field} diverged at step {step + 1}"
+            )
+    assert ref.counters.as_dict() == bit.counters.as_dict()
+
+
+@needs_cc
+class TestSingleStepEquivalence:
+    """Per-step ΔE/select pin against the scalar Algorithm 4/5 semantics
+    (via the numpy reference, itself pinned to the scalar walk)."""
+
+    def test_w16_tier_every_step(self):
+        _lockstep(QuboMatrix.random(48, seed=11), steps=25)
+
+    def test_w16_tier_window_one(self):
+        _lockstep(QuboMatrix.random(33, seed=12), steps=25, windows=1)
+
+    def test_w64_tier_every_step(self):
+        q = QuboMatrix.random(48, seed=13)
+        wide = QuboMatrix(np.asarray(q.W, dtype=np.int64) * 5, check=False)
+        ref = BulkSearchEngine(wide, 4, windows=9, backend="numpy")
+        bit = BulkSearchEngine(wide, 4, windows=9, backend="bitplane")
+        assert bit._pw.planes.variant == "dense_w64"
+        for step in range(25):
+            ref.local_steps(1)
+            bit.local_steps(1)
+            for field in ("X", "delta", "energy", "best_energy", "best_x"):
+                assert np.array_equal(getattr(ref, field), getattr(bit, field)), (
+                    f"{field} diverged at step {step + 1}"
+                )
+
+    def test_sparse_every_step(self):
+        _lockstep(QuboMatrix.random(48, seed=14), steps=25, sparse=True)
+
+    def test_sparse_delta_update_counter_matches(self):
+        q = QuboMatrix.random(40, seed=15)
+        sp = SparseQubo.from_dense(q.W)
+        ref = BulkSearchEngine(sp, 5, windows=8, backend="numpy")
+        bit = BulkSearchEngine(sp, 5, windows=8, backend="bitplane")
+        ref.local_steps(60)
+        bit.local_steps(60)
+        # Sparse updates are degree(k)+1 per flip — data dependent, so
+        # equality here means the same bits were flipped in the same order.
+        assert ref.counters.delta_updates == bit.counters.delta_updates
+        assert np.array_equal(ref.X, bit.X)
+
+    def test_multi_step_batch_matches_single_steps(self):
+        q = QuboMatrix.random(52, seed=16)
+        one = BulkSearchEngine(q, 3, windows=12, backend="bitplane")
+        batch = BulkSearchEngine(q, 3, windows=12, backend="bitplane")
+        for _ in range(30):
+            one.local_steps(1)
+        batch.local_steps(30)
+        for field in ("X", "delta", "energy", "best_energy", "best_x", "offsets"):
+            assert np.array_equal(getattr(one, field), getattr(batch, field))
