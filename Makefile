@@ -1,6 +1,6 @@
 # Developer conveniences for the ABS reproduction.
 
-.PHONY: install test test-fast test-process test-backends test-exchange test-analysis analyze docs-check lint bench bench-full bench-exchange trace-demo examples clean
+.PHONY: install test test-fast test-process test-backends test-exchange test-analysis test-diverse analyze docs-check lint bench bench-full bench-exchange trace-demo examples clean
 
 install:
 	pip install -e .[test]
@@ -24,6 +24,9 @@ test-exchange:          ## exchange + process suites on both transports: shm rin
 
 test-analysis:          ## static-analyzer + interleaving-explorer suite
 	PYTHONPATH=src pytest -m analysis tests/
+
+test-diverse:           ## Diverse-ABS suite: niched pool + variant fleet + controller
+	PYTHONPATH=src pytest -m diverse tests/
 
 analyze:                ## project-invariant lint + exhaustive seqlock/SPSC race check
 	PYTHONPATH=src python -m repro analyze --interleave

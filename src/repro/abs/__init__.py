@@ -20,7 +20,7 @@ Two execution modes are provided by :class:`~repro.abs.solver.AdaptiveBulkSearch
   by the Figure 8 scaling benchmark.
 """
 
-from repro.abs.adaptive import WindowAdapter
+from repro.abs.adaptive import VariantController, WindowAdapter
 from repro.abs.checkpoint import load_engine, load_pool, save_engine, save_pool
 from repro.abs.config import AbsConfig, resolve_windows
 from repro.abs.decompose import (
@@ -41,9 +41,22 @@ from repro.abs.host import Host
 from repro.abs.result import SolveResult
 from repro.abs.solver import AdaptiveBulkSearch
 from repro.abs.supervisor import WorkerAction, WorkerSupervisor
+from repro.abs.variants import (
+    SearchVariant,
+    available_variants,
+    get_variant,
+    register_variant,
+    resolve_fleet,
+)
 
 __all__ = [
     "WindowAdapter",
+    "VariantController",
+    "SearchVariant",
+    "available_variants",
+    "get_variant",
+    "register_variant",
+    "resolve_fleet",
     "DecompositionSolver",
     "DecompositionConfig",
     "DecompositionResult",

@@ -18,9 +18,17 @@ blocks:
 
 The adaptation is deterministic given its RNG stream, so solver runs
 remain reproducible by seed.
+
+:class:`VariantController` applies the same feedback loop one level
+up for Diverse ABS (arXiv:2207.03069): whole devices migrate between
+registered search-variant recipes (:mod:`repro.abs.variants`) when one
+variant's energies improve strictly faster than another's.
 """
 
 from __future__ import annotations
+
+import math
+from typing import Sequence
 
 import numpy as np
 
@@ -76,12 +84,34 @@ class WindowAdapter:
         self._rounds = 0
         #: Total window reassignments performed (diagnostics).
         self.adaptations = 0
+        #: Non-finite per-block energies seen (and excluded) by
+        #: :meth:`observe` — surfaced as ``adapt.nonfinite_observations``.
+        self.nonfinite_observations = 0
 
     def observe(self, round_best: np.ndarray) -> None:
-        """Record each block's best energy for the finished round."""
+        """Record each block's best energy for the finished round.
+
+        Non-finite entries (NaN/±inf — e.g. a block that has not
+        evaluated anything yet) are excluded from the ranking sums: a
+        single NaN would otherwise poison ``_sums`` permanently and
+        ``argsort`` would rank that block arbitrarily forever after.
+        Affected entries are replaced by the round's worst *finite*
+        energy (so the block ranks as a loser, not as garbage) and
+        counted in :attr:`nonfinite_observations`; a round with no
+        finite energy at all is skipped entirely.
+        """
         rb = np.asarray(round_best, dtype=np.float64)
         if rb.shape != (self.B,):
             raise ValueError(f"round_best must have shape ({self.B},), got {rb.shape}")
+        finite = np.isfinite(rb)
+        if not finite.all():
+            bad = int(self.B - finite.sum())
+            self.nonfinite_observations += bad
+            if self._bus.enabled:
+                self._bus.counters.inc("adapt.nonfinite_observations", bad)
+            if not finite.any():
+                return
+            rb = np.where(finite, rb, rb[finite].max())
         self._sums += rb
         self._rounds += 1
 
@@ -102,7 +132,15 @@ class WindowAdapter:
         w = np.asarray(windows, dtype=np.int64).copy()
         if w.shape != (self.B,):
             raise ValueError(f"windows must have shape ({self.B},), got {w.shape}")
-        k = max(1, int(self.B * self.fraction))
+        # Winners (imitated) and losers (replaced) must never overlap:
+        # with k > B // 2 the same rank would be selected as a donor
+        # *and* have its window overwritten in the same period.  B = 1
+        # therefore adapts nothing (k = 0) — the period still resets.
+        k = min(max(1, int(self.B * self.fraction)), self.B // 2)
+        if k == 0:
+            self._sums.fill(0.0)
+            self._rounds = 0
+            return w
         order = np.argsort(self._sums)  # ascending mean energy = best first
         winners = order[:k]
         losers = order[-k:]
@@ -130,3 +168,149 @@ class WindowAdapter:
         if not self.ready:
             return None
         return self.adapt(windows)
+
+
+class VariantController:
+    """Device-level variant reallocation for Diverse ABS.
+
+    The same feedback idea as :class:`WindowAdapter`, lifted one level
+    up: instead of blocks trading window sizes inside a device, whole
+    *devices* trade search-variant recipes across the fleet.  The
+    controller watches each device's per-round best energy (the same
+    signal the ``device.round`` telemetry stamps), groups it by the
+    device's current variant, and every ``period`` sweeps compares
+    each variant's mean energy against its mean over the *previous*
+    window.  When one variant is improving strictly faster than
+    another, a single device migrates from the stagnating variant to
+    the improving one — never the stagnating variant's last device, so
+    the fleet stays heterogeneous (the whole point of Diverse ABS).
+
+    The controller is RNG-free: rankings, tie-breaks, and the choice
+    of which device migrates (the worst-performing device of the
+    stagnating variant) are all deterministic, so seeded runs stay
+    reproducible.
+
+    Parameters
+    ----------
+    assignment:
+        Initial variant name per device (length = fleet size); the
+        live assignment is readable at :attr:`assignment`.
+    period:
+        Sweeps (full passes over all devices) between reallocation
+        decisions.
+    bus:
+        Optional telemetry bus: each migration emits one
+        ``adapt.variant`` event and bumps
+        ``adapt.variant_reassignments``.
+    """
+
+    def __init__(
+        self,
+        assignment: Sequence[str],
+        *,
+        period: int = 8,
+        bus: TelemetryBus | NullBus | None = None,
+    ) -> None:
+        if not assignment:
+            raise ValueError("assignment must name at least one device")
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.assignment = [str(name) for name in assignment]
+        self.n_devices = len(self.assignment)
+        self.period = int(period)
+        self._bus = bus if bus is not None else NULL_BUS
+        self._sums = np.zeros(self.n_devices, dtype=np.float64)
+        self._counts = np.zeros(self.n_devices, dtype=np.int64)
+        self._sweeps = 0
+        self._prev_means: dict[str, float] | None = None
+        #: Total device migrations performed (diagnostics).
+        self.reassignments = 0
+        #: Non-finite energies excluded by :meth:`observe`.
+        self.nonfinite_observations = 0
+
+    def observe(self, device: int, round_best: float) -> None:
+        """Record ``device``'s best energy for its finished round."""
+        if not (0 <= device < self.n_devices):
+            raise ValueError(
+                f"device must be in [0, {self.n_devices}), got {device}"
+            )
+        if not math.isfinite(round_best):
+            self.nonfinite_observations += 1
+            if self._bus.enabled:
+                self._bus.counters.inc("adapt.nonfinite_observations")
+            return
+        self._sums[device] += float(round_best)
+        self._counts[device] += 1
+
+    def _variant_means(self) -> dict[str, float]:
+        by_variant: dict[str, list[float]] = {}
+        for g, name in enumerate(self.assignment):
+            if self._counts[g]:
+                by_variant.setdefault(name, []).append(
+                    self._sums[g] / self._counts[g]
+                )
+        return {
+            name: float(np.mean(means)) for name, means in by_variant.items()
+        }
+
+    def end_sweep(self) -> tuple[int, str, str] | None:
+        """Close one fleet sweep; migrate a device if a period elapsed.
+
+        Returns ``(device, from_variant, to_variant)`` when a device
+        migrated, else ``None``.  The first full period only baselines
+        the per-variant means — migrations need a previous window to
+        measure improvement against.
+        """
+        self._sweeps += 1
+        if self._sweeps < self.period:
+            return None
+        means = self._variant_means()
+        prev = self._prev_means
+        self._prev_means = means
+        move = None
+        if prev is not None:
+            move = self._migrate(means, prev)
+        self._sums.fill(0.0)
+        self._counts.fill(0)
+        self._sweeps = 0
+        return move
+
+    def _migrate(
+        self, means: dict[str, float], prev: dict[str, float]
+    ) -> tuple[int, str, str] | None:
+        # Improvement = how much the variant's mean energy *dropped*
+        # since the previous window; only variants measured in both
+        # windows can be compared.
+        improvement = {
+            name: prev[name] - mean
+            for name, mean in means.items()
+            if name in prev
+        }
+        if len(improvement) < 2:
+            return None
+        # Deterministic tie-break: variant name orders equal scores.
+        ranked = sorted(improvement.items(), key=lambda kv: (-kv[1], kv[0]))
+        best_name, best_gain = ranked[0]
+        worst_name, worst_gain = ranked[-1]
+        if not (best_gain > worst_gain):
+            return None
+        members = [g for g, v in enumerate(self.assignment) if v == worst_name]
+        if len(members) < 2:  # never extinguish a variant
+            return None
+        # Migrate the stagnating variant's worst device (highest mean
+        # energy; ties resolve to the lowest device id).
+        device = max(
+            members, key=lambda g: (self._sums[g] / max(self._counts[g], 1), -g)
+        )
+        self.assignment[device] = best_name
+        self.reassignments += 1
+        bus = self._bus
+        if bus.enabled:
+            bus.counters.inc("adapt.variant_reassignments")
+            bus.emit(
+                "adapt.variant",
+                device=int(device),
+                from_variant=worst_name,
+                to_variant=best_name,
+            )
+        return int(device), worst_name, best_name

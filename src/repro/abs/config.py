@@ -130,6 +130,27 @@ class AbsConfig:
         Targets are generated from a pool state one round staler,
         which the paper's asynchronous-tolerance argument already
         licenses.  Off by default.
+    diversity_min_dist:
+        Diverse-ABS pool admission (arXiv:2207.03069): reject a
+        candidate whose Hamming distance to some pool entry is below
+        this value unless it beats its niche's best energy (in which
+        case the near entries are evicted).  ``0`` (default) and ``1``
+        keep the base paper's duplicate-only policy bit-for-bit.
+    variants:
+        Diverse-ABS heterogeneous fleet: a comma-separated string or
+        sequence of registered search-variant names
+        (:mod:`repro.abs.variants`), cycled over the devices; the
+        string ``"fleet"`` expands to the stock
+        ladder/hot/greedy/tabu mix.  ``None`` (default) runs every
+        device with the single base recipe, exactly as before.
+    variant_adapt:
+        Enable the variant-level adaptive controller: every
+        ``variant_adapt_period`` sweeps a device migrates from the
+        variant whose energies stagnate to the one improving fastest
+        (sync mode only — process-mode fleets stay static).  Requires
+        ``variants``.
+    variant_adapt_period:
+        Sweeps between variant-reallocation decisions.
     lockstep:
         Process mode only: after each result, a worker *blocks* until
         the host publishes fresh targets instead of reusing its
@@ -161,6 +182,10 @@ class AbsConfig:
     exchange: str | None = None
     pipeline: bool = False
     lockstep: bool = False
+    diversity_min_dist: int = 0
+    variants: str | Sequence[str] | None = None
+    variant_adapt: bool = False
+    variant_adapt_period: int = 8
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:
@@ -210,6 +235,21 @@ class AbsConfig:
                     f"exchange must be None or one of {EXCHANGE_NAMES}, "
                     f"got {self.exchange!r}"
                 )
+        if self.diversity_min_dist < 0:
+            raise ValueError(
+                f"diversity_min_dist must be >= 0, got {self.diversity_min_dist}"
+            )
+        if self.variant_adapt_period < 1:
+            raise ValueError(
+                f"variant_adapt_period must be >= 1, got {self.variant_adapt_period}"
+            )
+        if self.variants is not None:
+            from repro.abs.variants import resolve_fleet
+
+            # Validates every name (raises ValueError on unknown ones).
+            resolve_fleet(self.variants, self.n_gpus)
+        elif self.variant_adapt:
+            raise ValueError("variant_adapt requires variants to be set")
         if (
             self.target_energy is None
             and self.time_limit is None

@@ -20,6 +20,7 @@ import numpy as np
 from repro.abs.adaptive import WindowAdapter
 from repro.gpusim.engine import BulkSearchEngine
 from repro.qubo.matrix import WeightsLike
+from repro.search.tabu import TabuSearch
 from repro.telemetry.bus import NULL_BUS, NullBus, TelemetryBus
 
 
@@ -48,6 +49,15 @@ class DeviceSimulator:
         event per round (and hands the bus to its engine).
     device_id:
         Identifier stamped on emitted events (the GPU index).
+    tabu_steps:
+        Diverse-ABS variant knob: when positive, each round's best
+        block solution gets a :class:`~repro.search.tabu.TabuSearch`
+        polish of this many steps before Step 5 reports it (the
+        engine's walk state is untouched — only the reported copy
+        improves).  Steps spent here are tracked separately from the
+        ``engine.*`` flip counters as ``variant.tabu_steps``.
+    tabu_tenure:
+        Tenure for the polish pass (``None``: the search's default).
     """
 
     def __init__(
@@ -62,9 +72,13 @@ class DeviceSimulator:
         backend: str | None = None,
         bus: TelemetryBus | NullBus | None = None,
         device_id: int = 0,
+        tabu_steps: int = 0,
+        tabu_tenure: int | None = None,
     ) -> None:
         if local_steps < 0:
             raise ValueError(f"local_steps must be >= 0, got {local_steps}")
+        if tabu_steps < 0:
+            raise ValueError(f"tabu_steps must be >= 0, got {tabu_steps}")
         self.bus = bus if bus is not None else NULL_BUS
         self.device_id = int(device_id)
         self.engine = BulkSearchEngine(
@@ -77,7 +91,34 @@ class DeviceSimulator:
             raise ValueError(
                 f"adapter manages {adapter.B} blocks, device has {self.engine.B}"
             )
+        self._weights = weights
+        self._polish_cache: object | None = None
+        self.tabu_steps = 0
+        self._tabu: TabuSearch | None = None
+        self.set_tabu(tabu_steps, tabu_tenure)
+        #: Total tabu-polish steps executed (``variant.tabu_steps``).
+        self.tabu_steps_done = 0
         self.rounds = 0
+
+    def set_tabu(self, steps: int, tenure: int | None = None) -> None:
+        """(Re)configure the per-round tabu polish; ``0`` disables it."""
+        if steps < 0:
+            raise ValueError(f"tabu_steps must be >= 0, got {steps}")
+        self.tabu_steps = int(steps)
+        self._tabu = TabuSearch(tenure) if self.tabu_steps else None
+
+    def _polish_weights(self) -> object:
+        # The polish runs on the host side of the simulated device;
+        # TabuSearch needs a dense matrix, so sparse problems are
+        # densified once on first use (they are small by construction).
+        if self._polish_cache is None:
+            from repro.qubo.sparse import SparseQubo
+
+            w = self._weights
+            self._polish_cache = (
+                w.to_dense() if isinstance(w, SparseQubo) else w
+            )
+        return self._polish_cache
 
     @property
     def n_blocks(self) -> int:
@@ -129,4 +170,20 @@ class DeviceSimulator:
             adapted = self.adapter.maybe_adapt(eng.windows)
             if adapted is not None:
                 eng.windows = adapted
-        return eng.best_energy.copy(), eng.best_x.copy()  # Step 5
+        energies, xs = eng.best_energy.copy(), eng.best_x.copy()  # Step 5
+        if self._tabu is not None:
+            # Diverse-ABS tabu variant: polish the round's best block
+            # solution before reporting it.  Only the reported copy is
+            # touched — the engine's walk state stays on its own
+            # trajectory, like the paper's independent CPU search.
+            b = int(energies.argmin())
+            rec = self._tabu.run(
+                self._polish_weights(), xs[b], self.tabu_steps, seed=0
+            )
+            self.tabu_steps_done += rec.steps
+            if bus.enabled:
+                bus.counters.inc("variant.tabu_steps", rec.steps)
+            if rec.best_energy < energies[b]:
+                energies[b] = rec.best_energy
+                xs[b] = rec.best_x
+        return energies, xs

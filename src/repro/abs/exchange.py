@@ -68,7 +68,7 @@ DEFAULT_RING_SLOTS = 4
 
 #: Cumulative worker counters shipped in the fixed-width ring meta
 #: record, in wire order.  Keep in lock-step with
-#: ``EngineCounters.as_dict`` plus the adapter total.
+#: ``EngineCounters.as_dict`` plus the adapter and variant totals.
 ENGINE_COUNTER_KEYS = (
     "engine.flips",
     "engine.evaluated",
@@ -77,6 +77,8 @@ ENGINE_COUNTER_KEYS = (
     "engine.local_flips",
     "engine.straight_retirements",
     "adapt.reassignments",
+    "adapt.nonfinite_observations",
+    "variant.tabu_steps",
 )
 
 # Ring meta record layout (int64 slots).

@@ -37,14 +37,33 @@ class Host:
         *,
         rng_factory: RngFactory | None = None,
         bus: TelemetryBus | NullBus | None = None,
+        min_distance: int = 0,
+        device_ga: Sequence[GaConfig] | None = None,
     ) -> None:
         factory = rng_factory or RngFactory(None)
         self.bus = bus if bus is not None else NULL_BUS
-        self.pool = SolutionPool(n, pool_capacity, bus=self.bus)
+        self.pool = SolutionPool(
+            n, pool_capacity, min_distance=min_distance, bus=self.bus
+        )
         self.pool.seed_random(factory.stream("pool-seed"))       # Step 1
         self.generator = TargetGenerator(
             self.pool, ga or GaConfig(), seed=factory.stream("ga"), bus=self.bus
         )
+        # Diverse-ABS heterogeneous fleet: one generator per device so
+        # each variant's GA operator mix draws from its own stream.
+        # ``None`` (the default) keeps the single-generator base-paper
+        # behavior — and its RNG draw order — bit-for-bit.
+        self.device_generators: list[TargetGenerator] | None = None
+        if device_ga is not None:
+            self.device_generators = [
+                TargetGenerator(
+                    self.pool,
+                    cfg_g,
+                    seed=factory.stream("ga-variant", g),
+                    bus=self.bus,
+                )
+                for g, cfg_g in enumerate(device_ga)
+            ]
         #: Best device-reported solution ever seen (pool eviction-proof).
         self.best_energy: float = math.inf
         self.best_x: np.ndarray | None = None
@@ -70,10 +89,31 @@ class Host:
         idx = np.arange(count) % len(self.pool)
         return np.ascontiguousarray(pool_mat[idx])
 
+    def set_device_ga(self, device: int, ga: GaConfig) -> None:
+        """Swap device ``device``'s GA operator mix (variant migration).
+
+        The generator object — and therefore its RNG stream — is kept;
+        only its config changes, so seeded runs stay reproducible
+        across reallocations.
+        """
+        if self.device_generators is None:
+            raise RuntimeError("host was built without per-device generators")
+        self.device_generators[device].config = ga
+
+    @property
+    def ga_counts(self) -> dict[str, int]:
+        """GA operator counts summed over every generator."""
+        counts = dict(self.generator.counts)
+        for gen in self.device_generators or ():
+            for key, value in gen.counts.items():
+                counts[key] += value
+        return counts
+
     def absorb(self, solutions: Iterable[StoredSolution]) -> int:
         """Step 3: pool every arrived solution; returns #inserted."""
         pool = self.pool
         dup0, worse0 = pool.rejected_duplicate, pool.rejected_worse
+        div0 = pool.rejected_diverse
         arrived = 0
         inserted = 0
         for sol in solutions:
@@ -84,7 +124,7 @@ class Host:
                 self.best_x = sol.x.copy()
             if pool.insert(sol.x, sol.energy):
                 inserted += 1
-        self._emit_absorb(arrived, inserted, dup0, worse0)
+        self._emit_absorb(arrived, inserted, dup0, worse0, div0)
         return inserted
 
     def absorb_batch(self, energies: np.ndarray, X: np.ndarray) -> int:
@@ -106,6 +146,7 @@ class Host:
             )
         pool = self.pool
         dup0, worse0 = pool.rejected_duplicate, pool.rejected_worse
+        div0 = pool.rejected_diverse
         arrived = X.shape[0]
         self.absorbed += arrived
         if arrived:
@@ -114,11 +155,11 @@ class Host:
                 self.best_energy = int(energies[b])
                 self.best_x = X[b].copy()
         inserted = pool.insert_batch(X, energies)
-        self._emit_absorb(arrived, inserted, dup0, worse0)
+        self._emit_absorb(arrived, inserted, dup0, worse0, div0)
         return inserted
 
     def _emit_absorb(
-        self, arrived: int, inserted: int, dup0: int, worse0: int
+        self, arrived: int, inserted: int, dup0: int, worse0: int, div0: int
     ) -> None:
         bus = self.bus
         if not bus.enabled:
@@ -132,18 +173,29 @@ class Host:
             inserted=inserted,
             rejected_duplicate=pool.rejected_duplicate - dup0,
             rejected_worse=pool.rejected_worse - worse0,
+            rejected_diverse=pool.rejected_diverse - div0,
             pool_size=len(pool),
             pool_best=rng[0] if rng else None,
             pool_worst=rng[1] if rng else None,
             pool_spread=rng[1] - rng[0] if rng else None,
         )
 
-    def make_targets(self, count: int) -> np.ndarray:
-        """Step 4: GA-generate ``count`` fresh targets (``(count, n)``)."""
-        targets = self.generator.generate(count)
+    def make_targets(self, count: int, device: int | None = None) -> np.ndarray:
+        """Step 4: GA-generate ``count`` fresh targets (``(count, n)``).
+
+        ``device`` selects that device's variant generator when the
+        host was built with per-device GA configs; ``None`` uses the
+        shared base generator (the only one that exists — and the only
+        RNG stream consumed — on a homogeneous run).
+        """
+        if device is None or self.device_generators is None:
+            generator = self.generator
+        else:
+            generator = self.device_generators[device]
+        targets = generator.generate(count)
         bus = self.bus
         if bus.enabled:
-            counts = self.generator.counts
+            counts = self.ga_counts
             bus.counters.inc("host.targets_generated", count)
             bus.emit(
                 "host.targets",

@@ -56,6 +56,11 @@ class SolveResult:
         Process mode: workers permanently retired after exhausting
         ``max_worker_restarts`` — the solve completed on the
         survivors.  Always 0 in sync mode.
+    pool_mean_distance:
+        Mean pairwise Hamming distance over the host pool at the end
+        of the run (``None`` when the pool held fewer than two
+        solutions).  The Diverse-ABS diversity metric: higher with
+        ``diversity_min_dist`` niching than without.
     """
 
     best_x: np.ndarray
@@ -72,6 +77,7 @@ class SolveResult:
     counters: dict[str, int] = field(default_factory=dict)
     workers_restarted: int = 0
     workers_lost: int = 0
+    pool_mean_distance: float | None = None
 
     @property
     def search_rate(self) -> float:

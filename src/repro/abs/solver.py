@@ -42,9 +42,10 @@ from multiprocessing import Event, Process, Queue, get_context
 
 import numpy as np
 
-from repro.abs.adaptive import WindowAdapter
+from repro.abs.adaptive import VariantController, WindowAdapter
 from repro.abs.buffers import SharedWeights
 from repro.abs.config import AbsConfig, resolve_windows
+from repro.abs.variants import SearchVariant, get_variant, resolve_fleet
 from repro.abs.device import DeviceSimulator
 from repro.abs.exchange import (
     make_host_transport,
@@ -72,12 +73,13 @@ def _counter_snapshot(
     whether or not a telemetry bus was attached.  ``pool.inserted``
     includes the initial random seeding (Step 1 inserts at ``+∞``).
     """
-    counts = host.generator.counts
+    counts = host.ga_counts
     snap = {
         "host.solutions_absorbed": host.absorbed,
         "pool.inserted": host.pool.inserted,
         "pool.rejected_duplicate": host.pool.rejected_duplicate,
         "pool.rejected_worse": host.pool.rejected_worse,
+        "pool.rejected_diverse": host.pool.rejected_diverse,
         "ga.mutation": counts["mutation"],
         "ga.crossover": counts["crossover"],
         "ga.copy": counts["copy"],
@@ -169,10 +171,27 @@ class AdaptiveBulkSearch:
         t = self.config.target_energy
         return t is not None and energy <= t
 
-    def _device_windows(self) -> list[np.ndarray]:
-        """Per-device window arrays; devices get rotated ladders so the
-        temperature spread differs across GPUs."""
+    def _fleet(self) -> list[SearchVariant] | None:
+        """Per-device Diverse-ABS variants, or ``None`` when disabled."""
         cfg = self.config
+        if cfg.variants is None:
+            return None
+        return resolve_fleet(cfg.variants, cfg.n_gpus)
+
+    def _variant_windows(self, variant: SearchVariant, g: int) -> np.ndarray:
+        cfg = self.config
+        base = variant.windows(cfg.window, cfg.blocks_per_gpu, self.n)
+        return np.roll(base, g)
+
+    def _device_windows(
+        self, fleet: list[SearchVariant] | None = None
+    ) -> list[np.ndarray]:
+        """Per-device window arrays; devices get rotated ladders so the
+        temperature spread differs across GPUs.  With a variant fleet,
+        each device's ladder comes from its variant's window spec."""
+        cfg = self.config
+        if fleet is not None:
+            return [self._variant_windows(fleet[g], g) for g in range(cfg.n_gpus)]
         base = resolve_windows(cfg.window, cfg.blocks_per_gpu, self.n)
         return [np.roll(base, g) for g in range(cfg.n_gpus)]
 
@@ -193,6 +212,9 @@ class AdaptiveBulkSearch:
         from repro.backends import resolve_backend
 
         cfg = self.config
+        variants = cfg.variants
+        if variants is not None and not isinstance(variants, str):
+            variants = ",".join(str(v) for v in variants)
         self.bus.emit(
             "solve.start",
             mode=mode,
@@ -206,6 +228,8 @@ class AdaptiveBulkSearch:
             # The *active* backend: a requested-but-unavailable numba
             # resolves to numpy here, matching what the engines will do.
             backend=resolve_backend(cfg.backend).name,
+            diversity_min_dist=cfg.diversity_min_dist,
+            **({"variants": variants} if variants is not None else {}),
         )
 
     def _emit_end(self, result: SolveResult) -> None:
@@ -225,26 +249,89 @@ class AdaptiveBulkSearch:
     # ------------------------------------------------------------------
     # Sync mode
     # ------------------------------------------------------------------
+    def _apply_variant(
+        self, device: DeviceSimulator, host: Host, variant: SearchVariant, g: int
+    ) -> None:
+        """Reconfigure device ``g`` (and its GA stream) to ``variant``."""
+        cfg = self.config
+        device.engine.windows = self._variant_windows(variant, g)
+        device.local_steps = variant.effective_local_steps(cfg.local_steps)
+        device.scan_neighbors = variant.effective_scan(cfg.scan_neighbors)
+        device.set_tabu(variant.tabu_steps, variant.tabu_tenure)
+        host.set_device_ga(g, variant.effective_ga(cfg.ga))
+
+    def _sync_targets(
+        self, host: Host, fleet: list[SearchVariant] | None
+    ) -> np.ndarray:
+        """Step 4 for one sync sweep.
+
+        Homogeneous runs keep the single ``make_targets(total)`` call —
+        and with it the base RNG draw order, bit-for-bit.  A variant
+        fleet generates each device's batch from that device's own
+        variant generator.
+        """
+        cfg = self.config
+        if fleet is None:
+            return host.make_targets(cfg.total_blocks)
+        return np.concatenate(
+            [
+                host.make_targets(cfg.blocks_per_gpu, device=g)
+                for g in range(cfg.n_gpus)
+            ]
+        )
+
     def _solve_sync(self) -> SolveResult:
         cfg = self.config
         bus = self.bus
         factory = RngFactory(cfg.seed)
-        host = Host(self.n, cfg.pool_capacity, cfg.ga, rng_factory=factory, bus=bus)
-        windows = self._device_windows()
+        fleet = self._fleet()
+        host = Host(
+            self.n,
+            cfg.pool_capacity,
+            cfg.ga,
+            rng_factory=factory,
+            bus=bus,
+            min_distance=cfg.diversity_min_dist,
+            device_ga=(
+                [v.effective_ga(cfg.ga) for v in fleet]
+                if fleet is not None
+                else None
+            ),
+        )
+        windows = self._device_windows(fleet)
         devices = [
             DeviceSimulator(
                 self.W,
                 cfg.blocks_per_gpu,
                 windows=windows[g],
-                local_steps=cfg.local_steps,
-                scan_neighbors=cfg.scan_neighbors,
+                local_steps=(
+                    fleet[g].effective_local_steps(cfg.local_steps)
+                    if fleet is not None
+                    else cfg.local_steps
+                ),
+                scan_neighbors=(
+                    fleet[g].effective_scan(cfg.scan_neighbors)
+                    if fleet is not None
+                    else cfg.scan_neighbors
+                ),
                 adapter=self._make_adapter(factory, g),
                 backend=cfg.backend,
                 bus=bus,
                 device_id=g,
+                tabu_steps=fleet[g].tabu_steps if fleet is not None else 0,
+                tabu_tenure=fleet[g].tabu_tenure if fleet is not None else None,
             )
             for g in range(cfg.n_gpus)
         ]
+        controller = (
+            VariantController(
+                [v.name for v in fleet],
+                period=cfg.variant_adapt_period,
+                bus=bus,
+            )
+            if fleet is not None and cfg.variant_adapt
+            else None
+        )
 
         if bus.enabled:
             self._emit_start("sync")
@@ -264,6 +351,8 @@ class AdaptiveBulkSearch:
                 )
                 energies, xs = device.round(batch)
                 host.absorb_batch(energies, xs)
+                if controller is not None:
+                    controller.observe(g, float(energies.min()))
                 rounds += 1
                 rounds_by_device[g] += 1
                 if bus.enabled:
@@ -290,7 +379,14 @@ class AdaptiveBulkSearch:
             if math.isfinite(host.best_energy):
                 history.append((watch.elapsed, int(host.best_energy)))
             if not done:
-                targets = host.make_targets(cfg.total_blocks)
+                if controller is not None:
+                    move = controller.end_sweep()
+                    if move is not None:
+                        moved, _, to_name = move
+                        self._apply_variant(
+                            devices[moved], host, get_variant(to_name), moved
+                        )
+                targets = self._sync_targets(host, fleet)
 
         elapsed = watch.stop()
         evaluated = sum(d.evaluated for d in devices)
@@ -301,6 +397,20 @@ class AdaptiveBulkSearch:
         adapt_total = sum(
             d.adapter.adaptations for d in devices if d.adapter is not None
         )
+        nonfinite_total = sum(
+            d.adapter.nonfinite_observations
+            for d in devices
+            if d.adapter is not None
+        )
+        if controller is not None:
+            nonfinite_total += controller.nonfinite_observations
+        variant_extra = {
+            "adapt.nonfinite_observations": nonfinite_total,
+            "adapt.variant_reassignments": (
+                controller.reassignments if controller is not None else 0
+            ),
+            "variant.tabu_steps": sum(d.tabu_steps_done for d in devices),
+        }
         best_x = host.best_x if host.best_x is not None else np.zeros(self.n, np.uint8)
         best_e = int(host.best_energy) if math.isfinite(host.best_energy) else 0
         result = SolveResult(
@@ -315,7 +425,10 @@ class AdaptiveBulkSearch:
             time_to_target=time_to_target,
             history=history,
             n_gpus=cfg.n_gpus,
-            counters=_counter_snapshot(host, engine_counts, adapt_total),
+            counters=_counter_snapshot(
+                host, engine_counts, adapt_total, extra=variant_extra
+            ),
+            pool_mean_distance=host.pool.mean_pairwise_distance(),
         )
         if bus.enabled:
             self._emit_end(result)
@@ -327,9 +440,27 @@ class AdaptiveBulkSearch:
     def _solve_process(self) -> SolveResult:
         cfg = self.config
         bus = self.bus
+        if cfg.variant_adapt:
+            raise ValueError(
+                "variant_adapt is sync-mode only: process-mode fleets are "
+                "static (workers are spawned with their variant baked in)"
+            )
         factory = RngFactory(cfg.seed)
-        host = Host(self.n, cfg.pool_capacity, cfg.ga, rng_factory=factory, bus=bus)
-        windows = self._device_windows()
+        fleet = self._fleet()
+        host = Host(
+            self.n,
+            cfg.pool_capacity,
+            cfg.ga,
+            rng_factory=factory,
+            bus=bus,
+            min_distance=cfg.diversity_min_dist,
+            device_ga=(
+                [v.effective_ga(cfg.ga) for v in fleet]
+                if fleet is not None
+                else None
+            ),
+        )
+        windows = self._device_windows(fleet)
 
         from repro.qubo.sparse import SparseQubo
 
@@ -385,8 +516,21 @@ class AdaptiveBulkSearch:
                     weights_ref,
                     cfg.blocks_per_gpu,
                     windows[g],
-                    cfg.local_steps,
-                    cfg.scan_neighbors,
+                    (
+                        fleet[g].effective_local_steps(cfg.local_steps)
+                        if fleet is not None
+                        else cfg.local_steps
+                    ),
+                    (
+                        fleet[g].effective_scan(cfg.scan_neighbors)
+                        if fleet is not None
+                        else cfg.scan_neighbors
+                    ),
+                    (
+                        (fleet[g].tabu_steps, fleet[g].tabu_tenure)
+                        if fleet is not None
+                        else (0, None)
+                    ),
                     cfg.backend,
                     (
                         cfg.adapt_windows,
@@ -437,10 +581,14 @@ class AdaptiveBulkSearch:
                     # the same surviving mailbox.)
                     ch = supervisor.target_channel(action.worker_id)
                     if ch is not None:
-                        ch.put(host.make_targets(cfg.blocks_per_gpu))
+                        ch.put(
+                            host.make_targets(
+                                cfg.blocks_per_gpu, device=action.worker_id
+                            )
+                        )
                         if cfg.pipeline:
                             prepared[action.worker_id] = host.make_targets(
-                                cfg.blocks_per_gpu
+                                cfg.blocks_per_gpu, device=action.worker_id
                             )
 
         def _relay_events() -> None:
@@ -472,7 +620,7 @@ class AdaptiveBulkSearch:
                 )
             if cfg.pipeline:
                 for g in range(cfg.n_gpus):
-                    prepared[g] = host.make_targets(cfg.blocks_per_gpu)
+                    prepared[g] = host.make_targets(cfg.blocks_per_gpu, device=g)
 
             done = False
             while not done:
@@ -549,13 +697,17 @@ class AdaptiveBulkSearch:
                     # result (targets one pool-state staler — the
                     # asynchrony the paper already tolerates).
                     if supervisor.target_channel(worker_id) is not None:
-                        prepared[worker_id] = host.make_targets(cfg.blocks_per_gpu)
+                        prepared[worker_id] = host.make_targets(
+                            cfg.blocks_per_gpu, device=worker_id
+                        )
                 else:
                     # Step 4: as many fresh targets as solutions arrived
                     # — but never feed a channel nobody reads any more.
                     ch = supervisor.target_channel(worker_id)
                     if ch is not None:
-                        ch.put(host.make_targets(cfg.blocks_per_gpu))
+                        ch.put(
+                            host.make_targets(cfg.blocks_per_gpu, device=worker_id)
+                        )
                         if bus.enabled:
                             tq, rq = transport.queue_depths(worker_id, ch)
                             bus.emit(
@@ -615,11 +767,15 @@ class AdaptiveBulkSearch:
                 extra={
                     "supervisor.restarts": supervisor.workers_restarted,
                     "supervisor.workers_lost": supervisor.workers_lost,
+                    # Process-mode fleets are static; keep the key for
+                    # counter parity with sync-mode snapshots.
+                    "adapt.variant_reassignments": 0,
                     **transport.stats,
                 },
             ),
             workers_restarted=supervisor.workers_restarted,
             workers_lost=supervisor.workers_lost,
+            pool_mean_distance=host.pool.mean_pairwise_distance(),
         )
         if bus.enabled:
             self._emit_end(result)
@@ -634,6 +790,7 @@ def _worker_main(
     windows: np.ndarray,
     local_steps: int,
     scan_neighbors: bool,
+    tabu_params: tuple,
     backend: str | None,
     adapt_params: tuple,
     exchange_ref: tuple,
@@ -685,6 +842,7 @@ def _worker_main(
         incarnation=incarnation,
         stop_evt=stop_evt,
     )
+    tabu_steps, tabu_tenure = tabu_params
     try:
         device = DeviceSimulator(
             weights,
@@ -696,6 +854,8 @@ def _worker_main(
             backend=backend,
             bus=relay,
             device_id=worker_id,
+            tabu_steps=tabu_steps,
+            tabu_tenure=tabu_tenure,
         )
         targets = endpoint.fetch_targets(wait=True)
         while targets is not None and not stop_evt.is_set():
@@ -704,6 +864,10 @@ def _worker_main(
             wcounts["adapt.reassignments"] = (
                 adapter.adaptations if adapter is not None else 0
             )
+            wcounts["adapt.nonfinite_observations"] = (
+                adapter.nonfinite_observations if adapter is not None else 0
+            )
+            wcounts["variant.tabu_steps"] = device.tabu_steps_done
             wevents = relay.drain() if telemetry_enabled else []
             shipped = endpoint.publish(
                 energies,

@@ -1,0 +1,214 @@
+"""Heterogeneous search-variant recipes for Diverse ABS.
+
+The follow-up paper ("Diverse Adaptive Bulk Search", arXiv:2207.03069)
+observes that a fleet of *identical* searches converges onto
+near-duplicate solutions, and instead runs a mix of search algorithms
+and parameterizations across the GPUs.  This module is that mix for
+the reproduction: a :class:`SearchVariant` bundles the per-device
+knobs the base solver already exposes — the Figure-2 window ladder
+``l``, the Algorithm-4 scan-neighbors policy, the forced-flip count,
+and the host-side GA operator mix — plus an optional tabu-polish pass
+reusing :class:`repro.search.tabu.TabuSearch` (the multi-start tabu
+ingredient of Lewis, arXiv:1706.00037).
+
+Variants are assigned per simulated device via ``AbsConfig.variants``
+(cycled when fewer variants than devices are named) and may be
+reallocated at run time by the
+:class:`~repro.abs.adaptive.VariantController`.
+
+Every field of a recipe defaults to ``None`` — *inherit the run's
+``AbsConfig`` value* — so the ``"ladder"`` recipe with all-``None``
+fields reproduces the base paper's configuration exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.abs.config import WindowSpec, resolve_windows
+from repro.ga.host import GaConfig
+
+#: Window spec accepted by a variant: anything
+#: :func:`~repro.abs.config.resolve_windows` takes, plus ``"greedy"``
+#: (window = n, i.e. pure min-Δ greedy descent) — and ``None`` to
+#: inherit the run's configured window.
+VariantWindowSpec = Union[WindowSpec, None]
+
+
+@dataclass(frozen=True)
+class SearchVariant:
+    """One named per-device search recipe.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also what ``--variants`` takes on the CLI).
+    description:
+        One-line summary shown in docs/telemetry.
+    window:
+        Window spec override (int, ``"spread"``, ``"greedy"``, or a
+        per-block sequence); ``None`` inherits ``AbsConfig.window``.
+        Integer values are clamped to ``[1, n]`` at resolve time so a
+        recipe stays valid on problems smaller than its fixed window.
+    local_steps:
+        Step-4b forced-flip count override; ``None`` inherits.
+    scan_neighbors:
+        Straight-search neighbor-scan policy override; ``None``
+        inherits.
+    ga:
+        GA operator mix used by the host when generating targets *for
+        this device*; ``None`` inherits ``AbsConfig.ga``.
+    tabu_steps:
+        When positive, each device round ends with a
+        :class:`~repro.search.tabu.TabuSearch` polish of the round's
+        best block solution (``0`` disables the pass).
+    tabu_tenure:
+        Tabu tenure for the polish pass (``None``: the search's own
+        ``min(20, n // 4) + 1`` heuristic).
+    """
+
+    name: str
+    description: str = ""
+    window: VariantWindowSpec = None
+    local_steps: int | None = None
+    scan_neighbors: bool | None = None
+    ga: GaConfig | None = None
+    tabu_steps: int = 0
+    tabu_tenure: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variant name must be non-empty")
+        if self.local_steps is not None and self.local_steps < 0:
+            raise ValueError(
+                f"local_steps must be >= 0, got {self.local_steps}"
+            )
+        if self.tabu_steps < 0:
+            raise ValueError(f"tabu_steps must be >= 0, got {self.tabu_steps}")
+        if self.tabu_tenure is not None and self.tabu_tenure < 1:
+            raise ValueError(f"tabu_tenure must be >= 1, got {self.tabu_tenure}")
+
+    # Effective-value helpers: the solver resolves every knob through
+    # these so "None = inherit the run config" lives in one place.
+    def effective_local_steps(self, default: int) -> int:
+        return default if self.local_steps is None else int(self.local_steps)
+
+    def effective_scan(self, default: bool) -> bool:
+        return default if self.scan_neighbors is None else bool(self.scan_neighbors)
+
+    def effective_ga(self, default: GaConfig) -> GaConfig:
+        return default if self.ga is None else self.ga
+
+    def windows(self, default: WindowSpec, n_blocks: int, n: int) -> np.ndarray:
+        """Per-block ``l`` values for this variant on an ``n``-bit problem."""
+        spec: WindowSpec = default if self.window is None else self.window
+        if isinstance(spec, str) and spec == "greedy":
+            return np.full(n_blocks, n, dtype=np.int64)
+        if isinstance(spec, (int, np.integer)):
+            spec = int(min(max(int(spec), 1), n))
+        return resolve_windows(spec, n_blocks, n)
+
+
+_REGISTRY: dict[str, SearchVariant] = {}
+
+
+def register_variant(variant: SearchVariant) -> SearchVariant:
+    """Register ``variant`` under its name (overwriting any previous)."""
+    _REGISTRY[variant.name] = variant
+    return variant
+
+
+def available_variants() -> tuple[str, ...]:
+    """Registered variant names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_variant(name: str) -> SearchVariant:
+    """Look up a registered variant by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {name!r} "
+            f"(registered: {', '.join(available_variants())})"
+        ) from None
+
+
+def resolve_variant_list(
+    spec: str | Sequence[str | SearchVariant], n_gpus: int
+) -> list[SearchVariant]:
+    """Expand a variant spec into one :class:`SearchVariant` per device.
+
+    ``spec`` is a comma-separated string (the CLI form), or a sequence
+    of names and/or :class:`SearchVariant` instances.  Fewer variants
+    than devices cycle round-robin (device ``g`` gets entry
+    ``g % len``), matching how the follow-up paper spreads its
+    algorithm mix over the GPU fleet.
+    """
+    if n_gpus < 1:
+        raise ValueError(f"n_gpus must be >= 1, got {n_gpus}")
+    if isinstance(spec, str):
+        names: Sequence[str | SearchVariant] = [
+            part.strip() for part in spec.split(",") if part.strip()
+        ]
+    else:
+        names = list(spec)
+    if not names:
+        raise ValueError("variant spec must name at least one variant")
+    resolved = [
+        item if isinstance(item, SearchVariant) else get_variant(item)
+        for item in names
+    ]
+    return [resolved[g % len(resolved)] for g in range(n_gpus)]
+
+
+#: The stock fleet `--variants fleet` expands to: the base-paper
+#: ladder plus one explorer, one exploiter, and one tabu-flavored
+#: recipe, cycled across devices.
+DEFAULT_FLEET = ("ladder", "hot", "greedy", "tabu")
+
+register_variant(
+    SearchVariant(
+        name="ladder",
+        description="base-paper recipe: inherit every run-config knob",
+    )
+)
+register_variant(
+    SearchVariant(
+        name="hot",
+        description="explorer: tiny window + mutation-heavy GA targets",
+        window=2,
+        ga=GaConfig(p_mutation=0.7, p_crossover=0.2),
+    )
+)
+register_variant(
+    SearchVariant(
+        name="greedy",
+        description="exploiter: full-n window (pure min-Δ descent) + "
+        "crossover-heavy elite GA",
+        window="greedy",
+        ga=GaConfig(p_mutation=0.2, p_crossover=0.7, elite_bias=3.0),
+    )
+)
+register_variant(
+    SearchVariant(
+        name="tabu",
+        description="multi-start tabu flavor: visited-only tracking, "
+        "restart-heavy GA, tabu polish of each round's best",
+        scan_neighbors=False,
+        ga=GaConfig(p_mutation=0.3, p_crossover=0.2),
+        tabu_steps=48,
+    )
+)
+
+
+def resolve_fleet(
+    spec: str | Sequence[str | SearchVariant], n_gpus: int
+) -> list[SearchVariant]:
+    """:func:`resolve_variant_list` with the ``"fleet"`` alias expanded."""
+    if isinstance(spec, str) and spec.strip() == "fleet":
+        spec = list(DEFAULT_FLEET)
+    return resolve_variant_list(spec, n_gpus)

@@ -47,6 +47,10 @@ def solve(
     exchange: str | None = None,
     pipeline: bool = False,
     lockstep: bool = False,
+    diversity_min_dist: int = 0,
+    variants: str | None = None,
+    variant_adapt: bool = False,
+    variant_adapt_period: int = 8,
     telemetry: TelemetryBus | NullBus | None = None,
     trace_out: Union[str, Path, None] = None,
     log_level: str | None = None,
@@ -91,6 +95,16 @@ def solve(
     search's results; ``pipeline`` trades one round of target freshness
     for latency — see ``docs/exchange.md``.
 
+    Diverse ABS (arXiv:2207.03069; see ``docs/algorithms.md``):
+    ``diversity_min_dist`` turns on Hamming-niched pool admission
+    (candidates closer than this to an existing entry must beat their
+    niche's energy to enter; ``0`` keeps the base policy bit-for-bit);
+    ``variants`` assigns heterogeneous per-device search recipes by
+    name (comma-separated, cycled over devices — ``"fleet"`` is the
+    stock ladder/hot/greedy/tabu mix); ``variant_adapt`` lets a device
+    migrate from a stagnating variant to an improving one every
+    ``variant_adapt_period`` sweeps (sync mode only).
+
     Observability (all optional, off by default; see
     ``docs/observability.md``): pass a ``telemetry`` bus you own, or let
     this function build one — ``trace_out`` writes a schema'd JSONL
@@ -130,6 +144,10 @@ def solve(
         exchange=exchange,
         pipeline=pipeline,
         lockstep=lockstep,
+        diversity_min_dist=diversity_min_dist,
+        variants=variants,
+        variant_adapt=variant_adapt,
+        variant_adapt_period=variant_adapt_period,
     )
     owns_bus = telemetry is None and (trace_out is not None or log_level is not None)
     if telemetry is None:

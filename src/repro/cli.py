@@ -104,6 +104,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         exchange=args.exchange,
         pipeline=args.pipeline,
         lockstep=args.lockstep,
+        diversity_min_dist=args.diversity_min_dist,
+        variants=args.variants,
+        variant_adapt=args.variant_adapt,
+        variant_adapt_period=args.variant_adapt_period,
     )
     with _telemetry(args) as bus:
         result = AdaptiveBulkSearch(matrix, config, telemetry=bus).solve(args.mode)
@@ -488,6 +492,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="process mode: workers block for fresh targets every round "
         "(deterministic single-worker runs; devices may idle)",
+    )
+    p.add_argument(
+        "--diversity-min-dist",
+        type=int,
+        default=0,
+        metavar="D",
+        help="Diverse-ABS pool admission: candidates within Hamming "
+        "distance D of a pool entry must beat their niche's energy "
+        "(default 0 = base duplicate-only policy)",
+    )
+    p.add_argument(
+        "--variants",
+        default=None,
+        metavar="NAMES",
+        help="Diverse-ABS fleet: comma-separated variant recipes cycled "
+        "over devices (ladder,hot,greedy,tabu — or 'fleet' for the "
+        "stock mix); default: single base recipe",
+    )
+    p.add_argument(
+        "--variant-adapt",
+        action="store_true",
+        help="reallocate devices from stagnating variants to improving "
+        "ones (sync mode, with --variants)",
+    )
+    p.add_argument(
+        "--variant-adapt-period",
+        type=int,
+        default=8,
+        metavar="S",
+        help="sweeps between variant reallocations "
+        "(with --variant-adapt; default 8)",
     )
     p.add_argument("--out", default=None, help="write best solution to .npy")
     _add_backend_flag(p)

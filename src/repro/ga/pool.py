@@ -6,6 +6,15 @@ paper: sortedness enables O(log m) binary-search insertion, and
 distinctness staves off premature convergence when an extremely good
 solution would otherwise flood the population.
 
+With ``min_distance`` ≥ 2 the distinctness invariant strengthens into
+the Diverse-ABS admission policy (arXiv:2207.03069 §III): pooled
+solutions stay pairwise at least ``min_distance`` bit flips apart.  A
+candidate inside an existing entry's Hamming ball ("niche") is rejected
+unless it beats the best energy in that ball, in which case it replaces
+every entry it is close to.  Distances are XOR/popcount over the same
+``np.packbits`` keys the exchange rings ship, so the batch insert path
+still serializes each candidate exactly once.
+
 Energies of freshly seeded random solutions are ``+∞`` "in the sense
 that they are not computed" (§3.1 Step 1) — the host never evaluates
 the energy function; real energies only ever arrive from devices.
@@ -56,17 +65,28 @@ class SolutionPool:
         Bits per solution.
     capacity:
         Maximum number of pooled solutions (the paper's ``m``).
+    min_distance:
+        Diversity radius ``d_min`` of the Diverse-ABS admission policy.
+        ``0``/``1`` (default) keep the paper's plain distinctness —
+        bit-for-bit the pre-diversity behaviour.  With ``d_min`` ≥ 2,
+        pooled entries stay pairwise ≥ ``d_min`` apart: a candidate
+        within ``d_min − 1`` flips of existing entries is rejected
+        (``pool.rejected_diverse``) unless its energy beats every such
+        neighbour, in which case it replaces all of them.
     bus:
         Optional telemetry bus; insert outcomes feed the session
         counters ``pool.inserted`` / ``pool.rejected_duplicate`` /
-        ``pool.rejected_worse`` (no events — the host emits those).
+        ``pool.rejected_worse`` / ``pool.rejected_diverse`` (no events
+        — the host emits those).
 
     Notes
     -----
     Insertion uses :func:`bisect.bisect_left` on the energy array —
     the paper's O(log m) binary search — then scans the (typically
     tiny) equal-energy span for an identical bit vector.  A set of
-    bit-vector digests backs an O(1) duplicate fast path.
+    bit-vector digests backs an O(1) duplicate fast path; the niche
+    check XOR/popcounts the candidate's packed key against the cached
+    packed rows (O(m·n/8) bytes touched, m ≤ capacity).
     """
 
     def __init__(
@@ -74,26 +94,34 @@ class SolutionPool:
         n: int,
         capacity: int,
         *,
+        min_distance: int = 0,
         bus: TelemetryBus | NullBus | None = None,
     ) -> None:
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if min_distance < 0:
+            raise ValueError(f"min_distance must be >= 0, got {min_distance}")
         self.n = int(n)
         self.capacity = int(capacity)
+        self.min_distance = int(min_distance)
         self._bus = bus if bus is not None else NULL_BUS
         self._energies: list[float] = []
         self._solutions: list[np.ndarray] = []
         # Packed-bytes key per entry, kept position-aligned with
         # _solutions so eviction pops the cached key instead of
-        # re-serializing the evicted vector.
+        # re-serializing the evicted vector.  The uint8 views in
+        # _packed alias the same bytes (np.frombuffer is zero-copy), so
+        # the niche distance check costs no extra serialization.
         self._entry_keys: list[bytes] = []
+        self._packed: list[np.ndarray] = []
         self._keys: set[bytes] = set()
         #: Monotone counters for diagnostics.
         self.inserted = 0
         self.rejected_duplicate = 0
         self.rejected_worse = 0
+        self.rejected_diverse = 0
 
     # ------------------------------------------------------------------
     # Population
@@ -158,24 +186,54 @@ class SolutionPool:
             self.rejected_duplicate += 1
             self._bus.counters.inc("pool.rejected_duplicate")
             return False
+        if self.min_distance > 1 and self._energies:
+            near = self._near_indices(key)
+            if near.size:
+                # The candidate sits inside one or more niches; it is
+                # admitted only by beating every close entry, and then
+                # replaces all of them (keeping pairwise separation).
+                if energy >= min(self._energies[i] for i in near):
+                    self.rejected_diverse += 1
+                    self._bus.counters.inc("pool.rejected_diverse")
+                    return False
+                for i in sorted(map(int, near), reverse=True):
+                    self._evict(i)
         if len(self._energies) >= self.capacity:
             if energy >= self._energies[-1]:
                 self.rejected_worse += 1
                 self._bus.counters.inc("pool.rejected_worse")
                 return False
-            self._solutions.pop()
-            self._energies.pop()
-            self._keys.discard(self._entry_keys.pop())
+            self._evict(len(self._energies) - 1)
         pos = bisect.bisect_left(self._energies, energy)
         self._energies.insert(pos, float(energy))
         stored = xb.copy()
         stored.setflags(write=False)
         self._solutions.insert(pos, stored)
         self._entry_keys.insert(pos, key)
+        self._packed.insert(pos, np.frombuffer(key, dtype=np.uint8))
         self._keys.add(key)
         self.inserted += 1
         self._bus.counters.inc("pool.inserted")
         return True
+
+    def _evict(self, pos: int) -> None:
+        self._solutions.pop(pos)
+        self._energies.pop(pos)
+        self._packed.pop(pos)
+        self._keys.discard(self._entry_keys.pop(pos))
+
+    def _near_indices(self, key: bytes) -> np.ndarray:
+        """Sorted positions of entries closer than ``min_distance``.
+
+        XOR/popcount over the cached ``np.packbits`` rows — the PR 6
+        bit-plane idiom (:func:`repro.backends.bitplane
+        .hamming_distances`) on the pool's own packed keys.  Exact
+        duplicates never reach this check (the key set catches them).
+        """
+        cand = np.frombuffer(key, dtype=np.uint8)
+        diff = np.bitwise_xor(np.stack(self._packed), cand)
+        dists = np.bitwise_count(diff).sum(axis=1, dtype=np.int64)
+        return np.flatnonzero(dists < self.min_distance)
 
     def contains(self, x: np.ndarray) -> bool:
         """Whether an identical bit vector is pooled."""
@@ -233,6 +291,25 @@ class SolutionPool:
             return None
         return finite[0], finite[-1]
 
+    def mean_pairwise_distance(self) -> float | None:
+        """Mean Hamming distance over all pooled pairs (``None`` if < 2).
+
+        The diversity signal of Diverse ABS: with niching on, this
+        stays bounded below by ``min_distance``; with it off, it
+        collapses as the fleet converges.  Computed on the packed keys
+        (XOR + popcount), so it costs O(m²·n/8) bytes — m is the pool
+        capacity, not the problem size.
+        """
+        m = len(self._packed)
+        if m < 2:
+            return None
+        packed = np.stack(self._packed)
+        total = 0
+        for i in range(m - 1):
+            diff = np.bitwise_xor(packed[i + 1 :], packed[i])
+            total += int(np.bitwise_count(diff).sum())
+        return total / (m * (m - 1) // 2)
+
     def evaluated_fraction(self) -> float:
         """Share of entries with a real (non-∞) energy."""
         if not self._energies:
@@ -244,11 +321,16 @@ class SolutionPool:
     # Invariants (used by property-based tests)
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
-        """Assert sortedness, distinctness, capacity, and key caching."""
+        """Assert sortedness, distinctness, capacity, and key caching.
+
+        With ``min_distance`` ≥ 2 the distinctness assertion tightens
+        to pairwise min-Hamming separation.
+        """
         assert (
             len(self._energies)
             == len(self._solutions)
             == len(self._entry_keys)
+            == len(self._packed)
             == len(self._keys)
         )
         assert len(self._energies) <= self.capacity
@@ -263,7 +345,19 @@ class SolutionPool:
             cached == pack_key(s)
             for cached, s in zip(self._entry_keys, self._solutions)
         ), "cached entry keys out of sync with solutions"
+        assert all(
+            cached == row.tobytes()
+            for cached, row in zip(self._entry_keys, self._packed)
+        ), "cached packed rows out of sync with entry keys"
         assert set(self._entry_keys) == self._keys
+        if self.min_distance > 1 and len(self._packed) > 1:
+            packed = np.stack(self._packed)
+            for i in range(len(self._packed) - 1):
+                diff = np.bitwise_xor(packed[i + 1 :], packed[i])
+                dists = np.bitwise_count(diff).sum(axis=1, dtype=np.int64)
+                assert int(dists.min()) >= self.min_distance, (
+                    "pool entries closer than min_distance"
+                )
 
     def __repr__(self) -> str:
         best = self._energies[0] if self._energies else None

@@ -66,8 +66,11 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
             "adapt_windows": BOOL,
         },
         # ``backend`` is the *active* kernel backend (post-fallback);
-        # optional so pre-1.3 traces stay valid.
-        optional={"backend": STR},
+        # ``diversity_min_dist`` / ``variants`` are the Diverse-ABS
+        # knobs; all optional so earlier traces stay valid.
+        optional={
+            "backend": STR, "diversity_min_dist": INT, "variants": STR,
+        },
     ),
     "solve.end": EventSpec(
         required={
@@ -90,7 +93,10 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
             "arrived": INT, "inserted": INT, "rejected_duplicate": INT,
             "rejected_worse": INT, "pool_size": INT, "pool_best": OPT_NUM,
             "pool_worst": OPT_NUM, "pool_spread": OPT_NUM,
-        }
+        },
+        # Diverse-ABS niche rejections this absorb (optional so
+        # pre-diversity traces stay valid).
+        optional={"rejected_diverse": INT},
     ),
     "host.targets": EventSpec(
         required={"count": INT, "mutation": INT, "crossover": INT, "copy": INT}
@@ -167,6 +173,11 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
         },
         optional={"device": INT},
     ),
+    # Variant-level reallocation (Diverse ABS, arXiv:2207.03069): one
+    # device migrated from a stagnating variant to an improving one.
+    "adapt.variant": EventSpec(
+        required={"device": INT, "from_variant": STR, "to_variant": STR}
+    ),
     # Scalar Algorithm-4 reference search ------------------------------
     "search.run": EventSpec(
         required={"steps": INT, "flips": INT, "evaluated": INT, "best_energy": INT}
@@ -189,6 +200,7 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "pool.inserted",
         "pool.rejected_duplicate",
         "pool.rejected_worse",
+        "pool.rejected_diverse",
         # GA operator mix (repro.ga.host)
         "ga.mutation",
         "ga.crossover",
@@ -197,8 +209,12 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "host.rounds",
         "host.solutions_absorbed",
         "host.targets_generated",
-        # window adapter (repro.abs.adapt)
+        # window adapter + variant controller (repro.abs.adaptive)
         "adapt.reassignments",
+        "adapt.nonfinite_observations",
+        "adapt.variant_reassignments",
+        # variant recipes (repro.abs.variants / device tabu polish)
+        "variant.tabu_steps",
         # worker supervision (repro.abs.supervisor)
         "supervisor.restarts",
         "supervisor.workers_lost",

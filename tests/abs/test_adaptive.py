@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.abs import AbsConfig, AdaptiveBulkSearch, WindowAdapter
+from repro.abs import AbsConfig, AdaptiveBulkSearch, VariantController, WindowAdapter
 from repro.abs.device import DeviceSimulator
 from repro.qubo import QuboMatrix
+from repro.telemetry import MemorySink, TelemetryBus
 
 
 class TestWindowAdapter:
@@ -130,3 +131,168 @@ class TestSolverIntegration:
             AbsConfig(max_rounds=1, adapt_period=0)
         with pytest.raises(ValueError):
             AbsConfig(max_rounds=1, adapt_fraction=0.8)
+
+
+class TestAdaptOverlapRegression:
+    """``adapt`` must never pick a block as donor *and* loser."""
+
+    def test_single_block_is_noop(self):
+        a = WindowAdapter(64, 1, period=1, fraction=0.5, seed=0)
+        a.observe(np.array([-5.0]))
+        new = a.adapt(np.array([16], dtype=np.int64))
+        assert np.array_equal(new, [16])
+        assert a.adaptations == 0
+        # The period still resets — the next round starts a fresh window.
+        assert not a.ready
+
+    def test_single_block_emits_nothing(self):
+        sink = MemorySink()
+        bus = TelemetryBus()
+        bus.attach(sink)
+        a = WindowAdapter(64, 1, period=1, fraction=0.5, seed=0, bus=bus)
+        a.observe(np.array([-5.0]))
+        a.adapt(np.array([16], dtype=np.int64))
+        assert sink.records() == []
+        assert bus.counters.get("adapt.reassignments") == 0
+
+    @pytest.mark.parametrize("n_blocks", [2, 3, 4, 5, 8])
+    def test_winners_and_losers_disjoint_at_half_fraction(self, n_blocks):
+        a = WindowAdapter(64, n_blocks, period=1, fraction=0.5, seed=7)
+        energies = np.arange(n_blocks, dtype=float)
+        a.observe(energies)
+        windows = np.arange(1, n_blocks + 1, dtype=np.int64)
+        new = a.adapt(windows)
+        k = min(max(1, int(n_blocks * 0.5)), n_blocks // 2)
+        # The k best-ranked blocks (lowest energy = lowest index here)
+        # keep their windows untouched.
+        assert np.array_equal(new[:k], windows[:k])
+        assert a.adaptations == k
+
+    def test_best_block_never_overwritten(self):
+        # B=3, fraction=0.5 → k=1: rank 0 is a donor, rank 2 a loser;
+        # the old code could overlap them at B=1 (covered above) — here
+        # the winner's window must survive many adaptations.
+        a = WindowAdapter(64, 3, period=1, fraction=0.5, seed=11)
+        windows = np.array([4, 8, 16], dtype=np.int64)
+        for _ in range(10):
+            a.observe(np.array([-100.0, -50.0, 0.0]))
+            windows = a.adapt(windows)
+            assert windows[0] == 4
+
+
+class TestObserveNonFiniteRegression:
+    """A NaN round-best must not poison the ranking sums forever."""
+
+    def test_nan_does_not_poison_sums(self):
+        a = WindowAdapter(64, 4, period=2, seed=0)
+        a.observe(np.array([1.0, np.nan, 3.0, 4.0]))
+        a.observe(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.isfinite(a._sums).all()
+        new = a.adapt(np.full(4, 8, dtype=np.int64))
+        assert (new >= 1).all()
+
+    def test_nonfinite_counted_and_ranked_as_loser(self):
+        a = WindowAdapter(64, 4, period=1, fraction=0.25, seed=0)
+        a.observe(np.array([-10.0, np.inf, -5.0, -7.0]))
+        assert a.nonfinite_observations == 1
+        # The inf block was substituted with the round's worst finite
+        # energy (-5), not +inf — sums stay usable.
+        assert a._sums[1] == -5.0
+
+    def test_all_nonfinite_round_skipped(self):
+        a = WindowAdapter(64, 3, period=1, seed=0)
+        a.observe(np.full(3, np.nan))
+        assert not a.ready
+        assert a.nonfinite_observations == 3
+
+    def test_nonfinite_counter_on_bus(self):
+        bus = TelemetryBus()
+        a = WindowAdapter(64, 2, period=1, seed=0, bus=bus)
+        a.observe(np.array([np.nan, 1.0]))
+        assert bus.counters.get("adapt.nonfinite_observations") == 1
+
+
+@pytest.mark.diverse
+class TestVariantController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariantController([])
+        with pytest.raises(ValueError):
+            VariantController(["a"], period=0)
+        c = VariantController(["a", "b"])
+        with pytest.raises(ValueError):
+            c.observe(2, 1.0)
+
+    def test_no_move_during_baseline_window(self):
+        c = VariantController(["a", "a", "b", "b"], period=1)
+        for g in range(4):
+            c.observe(g, 0.0)
+        assert c.end_sweep() is None  # first window only baselines
+
+    def test_device_migrates_to_improving_variant(self):
+        c = VariantController(["a", "a", "b", "b"], period=1)
+        for g in range(4):
+            c.observe(g, 10.0)
+        c.end_sweep()
+        # Variant "a" improves, "b" stagnates → one b-device joins a.
+        for g, e in enumerate([5.0, 5.0, 10.0, 10.0]):
+            c.observe(g, e)
+        move = c.end_sweep()
+        assert move is not None
+        device, src, dst = move
+        assert (src, dst) == ("b", "a")
+        assert c.assignment == ["a", "a", "a", "b"] or device == 3
+        assert c.reassignments == 1
+
+    def test_never_extinguishes_a_variant(self):
+        c = VariantController(["a", "a", "a", "b"], period=1)
+        for g in range(4):
+            c.observe(g, 10.0)
+        c.end_sweep()
+        for g, e in enumerate([5.0, 5.0, 5.0, 10.0]):
+            c.observe(g, e)
+        assert c.end_sweep() is None  # b has one device left
+        assert c.assignment == ["a", "a", "a", "b"]
+
+    def test_no_move_without_strict_difference(self):
+        c = VariantController(["a", "a", "b", "b"], period=1)
+        for _ in range(2):
+            for g in range(4):
+                c.observe(g, 7.0)
+            c.end_sweep()
+        assert c.reassignments == 0
+
+    def test_nonfinite_observation_guarded(self):
+        c = VariantController(["a", "b"], period=1)
+        c.observe(0, np.nan)
+        c.observe(1, np.inf)
+        assert c.nonfinite_observations == 2
+        assert c.end_sweep() is None
+
+    def test_deterministic(self):
+        def run():
+            c = VariantController(["a", "b", "a", "b"], period=2)
+            for sweep in range(8):
+                for g in range(4):
+                    c.observe(g, float((g + 1) * (8 - sweep)))
+                c.end_sweep()
+            return c.assignment, c.reassignments
+
+        assert run() == run()
+
+    def test_migration_event_and_counter(self):
+        sink = MemorySink()
+        bus = TelemetryBus()
+        bus.attach(sink)
+        c = VariantController(["a", "a", "b", "b"], period=1, bus=bus)
+        for g in range(4):
+            c.observe(g, 10.0)
+        c.end_sweep()
+        for g, e in enumerate([5.0, 5.0, 10.0, 10.0]):
+            c.observe(g, e)
+        c.end_sweep()
+        events = [r for r in sink.records() if r["event"] == "adapt.variant"]
+        assert len(events) == 1
+        assert events[0]["from_variant"] == "b"
+        assert events[0]["to_variant"] == "a"
+        assert bus.counters.get("adapt.variant_reassignments") == 1

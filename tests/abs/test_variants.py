@@ -1,0 +1,199 @@
+"""Tests for the Diverse-ABS variant registry, device tabu polish, and
+fleet-mode solver integration."""
+
+import numpy as np
+import pytest
+
+from repro.abs import (
+    AbsConfig,
+    AdaptiveBulkSearch,
+    available_variants,
+    get_variant,
+    register_variant,
+    resolve_fleet,
+)
+from repro.abs.device import DeviceSimulator
+from repro.abs.variants import (
+    DEFAULT_FLEET,
+    SearchVariant,
+    resolve_variant_list,
+)
+from repro.ga import GaConfig
+from repro.qubo import QuboMatrix, energy
+
+pytestmark = pytest.mark.diverse
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_variants()
+        for name in DEFAULT_FLEET:
+            assert name in names
+
+    def test_get_unknown_raises_with_listing(self):
+        with pytest.raises(ValueError, match="ladder"):
+            get_variant("no-such-variant")
+
+    def test_register_and_fetch(self):
+        v = SearchVariant(name="t-reg", description="test-only")
+        register_variant(v)
+        try:
+            assert get_variant("t-reg") is v
+        finally:
+            from repro.abs import variants as mod
+
+            del mod._REGISTRY["t-reg"]
+
+    def test_register_overwrites_previous(self):
+        from repro.abs import variants as mod
+
+        original = get_variant("ladder")
+        try:
+            replacement = SearchVariant(name="ladder", description="shadow")
+            register_variant(replacement)
+            assert get_variant("ladder") is replacement
+        finally:
+            mod._REGISTRY["ladder"] = original
+
+    def test_resolve_variant_list_cycles(self):
+        fleet = resolve_variant_list("ladder,hot", 5)
+        assert [v.name for v in fleet] == ["ladder", "hot", "ladder", "hot", "ladder"]
+
+    def test_resolve_fleet_alias(self):
+        fleet = resolve_fleet("fleet", len(DEFAULT_FLEET))
+        assert tuple(v.name for v in fleet) == DEFAULT_FLEET
+
+    def test_resolve_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_fleet("", 4)
+        with pytest.raises(ValueError):
+            resolve_fleet("ladder", 0)
+
+    def test_resolve_sequence(self):
+        fleet = resolve_fleet(["tabu", "greedy"], 2)
+        assert [v.name for v in fleet] == ["tabu", "greedy"]
+
+
+class TestSearchVariant:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchVariant(name="", description="x")
+        with pytest.raises(ValueError):
+            SearchVariant(name="x", description="y", local_steps=-1)
+        with pytest.raises(ValueError):
+            SearchVariant(name="x", description="y", tabu_steps=-1)
+        with pytest.raises(ValueError):
+            SearchVariant(name="x", description="y", tabu_tenure=0)
+
+    def test_effective_fallbacks(self):
+        v = SearchVariant(name="x", description="inherit-everything")
+        assert v.effective_local_steps(32) == 32
+        assert v.effective_scan(True) is True
+        base = GaConfig()
+        assert v.effective_ga(base) is base
+
+    def test_effective_overrides(self):
+        ga = GaConfig(p_mutation=0.7, p_crossover=0.2)
+        v = SearchVariant(
+            name="x", description="y", local_steps=9, scan_neighbors=False, ga=ga
+        )
+        assert v.effective_local_steps(32) == 9
+        assert v.effective_scan(True) is False
+        assert v.effective_ga(GaConfig()) is ga
+
+    def test_windows_greedy_is_full_n(self):
+        v = SearchVariant(name="x", description="y", window="greedy")
+        w = v.windows(4, n_blocks=3, n=24)
+        assert np.array_equal(w, np.full(3, 24, dtype=np.int64))
+
+    def test_windows_int_clamped(self):
+        v = SearchVariant(name="x", description="y", window=100)
+        assert v.windows(4, n_blocks=2, n=16).max() == 16
+        v0 = SearchVariant(name="x2", description="y", window=1)
+        assert v0.windows(4, n_blocks=2, n=16).min() == 1
+
+    def test_windows_default_inherits(self):
+        v = SearchVariant(name="x", description="y")
+        base = v.windows(4, n_blocks=6, n=32)
+        assert base.shape == (6,)
+        assert (base >= 1).all() and (base <= 32).all()
+
+
+class TestDeviceTabuPolish:
+    def test_tabu_polish_never_worsens_best(self):
+        q = QuboMatrix.random(24, seed=5)
+        plain = DeviceSimulator(q, 4, windows=8, local_steps=8)
+        tabu = DeviceSimulator(q, 4, windows=8, local_steps=8, tabu_steps=32)
+        rng = np.random.default_rng(1)
+        targets = rng.integers(0, 2, (4, 24), dtype=np.uint8)
+        e_plain, _ = plain.round(targets.copy())
+        e_tabu, xs = tabu.round(targets.copy())
+        assert e_tabu.min() <= e_plain.min()
+        assert tabu.tabu_steps_done > 0
+        b = int(e_tabu.argmin())
+        assert e_tabu[b] == energy(q, xs[b])
+
+    def test_set_tabu_validation(self):
+        q = QuboMatrix.random(8, seed=0)
+        dev = DeviceSimulator(q, 2, windows=4, local_steps=4)
+        with pytest.raises(ValueError):
+            dev.set_tabu(-1)
+        dev.set_tabu(0)
+        assert dev._tabu is None
+
+
+class TestSolverIntegration:
+    def test_variants_sync_deterministic(self):
+        q = QuboMatrix.random(40, seed=6)
+        cfg = AbsConfig(
+            n_gpus=2, blocks_per_gpu=4, local_steps=8, max_rounds=8,
+            seed=12, variants="fleet",
+        )
+        a = AdaptiveBulkSearch(q, cfg).solve("sync")
+        b = AdaptiveBulkSearch(q, cfg).solve("sync")
+        assert a.best_energy == b.best_energy
+        assert np.array_equal(a.best_x, b.best_x)
+        assert a.best_energy == energy(q, a.best_x)
+
+    def test_variants_with_diversity_and_adapt(self):
+        q = QuboMatrix.random(40, seed=7)
+        cfg = AbsConfig(
+            n_gpus=4, blocks_per_gpu=4, local_steps=8, max_rounds=10,
+            seed=13, variants="fleet", diversity_min_dist=6,
+            variant_adapt=True, variant_adapt_period=2,
+        )
+        res = AdaptiveBulkSearch(q, cfg).solve("sync")
+        assert res.best_energy == energy(q, res.best_x)
+        assert res.counters["variant.tabu_steps"] > 0
+        assert "adapt.variant_reassignments" in res.counters
+
+    def test_unknown_variant_rejected_at_config(self):
+        with pytest.raises(ValueError, match="nope"):
+            AbsConfig(max_rounds=1, variants="ladder,nope")
+
+    def test_variant_adapt_requires_variants(self):
+        with pytest.raises(ValueError):
+            AbsConfig(max_rounds=1, variant_adapt=True)
+
+    def test_variant_adapt_is_sync_only(self):
+        q = QuboMatrix.random(16, seed=8)
+        cfg = AbsConfig(
+            n_gpus=2, blocks_per_gpu=2, local_steps=4, max_rounds=2,
+            seed=1, variants="fleet", variant_adapt=True,
+        )
+        with pytest.raises(ValueError, match="sync"):
+            AdaptiveBulkSearch(q, cfg).solve("process")
+
+    def test_fleet_changes_search_but_not_correctness(self):
+        q = QuboMatrix.random(32, seed=9)
+        base_cfg = AbsConfig(
+            n_gpus=2, blocks_per_gpu=4, local_steps=8, max_rounds=6, seed=2,
+        )
+        fleet_cfg = AbsConfig(
+            n_gpus=2, blocks_per_gpu=4, local_steps=8, max_rounds=6, seed=2,
+            variants="fleet",
+        )
+        base = AdaptiveBulkSearch(q, base_cfg).solve("sync")
+        fleet = AdaptiveBulkSearch(q, fleet_cfg).solve("sync")
+        assert base.best_energy == energy(q, base.best_x)
+        assert fleet.best_energy == energy(q, fleet.best_x)
