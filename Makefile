@@ -1,6 +1,6 @@
 # Developer conveniences for the ABS reproduction.
 
-.PHONY: install test test-fast test-process test-backends test-exchange test-analysis test-diverse analyze docs-check lint bench bench-full bench-exchange trace-demo examples clean
+.PHONY: install test test-fast test-process test-backends test-exchange test-tcp test-analysis test-diverse analyze docs-check lint bench bench-full bench-exchange bench-cluster trace-demo examples clean
 
 install:
 	pip install -e .[test]
@@ -21,6 +21,10 @@ test-backends:          ## backend suite on all lanes: as-installed, then with n
 test-exchange:          ## exchange + process suites on both transports: shm rings, then Queue fallback
 	REPRO_EXCHANGE=shm pytest -m "exchange_shm or process" tests/ -q
 	REPRO_EXCHANGE=queue pytest -m "exchange_shm or process" tests/ -q
+
+test-tcp:               ## tcp transport lane: codec, fault injection, determinism (auto-skips where loopback binds are forbidden)
+	pytest -m tcp tests/ -q
+	REPRO_EXCHANGE=tcp pytest -m "exchange_shm or process" tests/ -q
 
 test-analysis:          ## static-analyzer + interleaving-explorer suite
 	PYTHONPATH=src pytest -m analysis tests/
@@ -48,6 +52,9 @@ bench-full:             ## full instance lists (minutes to hours)
 
 bench-exchange:         ## host-side exchange + GA hot-path speedup (Figure 5 rings)
 	pytest benchmarks/bench_exchange.py -q
+
+bench-cluster:          ## round throughput: N socket workers (tcp) vs shm -> BENCH_cluster.json
+	pytest benchmarks/bench_cluster.py -q
 
 trace-demo:             ## traced solve + schema validation of the JSONL trace
 	python -m repro random 96 /tmp/abs-trace-demo.qubo --seed 7

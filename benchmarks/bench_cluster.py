@@ -1,0 +1,149 @@
+"""Cluster-transport benchmark: N socket workers vs shm (PR 8).
+
+The tcp transport exists so the device fleet can outgrow one host's
+cores; before it earns that job it must not fall off a cliff against
+the shm rings *on* one host.  This benchmark runs the real
+process-mode solver — supervisor, GA host loop, device engines — over
+both transports at matched configurations and records round
+throughput (exchange rounds absorbed per second of wall clock) for a
+growing local worker fleet.
+
+Loopback TCP pays a syscall + framing + copy tax the shm rings don't,
+but a round's cost is dominated by the device search itself, so the
+recorded throughput ratio stays near 1 on one box — which is the
+point: sharding the fleet over sockets costs little even before a
+second host enters the picture.
+
+Results land in ``benchmarks/results/BENCH_cluster.json``.
+
+Runnable both ways::
+
+    pytest benchmarks/bench_cluster.py
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+
+from repro.abs import AbsConfig, AdaptiveBulkSearch
+from repro.qubo import QuboMatrix
+from repro.utils.tables import Table
+
+try:  # standalone execution has no package context for conftest
+    from benchmarks.conftest import FULL, RESULTS_DIR
+except ImportError:  # pragma: no cover - `python benchmarks/bench_cluster.py`
+    import os
+
+    FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+    RESULTS_DIR = Path(__file__).parent / "results"
+
+#: (n, blocks_per_gpu, local_steps, max_rounds) for every fleet size.
+_SHAPE = (256, 16, 32, 24)
+_FLEETS = (1, 2, 4)
+if FULL:
+    _FLEETS += (8,)
+
+
+def _loopback_available() -> bool:
+    try:
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as s:
+            s.bind(("127.0.0.1", 0))
+        return True
+    except OSError:
+        return False
+
+
+def _measure(exchange: str, n_gpus: int) -> dict:
+    n, blocks, steps, rounds = _SHAPE
+    q = QuboMatrix.random(n, seed=99)
+    cfg = AbsConfig(
+        n_gpus=n_gpus,
+        blocks_per_gpu=blocks,
+        local_steps=steps,
+        max_rounds=rounds * n_gpus,  # keep per-worker rounds comparable
+        time_limit=120.0,
+        seed=7,
+        exchange=exchange,
+    )
+    t0 = time.perf_counter()
+    res = AdaptiveBulkSearch(q, cfg).solve("process")
+    elapsed = time.perf_counter() - t0
+    return {
+        "elapsed_s": round(elapsed, 6),
+        "rounds": res.rounds,
+        "rounds_per_s": round(res.rounds / elapsed, 3),
+        "best_energy": int(res.best_energy),
+    }
+
+
+def run_bench() -> dict:
+    n, blocks, steps, rounds = _SHAPE
+    points = []
+    for n_gpus in _FLEETS:
+        shm = _measure("shm", n_gpus)
+        tcp = _measure("tcp", n_gpus)
+        points.append(
+            {
+                "workers": n_gpus,
+                "shm": shm,
+                "tcp": tcp,
+                "tcp_vs_shm_throughput": round(
+                    tcp["rounds_per_s"] / shm["rounds_per_s"], 3
+                ),
+            }
+        )
+    payload = {
+        "bench": "cluster",
+        "full_scale": FULL,
+        "shape": {
+            "n": n,
+            "blocks_per_gpu": blocks,
+            "local_steps": steps,
+            "rounds_per_worker": rounds,
+        },
+        "points": points,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_cluster.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    return payload
+
+
+def _render(payload: dict) -> str:
+    table = Table(
+        ["workers", "shm rounds/s", "tcp rounds/s", "tcp/shm"],
+        title="Round throughput: socket fleet vs shm rings",
+    )
+    for p in payload["points"]:
+        table.add_row(
+            [
+                p["workers"],
+                f"{p['shm']['rounds_per_s']:.2f}",
+                f"{p['tcp']['rounds_per_s']:.2f}",
+                f"{p['tcp_vs_shm_throughput']:.2f}x",
+            ]
+        )
+    return table.render()
+
+
+def test_bench_cluster(report):
+    import pytest
+
+    if not _loopback_available():  # pragma: no cover - sandbox guard
+        pytest.skip("loopback sockets unavailable in this sandbox")
+    payload = run_bench()
+    report("Cluster transport (tcp vs shm)", _render(payload))
+    for p in payload["points"]:
+        # Both lanes completed their round budget and made progress.
+        assert p["shm"]["rounds"] > 0 and p["tcp"]["rounds"] > 0
+        assert p["tcp"]["best_energy"] < 0
+        assert p["tcp_vs_shm_throughput"] > 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(_render(run_bench()))

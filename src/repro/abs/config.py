@@ -118,8 +118,10 @@ class AbsConfig:
         default) exchanges targets and solutions through preallocated
         bit-packed shared-memory rings — the paper's Figure-5 buffers
         (:mod:`repro.abs.exchange`); ``"queue"`` is the pickling
-        ``multiprocessing.Queue`` fallback.  ``None`` consults the
-        ``REPRO_EXCHANGE`` environment variable, then defaults to
+        ``multiprocessing.Queue`` fallback; ``"tcp"`` frames the same
+        bit-packed payloads over loopback sockets (:mod:`repro.abs.tcp`)
+        so workers can join and leave elastically.  ``None`` consults
+        the ``REPRO_EXCHANGE`` environment variable, then defaults to
         ``"shm"``.  Transport choice never changes the search result.
     pipeline:
         Process mode only: double-buffer GA targets — the host

@@ -19,12 +19,15 @@ module is the process-mode realization of those buffers:
   counters; ``head``/``tail`` are the global counters of Figure 5.
   The producer blocks (briefly, with a stall counter) only when the
   host has fallen a full ring behind.
-- :class:`ShmHostTransport` / :class:`QueueHostTransport` — the two
-  process-mode transports behind ``AbsConfig.exchange``.  They present
-  one interface to the solver (per-worker target channels with
+- :class:`ShmHostTransport` / :class:`QueueHostTransport` — two of the
+  three process-mode transports behind ``AbsConfig.exchange``.  They
+  present one interface to the solver (per-worker target channels with
   ``put``, a ``poll`` for the next :class:`ResultBatch`, byte/stall
   statistics); the queue flavour is the pre-ring fallback that ships
-  pickled arrays through ``multiprocessing.Queue``.
+  pickled arrays through ``multiprocessing.Queue``.  The third
+  transport (``"tcp"``, :mod:`repro.abs.tcp`) carries the same packed
+  payloads over length-prefixed socket frames so device workers can
+  live on other hosts; it is imported lazily from the factory below.
 - :func:`open_worker_endpoint` — the worker-side counterpart, built
   from a picklable ``worker_ref``.
 
@@ -52,14 +55,27 @@ import queue as queue_mod
 import time
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.abs.buffers import pack_solutions, packed_length, unpack_solutions
 
+if TYPE_CHECKING:  # runtime import is lazy — tcp imports this module
+    from repro.abs.tcp import TcpHostTransport, TcpWorkerEndpoint
+
 #: Transport names accepted by ``AbsConfig.exchange`` / ``REPRO_EXCHANGE``.
-EXCHANGE_NAMES = ("shm", "queue")
+EXCHANGE_NAMES = ("shm", "queue", "tcp")
+
+#: Explicit wire dtypes for everything that crosses a process or host
+#: boundary (shm ring/mailbox views, tcp frame payloads).  Pinned
+#: little-endian so the wire format is identical on every platform —
+#: a bare ``np.int64`` view would silently flip byte order on a
+#: big-endian host and corrupt every mixed-endian shm attach or tcp
+#: stream.  ``tests/abs/test_exchange.py`` pins these against golden
+#: bytes.
+WIRE_I64 = np.dtype("<i8")
+WIRE_U8 = np.dtype("u1")
 
 #: Result slots per worker ring.  The host absorbs much faster than a
 #: worker produces, so a short ring suffices; a full ring only means
@@ -192,10 +208,10 @@ class TargetMailbox(_ShmRegion):
         self.n_blocks = int(n_blocks)
         self.n = int(n)
         self._packed_n = packed_length(n)
-        self._header = np.ndarray((_HEADER_SLOTS,), dtype=np.int64, buffer=shm.buf)
+        self._header = np.ndarray((_HEADER_SLOTS,), dtype=WIRE_I64, buffer=shm.buf)
         self._slots = np.ndarray(
             (2, self.n_blocks, self._packed_n),
-            dtype=np.uint8,
+            dtype=WIRE_U8,
             buffer=shm.buf,
             offset=_HEADER_SLOTS * 8,
         )
@@ -237,7 +253,7 @@ class TargetMailbox(_ShmRegion):
         a replacement worker skips batches published for its
         predecessor.  Returns the new generation number.
         """
-        targets = np.asarray(targets, dtype=np.uint8)
+        targets = np.asarray(targets, dtype=WIRE_U8)
         if targets.shape != (self.n_blocks, self.n):
             raise ValueError(
                 f"targets must have shape ({self.n_blocks}, {self.n}), "
@@ -299,18 +315,18 @@ class SolutionRing(_ShmRegion):
         self.slots = int(slots)
         self._packed_n = packed_length(n)
         offset = _HEADER_SLOTS * 8
-        self._header = np.ndarray((_HEADER_SLOTS,), dtype=np.int64, buffer=shm.buf)
+        self._header = np.ndarray((_HEADER_SLOTS,), dtype=WIRE_I64, buffer=shm.buf)
         self._meta = np.ndarray(
-            (self.slots, _META_SLOTS), dtype=np.int64, buffer=shm.buf, offset=offset
+            (self.slots, _META_SLOTS), dtype=WIRE_I64, buffer=shm.buf, offset=offset
         )
         offset += self.slots * _META_SLOTS * 8
         self._energies = np.ndarray(
-            (self.slots, self.n_blocks), dtype=np.int64, buffer=shm.buf, offset=offset
+            (self.slots, self.n_blocks), dtype=WIRE_I64, buffer=shm.buf, offset=offset
         )
         offset += self.slots * self.n_blocks * 8
         self._packed = np.ndarray(
             (self.slots, self.n_blocks, self._packed_n),
-            dtype=np.uint8,
+            dtype=WIRE_U8,
             buffer=shm.buf,
             offset=offset,
         )
@@ -414,7 +430,7 @@ class _QueueTargetChannel:
         self._stats = stats
 
     def put(self, targets: np.ndarray) -> None:
-        targets = np.ascontiguousarray(targets, dtype=np.uint8)
+        targets = np.ascontiguousarray(targets, dtype=WIRE_U8)
         self.raw.put(targets)
         self._stats["exchange.targets_published"] += 1
         self._stats["exchange.bytes_to_device"] += targets.nbytes
@@ -655,12 +671,18 @@ class ShmHostTransport:
 
 def make_host_transport(
     name: str, ctx: Any, *, n_workers: int, n_blocks: int, n: int
-) -> "QueueHostTransport | ShmHostTransport":
+) -> "QueueHostTransport | ShmHostTransport | TcpHostTransport":
     """Instantiate the host side of the named transport."""
     if name == "queue":
         return QueueHostTransport(ctx, n_workers, n_blocks, n)
     if name == "shm":
         return ShmHostTransport(ctx, n_workers, n_blocks, n)
+    if name == "tcp":
+        # Imported lazily: the tcp module depends on this one for the
+        # shared wire pieces (ResultBatch, counters, wire dtypes).
+        from repro.abs.tcp import TcpHostTransport
+
+        return TcpHostTransport(ctx, n_workers, n_blocks, n)
     raise ValueError(f"unknown exchange transport {name!r}")
 
 
@@ -787,7 +809,7 @@ class ShmWorkerEndpoint:
                 self._publish_stalls += 1
                 stalled = True
             time.sleep(0.001)
-        meta = np.zeros(_META_SLOTS, dtype=np.int64)
+        meta = np.zeros(_META_SLOTS, dtype=WIRE_I64)
         meta[_M_INCARNATION] = self._incarnation
         meta[_M_COUNT] = len(energies)
         meta[_M_EVALUATED] = int(evaluated)
@@ -797,7 +819,7 @@ class ShmWorkerEndpoint:
         meta[_M_PUBLISH_STALLS] = self._publish_stalls
         meta[_M_TARGET_WAITS] = self._target_waits
         self._ring.write(
-            meta, np.asarray(energies, dtype=np.int64), pack_solutions(x)
+            meta, np.asarray(energies, dtype=WIRE_I64), pack_solutions(x)
         )
         if events:
             self._events_q.put((self._worker_id, self._incarnation, events))
@@ -810,7 +832,7 @@ class ShmWorkerEndpoint:
 
 def open_worker_endpoint(
     ref: tuple, *, worker_id: int, incarnation: int, stop_evt: Any
-) -> "QueueWorkerEndpoint | ShmWorkerEndpoint":
+) -> "QueueWorkerEndpoint | ShmWorkerEndpoint | TcpWorkerEndpoint":
     """Build the worker-side endpoint from a picklable ``worker_ref``."""
     kind = ref[0]
     if kind == "queue":
@@ -818,6 +840,12 @@ def open_worker_endpoint(
     if kind == "shm":
         return ShmWorkerEndpoint(
             ref[1], ref[2], ref[3], worker_id, incarnation, stop_evt
+        )
+    if kind == "tcp":
+        from repro.abs.tcp import TcpWorkerEndpoint
+
+        return TcpWorkerEndpoint(
+            ref[1], worker_id=worker_id, incarnation=incarnation, stop_evt=stop_evt
         )
     raise ValueError(f"unknown worker endpoint kind {kind!r}")
 

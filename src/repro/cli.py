@@ -474,11 +474,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--exchange",
-        choices=("shm", "queue"),
+        choices=("shm", "queue", "tcp"),
         default=None,
         help="process mode: host<->worker transport — shm (Figure-5 "
-        "bit-packed shared-memory rings, the default) or queue "
-        "(pickling mp.Queue fallback); default: $REPRO_EXCHANGE or shm."
+        "bit-packed shared-memory rings, the default), queue "
+        "(pickling mp.Queue fallback), or tcp (framed loopback "
+        "sockets, elastic workers); default: $REPRO_EXCHANGE or shm."
         "  Never changes the search result.",
     )
     p.add_argument(

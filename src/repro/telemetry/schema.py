@@ -113,7 +113,14 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
         required={
             "transport": STR, "workers": INT, "ring_slots": INT,
             "target_slot_bytes": INT, "result_slot_bytes": INT,
-        }
+        },
+        optional={"port": INT},  # tcp transport: the acceptor's port
+    ),
+    # Emitted by the tcp transport when a worker slot connects again
+    # after its first HELLO — a crash, a dropped stream, or an elastic
+    # rejoin.  ``connects`` counts lifetime connections for that slot.
+    "exchange.reconnect": EventSpec(
+        required={"device": INT, "incarnation": INT, "connects": INT}
     ),
     "worker.result": EventSpec(
         required={
@@ -240,6 +247,12 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "exchange.unpacks",
         "exchange.publish_stalls",
         "exchange.target_waits",
+        # tcp exchange transport (repro.abs.tcp)
+        "exchange.tcp.connects",
+        "exchange.tcp.reconnects",
+        "exchange.tcp.frames_to_device",
+        "exchange.tcp.frames_from_device",
+        "exchange.tcp.dropped_results",
     }
 )
 

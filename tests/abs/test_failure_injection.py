@@ -1,12 +1,17 @@
 """Failure-injection tests for the multi-process solver."""
 
+import multiprocessing
+import os
+import time
+
 import numpy as np
 import pytest
 
 import repro.abs.solver as solver_mod
 from repro.abs import AbsConfig, AdaptiveBulkSearch
 from repro.abs.buffers import SharedWeights
-from repro.qubo import QuboMatrix
+from repro.qubo import QuboMatrix, energy
+from repro.telemetry import MemorySink, TelemetryBus
 
 pytestmark = [pytest.mark.process, pytest.mark.timeout(60)]
 
@@ -73,6 +78,158 @@ class TestWorkerDeath:
             AdaptiveBulkSearch(q, cfg).solve("process")
         after = set(glob.glob("/dev/shm/*"))
         assert after <= before
+
+
+class _SetOnEvent:
+    def __init__(self, name, evt):
+        self.name = name
+        self.evt = evt
+
+    def handle(self, event):
+        if event.name == self.name:
+            self.evt.set()
+
+
+@pytest.mark.tcp
+class TestTcpFaultInjection:
+    """The tcp lane under injected faults: the supervisor machinery
+    must behave exactly as it does over shm — kill or stall a socket
+    worker and a fresh incarnation finishes the solve with a valid
+    result."""
+
+    def test_socket_worker_killed_mid_round(self, monkeypatch):
+        """Kill a tcp worker's first incarnation mid-run: the
+        replacement says HELLO on a new connection (surfacing the
+        ``exchange.reconnect`` event), skips its predecessor's targets
+        via the epoch stamp, and the final energy is valid."""
+        ctx = multiprocessing.get_context("fork")
+        restarted = ctx.Event()
+        real_worker = solver_mod._worker_main
+
+        def flaky_worker(worker_id, incarnation, *rest):
+            if worker_id == 0 and incarnation == 0:
+                # Say HELLO like a real worker, then die mid-round: the
+                # host has seen this slot's first connection, so the
+                # replacement's HELLO is a *re*connect.
+                from repro.abs.exchange import open_worker_endpoint
+
+                exchange_ref, stop_evt = rest[8], rest[9]
+                open_worker_endpoint(
+                    exchange_ref, worker_id=0, incarnation=0, stop_evt=stop_evt
+                )
+                os._exit(11)
+            restarted.wait()  # start only after the host handled the death
+            real_worker(worker_id, incarnation, *rest)
+
+        monkeypatch.setattr(solver_mod, "_worker_main", flaky_worker)
+        q = QuboMatrix.random(24, seed=321)
+        sink = MemorySink()
+        bus = TelemetryBus([sink, _SetOnEvent("supervisor.restart", restarted)])
+        cfg = AbsConfig(
+            n_gpus=1,
+            blocks_per_gpu=4,
+            local_steps=8,
+            max_rounds=4,
+            max_worker_restarts=1,
+            time_limit=60.0,
+            seed=77,
+            exchange="tcp",
+        )
+        res = AdaptiveBulkSearch(q, cfg, telemetry=bus).solve("process")
+        assert res.workers_restarted == 1
+        assert res.workers_lost == 0
+        assert res.rounds == cfg.max_rounds
+        assert res.best_energy == energy(q, res.best_x)
+        # The replacement's HELLO was the slot's second connection.
+        reconnects = sink.named("exchange.reconnect")
+        assert len(reconnects) >= 1
+        assert reconnects[0].fields["device"] == 0
+        assert reconnects[0].fields["connects"] >= 2
+        assert sink.named("exchange.open")[0].fields["transport"] == "tcp"
+
+    def test_stalled_socket_worker_restarted(self, monkeypatch):
+        """A worker that connects but never publishes (its ACKs delayed
+        past ``worker_stall_timeout``) must be declared stalled and
+        replaced, not waited on forever."""
+        ctx = multiprocessing.get_context("fork")
+        restarted = ctx.Event()
+        real_worker = solver_mod._worker_main
+
+        def stalling_worker(worker_id, incarnation, *rest):
+            if worker_id == 0 and incarnation == 0:
+                time.sleep(300)  # silent far past the stall threshold
+                os._exit(13)
+            restarted.wait()
+            real_worker(worker_id, incarnation, *rest)
+
+        monkeypatch.setattr(solver_mod, "_worker_main", stalling_worker)
+        q = QuboMatrix.random(24, seed=321)
+        sink = MemorySink()
+        bus = TelemetryBus([sink, _SetOnEvent("supervisor.restart", restarted)])
+        cfg = AbsConfig(
+            n_gpus=1,
+            blocks_per_gpu=4,
+            local_steps=8,
+            max_rounds=3,
+            max_worker_restarts=1,
+            worker_stall_timeout=1.0,
+            time_limit=60.0,
+            seed=5,
+            exchange="tcp",
+        )
+        res = AdaptiveBulkSearch(q, cfg, telemetry=bus).solve("process")
+        assert res.workers_restarted == 1
+        assert res.best_energy == energy(q, res.best_x)
+        assert len(sink.named("supervisor.stall")) >= 1
+        restart_events = sink.named("supervisor.restart")
+        assert restart_events and restart_events[0].fields["incarnation"] == 1
+
+    @pytest.mark.timeout(120)
+    def test_acceptance_n1024_four_socket_workers_one_kill(self, monkeypatch):
+        """The PR acceptance instance: n=1024 over ≥4 socket workers,
+        surviving one injected worker kill with a valid final result."""
+        ctx = multiprocessing.get_context("fork")
+        restarted = ctx.Event()
+        real_worker = solver_mod._worker_main
+
+        def flaky_worker(worker_id, incarnation, *rest):
+            if worker_id == 2 and incarnation == 0:
+                from repro.abs.exchange import open_worker_endpoint
+
+                exchange_ref, stop_evt = rest[8], rest[9]
+                open_worker_endpoint(  # connect first, then die mid-round
+                    exchange_ref, worker_id=2, incarnation=0, stop_evt=stop_evt
+                )
+                os._exit(11)
+            if worker_id == 2:
+                restarted.wait()
+            real_worker(worker_id, incarnation, *rest)
+
+        monkeypatch.setattr(solver_mod, "_worker_main", flaky_worker)
+        q = QuboMatrix.random(1024, seed=10)
+        sink = MemorySink()
+        bus = TelemetryBus([sink, _SetOnEvent("supervisor.restart", restarted)])
+        cfg = AbsConfig(
+            n_gpus=4,
+            blocks_per_gpu=4,
+            local_steps=8,
+            max_rounds=8,
+            max_worker_restarts=1,
+            time_limit=110.0,
+            seed=2020,
+            exchange="tcp",
+        )
+        res = AdaptiveBulkSearch(q, cfg, telemetry=bus).solve("process")
+        assert res.workers_restarted == 1
+        assert res.workers_lost == 0
+        assert res.best_x.shape == (1024,)
+        assert res.best_energy == energy(q, res.best_x)  # no invalid result
+        assert res.best_energy < 0
+        # All four sockets connected; the killed slot reconnected.
+        assert sink.named("exchange.open")[0].fields["workers"] == 4
+        assert any(
+            e.fields["device"] == 2 for e in sink.named("exchange.reconnect")
+        )
 
 
 class TestSharedWeightsFailures:

@@ -27,6 +27,15 @@ from repro.telemetry import MemorySink, TelemetryBus
 
 pytestmark = [pytest.mark.process, pytest.mark.timeout(120)]
 
+#: All three transports; the tcp lane carries its marker so the
+#: loopback guard in tests/conftest.py can skip it where socket binds
+#: are forbidden.
+ALL_TRANSPORTS = [
+    "shm",
+    "queue",
+    pytest.param("tcp", marks=pytest.mark.tcp),
+]
+
 
 @pytest.fixture
 def problem():
@@ -59,7 +68,26 @@ class TestCrossTransportDeterminism:
         b = AdaptiveBulkSearch(problem, lockstep_cfg("queue")).solve("process")
         assert fingerprint(a) == fingerprint(b)
 
-    @pytest.mark.parametrize("exchange", ["shm", "queue"])
+    @pytest.mark.tcp
+    def test_tcp_bit_identical_to_shm(self, problem):
+        """The acceptance bar: tcp ≡ shm ≡ queue bit-for-bit in
+        lockstep mode, and telemetry-inert — the solver's search
+        counters agree exactly modulo the transport's own
+        ``exchange.*`` accounting."""
+        a = AdaptiveBulkSearch(problem, lockstep_cfg("shm")).solve("process")
+        b = AdaptiveBulkSearch(problem, lockstep_cfg("tcp")).solve("process")
+        assert fingerprint(a) == fingerprint(b)
+        solver_keys = {
+            k for k in (set(a.counters) | set(b.counters))
+            if not k.startswith("exchange.")
+        }
+        for key in sorted(solver_keys):
+            assert a.counters.get(key, 0) == b.counters.get(key, 0), key
+        # and the tcp lane really ran over sockets
+        assert b.counters["exchange.tcp.connects"] >= 1
+        assert b.counters["exchange.tcp.frames_from_device"] >= 1
+
+    @pytest.mark.parametrize("exchange", ALL_TRANSPORTS)
     def test_process_lockstep_matches_sync(self, problem, exchange):
         sync_cfg = AbsConfig(
             n_gpus=1, blocks_per_gpu=6, local_steps=8, pool_capacity=16,
@@ -72,7 +100,7 @@ class TestCrossTransportDeterminism:
         for key in ("engine.flips", "engine.evaluated", "pool.inserted"):
             assert s.counters[key] == p.counters[key], key
 
-    @pytest.mark.parametrize("exchange", ["shm", "queue"])
+    @pytest.mark.parametrize("exchange", ALL_TRANSPORTS)
     def test_telemetry_does_not_change_search(self, problem, exchange):
         quiet = AdaptiveBulkSearch(problem, lockstep_cfg(exchange)).solve("process")
         sink = MemorySink()

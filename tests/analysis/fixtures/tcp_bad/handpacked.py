@@ -1,0 +1,16 @@
+"""Fixture: tcp frame layout leaking outside the transport module."""
+
+import struct
+
+from repro.abs.tcp import FRAME_HEADER, FRAME_MAGIC
+
+
+def handcrafted_frame(payload):
+    # Packing a frame by hand instead of calling encode_frame.
+    return FRAME_HEADER.pack(FRAME_MAGIC, 3, len(payload), 0) + payload
+
+
+def rederived_layout():
+    # Re-deriving the wire format locally is just as bad.
+    _RESULT_HEAD = struct.Struct("<iqiiqq")
+    return _RESULT_HEAD.size

@@ -1,0 +1,14 @@
+"""Fixture: sanctioned use of the tcp codec surface."""
+
+from repro.abs.tcp import FrameError, decode_frame, encode_hello
+
+
+def say_hello(sock):
+    sock.sendall(encode_hello(0, 1))
+
+
+def read_one(buf):
+    try:
+        return decode_frame(buf, partial_ok=True)
+    except FrameError:
+        return None

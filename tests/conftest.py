@@ -3,10 +3,34 @@
 from __future__ import annotations
 
 import signal
+import socket
 
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
+
+
+def _loopback_available() -> bool:
+    """Whether this environment can bind a loopback listener.
+
+    Hardened sandboxes sometimes forbid even 127.0.0.1 binds; the tcp
+    exchange lane is meaningless there, so its tests skip cleanly
+    instead of erroring."""
+    try:
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as s:
+            s.bind(("127.0.0.1", 0))
+        return True
+    except OSError:
+        return False
+
+
+def pytest_collection_modifyitems(config, items):
+    if _loopback_available():
+        return
+    skip = pytest.mark.skip(reason="loopback sockets unavailable in this sandbox")
+    for item in items:
+        if item.get_closest_marker("tcp") is not None:
+            item.add_marker(skip)
 
 
 @pytest.hookimpl(hookwrapper=True)
