@@ -1,6 +1,6 @@
 # Developer conveniences for the ABS reproduction.
 
-.PHONY: install test test-fast test-process test-backends test-exchange test-tcp test-analysis test-diverse analyze docs-check lint bench bench-full bench-exchange bench-cluster trace-demo examples clean
+.PHONY: install test test-fast test-process test-backends test-exchange test-tcp test-analysis test-diverse test-service analyze docs-check lint bench bench-full bench-exchange bench-cluster bench-service bench-list trace-demo examples clean
 
 install:
 	pip install -e .[test]
@@ -32,6 +32,9 @@ test-analysis:          ## static-analyzer + interleaving-explorer suite
 test-diverse:           ## Diverse-ABS suite: niched pool + variant fleet + controller
 	PYTHONPATH=src pytest -m diverse tests/
 
+test-service:           ## warm-fleet solver service: queue, cache, re-arm, determinism
+	PYTHONPATH=src pytest -m service tests/
+
 analyze:                ## project-invariant lint + exhaustive seqlock/SPSC race check
 	PYTHONPATH=src python -m repro analyze --interleave
 
@@ -56,11 +59,17 @@ bench-exchange:         ## host-side exchange + GA hot-path speedup (Figure 5 ri
 bench-cluster:          ## round throughput: N socket workers (tcp) vs shm -> BENCH_cluster.json
 	pytest benchmarks/bench_cluster.py -q
 
+bench-service:          ## warm fleet vs cold one-shot jobs/sec + cache hits -> BENCH_service.json
+	pytest benchmarks/bench_service.py -q
+
+bench-list:             ## list benchmark artifacts (canonical home: benchmarks/results/)
+	@ls -1 benchmarks/results/BENCH_*.json 2>/dev/null || echo "no artifacts yet -- run make bench (writes benchmarks/results/BENCH_<name>.json)"
+
 trace-demo:             ## traced solve + schema validation of the JSONL trace
-	python -m repro random 96 /tmp/abs-trace-demo.qubo --seed 7
-	python -m repro solve /tmp/abs-trace-demo.qubo --rounds 12 --blocks 8 \
+	PYTHONPATH=src python -m repro random 96 /tmp/abs-trace-demo.qubo --seed 7
+	PYTHONPATH=src python -m repro solve /tmp/abs-trace-demo.qubo --rounds 12 --blocks 8 \
 		--adapt --seed 7 --trace-out /tmp/abs-trace-demo.jsonl --log-level info
-	python -m repro trace /tmp/abs-trace-demo.jsonl
+	PYTHONPATH=src python -m repro trace /tmp/abs-trace-demo.jsonl
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

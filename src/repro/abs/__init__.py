@@ -37,6 +37,7 @@ from repro.abs.exchange import (
     TargetMailbox,
     resolve_exchange,
 )
+from repro.abs.fleet import WorkerFleet, WorkerJob, decode_token, encode_token
 from repro.abs.host import Host
 from repro.abs.result import SolveResult
 from repro.abs.solver import AdaptiveBulkSearch
@@ -79,4 +80,8 @@ __all__ = [
     "AdaptiveBulkSearch",
     "WorkerAction",
     "WorkerSupervisor",
+    "WorkerFleet",
+    "WorkerJob",
+    "encode_token",
+    "decode_token",
 ]

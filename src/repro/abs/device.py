@@ -58,6 +58,9 @@ class DeviceSimulator:
         ``engine.*`` flip counters as ``variant.tabu_steps``.
     tabu_tenure:
         Tenure for the polish pass (``None``: the search's default).
+    prepared:
+        Optional PreparedWeights from a previous engine over the same
+        weights and backend; skips backend prep (warm-fleet reuse).
     """
 
     def __init__(
@@ -74,6 +77,7 @@ class DeviceSimulator:
         device_id: int = 0,
         tabu_steps: int = 0,
         tabu_tenure: int | None = None,
+        prepared: object | None = None,
     ) -> None:
         if local_steps < 0:
             raise ValueError(f"local_steps must be >= 0, got {local_steps}")
@@ -82,7 +86,12 @@ class DeviceSimulator:
         self.bus = bus if bus is not None else NULL_BUS
         self.device_id = int(device_id)
         self.engine = BulkSearchEngine(
-            weights, n_blocks, windows=windows, backend=backend, bus=self.bus
+            weights,
+            n_blocks,
+            windows=windows,
+            backend=backend,
+            bus=self.bus,
+            prepared=prepared,
         )
         self.local_steps = int(local_steps)
         self.scan_neighbors = bool(scan_neighbors)

@@ -423,15 +423,22 @@ class SolutionRing(_ShmRegion):
 # Host-side transports
 # ----------------------------------------------------------------------
 class _QueueTargetChannel:
-    """Host-side handle for one worker's target queue (queue transport)."""
+    """Host-side handle for one worker's target queue (queue transport).
 
-    def __init__(self, raw: Any, stats: dict[str, int]) -> None:
+    Batches are stamped with the channel's epoch (the worker incarnation
+    — or, under a warm fleet, the job token) so the worker endpoint can
+    drop batches published for a predecessor or a previous job, exactly
+    like the mailbox and tcp epoch filters.
+    """
+
+    def __init__(self, raw: Any, epoch: int, stats: dict[str, int]) -> None:
         self.raw = raw
+        self._epoch = int(epoch)
         self._stats = stats
 
     def put(self, targets: np.ndarray) -> None:
         targets = np.ascontiguousarray(targets, dtype=WIRE_U8)
-        self.raw.put(targets)
+        self.raw.put((self._epoch, targets))
         self._stats["exchange.targets_published"] += 1
         self._stats["exchange.bytes_to_device"] += targets.nbytes
 
@@ -494,7 +501,13 @@ class QueueHostTransport:
         self._pending_events: list[tuple[int, int, list]] = []
 
     def make_target_channel(self, worker_id: int, incarnation: int) -> Any:
-        return _QueueTargetChannel(self._ctx.Queue(), self.stats)
+        return _QueueTargetChannel(self._ctx.Queue(), incarnation, self.stats)
+
+    def rebind_channel(self, worker_id: int, incarnation: int, channel: Any) -> Any:
+        # Re-arm in place (warm fleet): the live worker keeps its bound
+        # queue, so only the epoch changes — unlike a restart, which
+        # spawns a replacement around a fresh queue.
+        return _QueueTargetChannel(channel.raw, incarnation, self.stats)
 
     def worker_ref(self, worker_id: int, incarnation: int, channel: Any) -> tuple:
         return ("queue", channel.raw, self._result_q)
@@ -581,6 +594,10 @@ class ShmHostTransport:
         return _MailboxTargetChannel(
             self._mailboxes[worker_id], incarnation, self.stats
         )
+
+    def rebind_channel(self, worker_id: int, incarnation: int, channel: Any) -> Any:
+        # Same surviving mailbox under a fresh epoch (warm-fleet re-arm).
+        return self.make_target_channel(worker_id, incarnation)
 
     def worker_ref(self, worker_id: int, incarnation: int, channel: Any) -> tuple:
         return (
@@ -709,24 +726,40 @@ class QueueWorkerEndpoint:
     def fetch_targets(self, *, wait: bool) -> np.ndarray | None:
         """The freshest queued target batch (drains older ones).
 
-        With ``wait`` the call blocks until a batch arrives or the stop
-        event fires (lockstep mode); otherwise it returns ``None`` when
-        nothing is queued — the device keeps its previous targets.
+        Batches stamped with a different epoch — published for a
+        predecessor incarnation or a previous warm-fleet job — are
+        dropped.  With ``wait`` the call blocks until a matching batch
+        arrives or the stop event fires (lockstep mode); otherwise it
+        returns ``None`` when nothing matching is queued — the device
+        keeps its previous targets.
         """
         targets: np.ndarray | None = None
         try:
             while True:
-                targets = self._target_q.get_nowait()
+                epoch, payload = self._target_q.get_nowait()
+                if epoch == self._incarnation:
+                    targets = payload
         except queue_mod.Empty:
             pass
         if targets is not None or not wait:
             return targets
         while not self._stop_evt.is_set():
             try:
-                return self._target_q.get(timeout=0.1)
+                epoch, payload = self._target_q.get(timeout=0.1)
             except queue_mod.Empty:
                 continue
+            if epoch == self._incarnation:
+                return payload
         return None
+
+    def rearm(self, token: int) -> None:
+        """Adopt a new epoch token (warm-fleet job switch).
+
+        Queued batches stamped with the old token are dropped by the
+        epoch filter above; results publish under the new token from
+        here on.
+        """
+        self._incarnation = int(token)
 
     def publish(
         self,
@@ -791,6 +824,14 @@ class ShmWorkerEndpoint:
             return None
         self._last_gen, targets = got
         return targets
+
+    def rearm(self, token: int) -> None:
+        """Adopt a new epoch token (warm-fleet job switch).
+
+        The mailbox generation counter keeps running across jobs, so
+        ``_last_gen`` stays; only the epoch filter changes.
+        """
+        self._incarnation = int(token)
 
     def publish(
         self,

@@ -61,6 +61,16 @@ class SolveResult:
         of the run (``None`` when the pool held fewer than two
         solutions).  The Diverse-ABS diversity metric: higher with
         ``diversity_min_dist`` niching than without.
+    setup_ns:
+        Nanoseconds spent preparing the run before the first search
+        round: weight prep / shared-memory publication, worker spawn,
+        exchange setup.  This is the cold-start cost the warm-fleet
+        service amortizes (see ``docs/service.md``); also surfaced as
+        the ``solver.setup_ns`` counter.
+    search_ns:
+        Nanoseconds spent in the search loop proper (the same span
+        ``elapsed`` measures, in integer nanoseconds; also the
+        ``solver.search_ns`` counter).
     """
 
     best_x: np.ndarray
@@ -78,6 +88,8 @@ class SolveResult:
     workers_restarted: int = 0
     workers_lost: int = 0
     pool_mean_distance: float | None = None
+    setup_ns: int = 0
+    search_ns: int = 0
 
     @property
     def search_rate(self) -> float:

@@ -36,9 +36,8 @@ arguments stay picklable so ``spawn`` works too).
 from __future__ import annotations
 
 import math
-import queue as queue_mod
 import time
-from multiprocessing import Event, Process, Queue, get_context
+from multiprocessing import Event, Process
 
 import numpy as np
 
@@ -47,74 +46,28 @@ from repro.abs.buffers import SharedWeights
 from repro.abs.config import AbsConfig, resolve_windows
 from repro.abs.variants import SearchVariant, get_variant, resolve_fleet
 from repro.abs.device import DeviceSimulator
-from repro.abs.exchange import (
-    make_host_transport,
-    open_worker_endpoint,
-    resolve_exchange,
+from repro.abs.exchange import open_worker_endpoint
+from repro.abs.fleet import (
+    WorkerFleet,
+    WorkerJob,
+    _counter_snapshot,
+    _make_adapter,
+    _merge_counts,
+    _resolve_start_method,
+    assemble_process_result,
+    run_device_rounds,
+    run_search_rounds,
 )
 from repro.abs.host import Host
 from repro.abs.result import SolveResult
-from repro.abs.supervisor import WorkerSupervisor
 from repro.qubo.matrix import WeightsLike, as_weight_matrix
 from repro.telemetry.bus import NULL_BUS, NullBus, RelayBus, TelemetryBus
 from repro.utils.rng import RngFactory
 from repro.utils.timer import Stopwatch
 
-
-def _counter_snapshot(
-    host: Host,
-    engine_counters: dict[str, int],
-    adapt_total: int,
-    extra: dict[str, int] | None = None,
-) -> dict[str, int]:
-    """Per-run counter snapshot for :attr:`SolveResult.counters`.
-
-    Derived from component state after the run finishes — available
-    whether or not a telemetry bus was attached.  ``pool.inserted``
-    includes the initial random seeding (Step 1 inserts at ``+∞``).
-    """
-    counts = host.ga_counts
-    snap = {
-        "host.solutions_absorbed": host.absorbed,
-        "pool.inserted": host.pool.inserted,
-        "pool.rejected_duplicate": host.pool.rejected_duplicate,
-        "pool.rejected_worse": host.pool.rejected_worse,
-        "pool.rejected_diverse": host.pool.rejected_diverse,
-        "ga.mutation": counts["mutation"],
-        "ga.crossover": counts["crossover"],
-        "ga.copy": counts["copy"],
-        "adapt.reassignments": adapt_total,
-    }
-    snap.update(engine_counters)
-    if extra:
-        snap.update(extra)
-    return dict(sorted(snap.items()))
-
-
-def _merge_counts(into: dict[str, int], add: dict[str, int]) -> None:
-    for key, value in add.items():
-        into[key] = into.get(key, 0) + int(value)
-
-
-def _resolve_start_method(requested: str | None) -> str:
-    """Pick the multiprocessing start method for process mode.
-
-    ``None`` prefers ``"fork"`` (cheapest: workers inherit the parent
-    image) where the platform offers it, otherwise the platform
-    default.  An explicit request is validated against what the
-    platform supports.
-    """
-    import multiprocessing as mp
-
-    available = mp.get_all_start_methods()
-    if requested is not None:
-        if requested not in available:
-            raise ValueError(
-                f"start method {requested!r} not available on this platform "
-                f"(available: {available})"
-            )
-        return requested
-    return "fork" if "fork" in available else mp.get_start_method()
+# _counter_snapshot, _merge_counts and _resolve_start_method moved to
+# repro.abs.fleet with the warm-fleet split; the imports above keep
+# them addressable here for callers that historically found them here.
 
 
 class AdaptiveBulkSearch:
@@ -283,6 +236,7 @@ class AdaptiveBulkSearch:
     def _solve_sync(self) -> SolveResult:
         cfg = self.config
         bus = self.bus
+        t_entry = time.perf_counter_ns()
         factory = RngFactory(cfg.seed)
         fleet = self._fleet()
         host = Host(
@@ -335,6 +289,7 @@ class AdaptiveBulkSearch:
 
         if bus.enabled:
             self._emit_start("sync")
+        setup_ns = time.perf_counter_ns() - t_entry
         watch = Stopwatch().start()
         targets = host.initial_targets(cfg.total_blocks)
         history: list[tuple[float, int]] = []
@@ -429,8 +384,12 @@ class AdaptiveBulkSearch:
                 host, engine_counts, adapt_total, extra=variant_extra
             ),
             pool_mean_distance=host.pool.mean_pairwise_distance(),
+            setup_ns=setup_ns,
+            search_ns=int(round(elapsed * 1e9)),
         )
         if bus.enabled:
+            bus.counters.inc("solver.setup_ns", result.setup_ns)
+            bus.counters.inc("solver.search_ns", result.search_ns)
             self._emit_end(result)
         return result
 
@@ -440,6 +399,7 @@ class AdaptiveBulkSearch:
     def _solve_process(self) -> SolveResult:
         cfg = self.config
         bus = self.bus
+        t_entry = time.perf_counter_ns()
         if cfg.variant_adapt:
             raise ValueError(
                 "variant_adapt is sync-mode only: process-mode fleets are "
@@ -464,7 +424,19 @@ class AdaptiveBulkSearch:
 
         from repro.qubo.sparse import SparseQubo
 
-        ctx = get_context(_resolve_start_method(cfg.start_method))
+        workers = WorkerFleet(
+            self.n,
+            exchange=cfg.exchange,
+            n_workers=cfg.n_gpus,
+            n_blocks=cfg.blocks_per_gpu,
+            bus=bus,
+            max_restarts=cfg.max_worker_restarts,
+            stall_timeout=cfg.worker_stall_timeout,
+            start_method=cfg.start_method,
+        )
+        ctx = workers.ctx
+        stop_evt = workers.stop_evt
+        transport = workers.transport
         # Dense matrices go through shared memory (they are the bulk of
         # the footprint — the analogue of GPU global memory).  Sparse
         # problems are small; they ship to workers by pickling.
@@ -476,30 +448,6 @@ class AdaptiveBulkSearch:
                 np.ascontiguousarray(self.W, dtype=np.int64)
             )
             weights_ref = ("shm", shared.descriptor)
-        stop_evt = ctx.Event()
-        transport = make_host_transport(
-            resolve_exchange(cfg.exchange),
-            ctx,
-            n_workers=cfg.n_gpus,
-            n_blocks=cfg.blocks_per_gpu,
-            n=self.n,
-        )
-        watch = Stopwatch().start()
-        history: list[tuple[float, int]] = []
-        rounds = 0
-        rounds_by_worker = [0] * cfg.n_gpus
-        time_to_target: float | None = None
-        # Pre-generated next target batch per worker (pipeline mode).
-        prepared: list[np.ndarray | None] = [None] * cfg.n_gpus
-        # Latest cumulative numbers reported by each worker's *current*
-        # incarnation; a defunct incarnation's totals are banked on
-        # restart/loss so no completed work is ever dropped.
-        eval_by_worker = [0] * cfg.n_gpus
-        flips_by_worker = [0] * cfg.n_gpus
-        counts_by_worker: list[dict[str, int]] = [{} for _ in range(cfg.n_gpus)]
-        banked_eval = 0
-        banked_flips = 0
-        banked_counts: dict[str, int] = {}
         adapt_seeds = [
             int(factory.stream("adapt-seed", g).integers(2**62))
             for g in range(cfg.n_gpus)
@@ -548,234 +496,178 @@ class AdaptiveBulkSearch:
             p.start()
             return p
 
-        supervisor = WorkerSupervisor(
-            cfg.n_gpus,
-            _spawn,
-            channel_factory=transport.make_target_channel,
-            max_restarts=cfg.max_worker_restarts,
-            stall_timeout=cfg.worker_stall_timeout,
-            bus=bus,
-        )
-
-        def _bank(g: int) -> None:
-            # Fold the defunct incarnation's cumulative totals into the
-            # run accumulators and reset the per-worker latest slots for
-            # the replacement (which restarts its counters from zero).
-            nonlocal banked_eval, banked_flips
-            banked_eval += eval_by_worker[g]
-            banked_flips += flips_by_worker[g]
-            eval_by_worker[g] = 0
-            flips_by_worker[g] = 0
-            _merge_counts(banked_counts, counts_by_worker[g])
-            counts_by_worker[g] = {}
-
-        def _supervise() -> None:
-            for action in supervisor.poll():
-                _bank(action.worker_id)
-                if action.kind == "restart":
-                    # Rehydrate the replacement from the current pool:
-                    # Algorithm 5 walks it from the zero state to these
-                    # targets, so no other worker state needs recovery.
-                    # (The channel is the replacement's — for the shm
-                    # transport it publishes under the new epoch into
-                    # the same surviving mailbox.)
-                    ch = supervisor.target_channel(action.worker_id)
-                    if ch is not None:
-                        ch.put(
-                            host.make_targets(
-                                cfg.blocks_per_gpu, device=action.worker_id
-                            )
-                        )
-                        if cfg.pipeline:
-                            prepared[action.worker_id] = host.make_targets(
-                                cfg.blocks_per_gpu, device=action.worker_id
-                            )
-
-        def _relay_events() -> None:
-            # Worker-side telemetry events (device.round, engine.*,
-            # adapt.*) ride the transport's side channel; re-emit them
-            # host-side stamped with the worker id, but only for the
-            # worker's current incarnation (a killed predecessor's
-            # buffered events would misattribute counters otherwise).
-            for wid, winc, wevents in transport.event_bundles():
-                if winc != supervisor.incarnation(wid):
-                    continue
-                if supervisor.target_channel(wid) is None:  # lost
-                    continue
-                for name, fields in wevents:
-                    payload = dict(fields)
-                    payload.setdefault("device", wid)
-                    bus.emit(name, **payload)
-
+        setup_ns = time.perf_counter_ns() - t_entry
+        watch = Stopwatch().start()
         if bus.enabled:
             self._emit_start("process")
             bus.emit("exchange.open", **transport.describe())
         try:
-            supervisor.start()
-            targets = host.initial_targets(cfg.total_blocks)
-            for g in range(cfg.n_gpus):
-                lo = g * cfg.blocks_per_gpu
-                supervisor.target_channel(g).put(
-                    np.ascontiguousarray(targets[lo : lo + cfg.blocks_per_gpu])
-                )
-            if cfg.pipeline:
-                for g in range(cfg.n_gpus):
-                    prepared[g] = host.make_targets(cfg.blocks_per_gpu, device=g)
-
-            done = False
-            while not done:
-                _supervise()
-                batch = transport.poll(timeout=0.25)
-                if batch is None:
-                    if cfg.time_limit is not None and watch.elapsed >= cfg.time_limit:
-                        break
-                    if supervisor.n_healthy == 0:
-                        raise RuntimeError(
-                            "all ABS workers died before finishing "
-                            f"(after {supervisor.workers_restarted} restarts)"
-                        )
-                    continue
-                worker_id = batch.worker_id
-                rounds += 1
-                rounds_by_worker[worker_id] += 1
-                fresh_result = supervisor.note_result(worker_id, batch.incarnation)
-                if fresh_result:
-                    if bus.enabled:
-                        # Session counters reconcile from the cumulative
-                        # worker snapshots: increment by the delta since
-                        # the previous report of this incarnation.
-                        prev = counts_by_worker[worker_id]
-                        for key, value in batch.counters.items():
-                            delta = int(value) - int(prev.get(key, 0))
-                            if delta:
-                                bus.counters.inc(key, delta)
-                    eval_by_worker[worker_id] = batch.evaluated
-                    flips_by_worker[worker_id] = batch.flips
-                    counts_by_worker[worker_id] = batch.counters
-                if bus.enabled:
-                    bus.counters.inc("host.rounds")
-                    if fresh_result:
-                        _relay_events()
-                    bus.emit(
-                        "worker.result",
-                        worker=worker_id,
-                        round=rounds,
-                        best_energy=int(batch.energies.min()),
-                        evaluated=batch.evaluated,
-                        flips=batch.flips,
-                    )
-                if cfg.pipeline and prepared[worker_id] is not None:
-                    # Answer the result with the pre-generated batch
-                    # *before* absorbing — the worker's next round never
-                    # waits on host GA latency.
-                    ch = supervisor.target_channel(worker_id)
-                    if ch is not None:
-                        ch.put(prepared[worker_id])
-                        prepared[worker_id] = None
-                host.absorb_batch(batch.energies, batch.x)
-                if bus.enabled:
-                    bus.emit(
-                        "host.round",
-                        round=rounds,
-                        device=worker_id,
-                        best_energy=host.best_energy,
-                        pool_size=len(host.pool),
-                        elapsed=watch.elapsed,
-                    )
-                if math.isfinite(host.best_energy):
-                    history.append((watch.elapsed, int(host.best_energy)))
-                if self._met_target(host.best_energy):
-                    if time_to_target is None:
-                        time_to_target = watch.elapsed
-                    done = True
-                elif cfg.time_limit is not None and watch.elapsed >= cfg.time_limit:
-                    done = True
-                elif cfg.max_rounds is not None and rounds >= cfg.max_rounds:
-                    done = True
-                elif cfg.pipeline:
-                    # Step 4, pipelined: this batch answers the *next*
-                    # result (targets one pool-state staler — the
-                    # asynchrony the paper already tolerates).
-                    if supervisor.target_channel(worker_id) is not None:
-                        prepared[worker_id] = host.make_targets(
-                            cfg.blocks_per_gpu, device=worker_id
-                        )
-                else:
-                    # Step 4: as many fresh targets as solutions arrived
-                    # — but never feed a channel nobody reads any more.
-                    ch = supervisor.target_channel(worker_id)
-                    if ch is not None:
-                        ch.put(
-                            host.make_targets(cfg.blocks_per_gpu, device=worker_id)
-                        )
-                        if bus.enabled:
-                            tq, rq = transport.queue_depths(worker_id, ch)
-                            bus.emit(
-                                "host.queue",
-                                device=worker_id,
-                                targets_queued=tq,
-                                results_queued=rq,
-                            )
+            workers.start(_spawn)
+            outcome = run_search_rounds(
+                cfg, host, workers, watch, bus=bus, met_target=self._met_target
+            )
         finally:
-            stop_evt.set()
-            procs = supervisor.all_processes
-            deadline = time.monotonic() + 5.0
-            for p in procs:
-                p.join(timeout=max(0.1, deadline - time.monotonic()))
-            for p in procs:
-                if p.is_alive():
-                    p.terminate()
-                    p.join(timeout=1.0)
-            # Drain channels so queue feeder threads can exit, then tear
-            # down the transport (unlinks the shm rings/mailboxes).
-            for ch in supervisor.all_channels:
-                try:
-                    while True:
-                        ch.get_nowait()
-                except (queue_mod.Empty, OSError, EOFError):
-                    pass
-            transport.drain()
-            transport.close()
+            workers.shutdown()
             if shared is not None:
                 shared.unlink()
 
         elapsed = watch.stop()
-        engine_counts = dict(banked_counts)
-        for wcounts in counts_by_worker:
-            _merge_counts(engine_counts, wcounts)
-        adapt_total = int(engine_counts.pop("adapt.reassignments", 0))
-        healthy = supervisor.healthy_ids
-        sweep_counts = [rounds_by_worker[g] for g in healthy] or rounds_by_worker
-        best_x = host.best_x if host.best_x is not None else np.zeros(self.n, np.uint8)
-        best_e = int(host.best_energy) if math.isfinite(host.best_energy) else 0
-        result = SolveResult(
-            best_x=best_x,
-            best_energy=best_e,
-            elapsed=elapsed,
-            rounds=rounds,
-            sweeps=min(sweep_counts),
-            evaluated=sum(eval_by_worker) + banked_eval,
-            flips=sum(flips_by_worker) + banked_flips,
-            reached_target=self._met_target(host.best_energy),
-            time_to_target=time_to_target,
-            history=history,
-            n_gpus=cfg.n_gpus,
-            counters=_counter_snapshot(
-                host,
-                engine_counts,
-                adapt_total,
-                extra={
-                    "supervisor.restarts": supervisor.workers_restarted,
-                    "supervisor.workers_lost": supervisor.workers_lost,
-                    # Process-mode fleets are static; keep the key for
-                    # counter parity with sync-mode snapshots.
-                    "adapt.variant_reassignments": 0,
-                    **transport.stats,
-                },
+        result = assemble_process_result(
+            cfg,
+            self.n,
+            host,
+            outcome,
+            elapsed,
+            met_target=self._met_target,
+            bus=bus,
+            restarts=workers.supervisor.workers_restarted,
+            lost=workers.supervisor.workers_lost,
+            transport_stats=dict(transport.stats),
+            setup_ns=setup_ns,
+            search_ns=int(round(elapsed * 1e9)),
+        )
+        if bus.enabled:
+            self._emit_end(result)
+        return result
+
+    def solve_on_fleet(
+        self,
+        workers: WorkerFleet,
+        *,
+        digest: str | None = None,
+        cancelled=None,
+    ) -> SolveResult:
+        """Run one process-mode job on a persistent warm fleet.
+
+        The service path: instead of spawning processes and building a
+        transport (what :meth:`_solve_process` pays on every call), the
+        job is pushed onto an already-running :class:`WorkerFleet` via
+        its re-arm handshake.  Everything search-relevant — RNG factory,
+        host pool, GA target sequence, device windows, adapt seeds — is
+        constructed exactly as in a one-shot solve, so a seeded job run
+        here is bit-identical to ``solve("process")``.
+
+        ``digest`` (the problem digest from
+        :func:`repro.qubo.io.problem_digest`) keys the fleet's
+        shared-memory weights cache and the workers' prepared-weights
+        caches; ``None`` disables both reuses.  ``cancelled`` is an
+        optional zero-arg callable polled between rounds.
+        """
+        from repro.abs.exchange import resolve_exchange
+
+        cfg = self.config
+        bus = self.bus
+        t_entry = time.perf_counter_ns()
+        if cfg.variant_adapt:
+            raise ValueError(
+                "variant_adapt is sync-mode only: process-mode fleets are "
+                "static (workers are spawned with their variant baked in)"
+            )
+        wanted = (
+            resolve_exchange(cfg.exchange),
+            cfg.n_gpus,
+            cfg.blocks_per_gpu,
+            self.n,
+        )
+        if workers.geometry != wanted:
+            raise ValueError(
+                f"fleet geometry {workers.geometry} does not match job "
+                f"{wanted}; build a new fleet for this configuration"
+            )
+        factory = RngFactory(cfg.seed)
+        fleet = self._fleet()
+        host = Host(
+            self.n,
+            cfg.pool_capacity,
+            cfg.ga,
+            rng_factory=factory,
+            bus=bus,
+            min_distance=cfg.diversity_min_dist,
+            device_ga=(
+                [v.effective_ga(cfg.ga) for v in fleet]
+                if fleet is not None
+                else None
             ),
-            workers_restarted=supervisor.workers_restarted,
-            workers_lost=supervisor.workers_lost,
-            pool_mean_distance=host.pool.mean_pairwise_distance(),
+        )
+        windows = self._device_windows(fleet)
+        adapt_seeds = [
+            int(factory.stream("adapt-seed", g).integers(2**62))
+            for g in range(cfg.n_gpus)
+        ]
+        weights_ref, _weights_hit = workers.weights_ref_for(self.W, digest)
+        job_seq = workers.next_job_seq()
+        jobs = [
+            WorkerJob(
+                job_seq=job_seq,
+                weights_ref=weights_ref,
+                digest=digest,
+                n_blocks=cfg.blocks_per_gpu,
+                windows=windows[g],
+                local_steps=(
+                    fleet[g].effective_local_steps(cfg.local_steps)
+                    if fleet is not None
+                    else cfg.local_steps
+                ),
+                scan_neighbors=(
+                    fleet[g].effective_scan(cfg.scan_neighbors)
+                    if fleet is not None
+                    else cfg.scan_neighbors
+                ),
+                tabu_params=(
+                    (fleet[g].tabu_steps, fleet[g].tabu_tenure)
+                    if fleet is not None
+                    else (0, None)
+                ),
+                backend=cfg.backend,
+                adapt_params=(
+                    cfg.adapt_windows,
+                    cfg.adapt_period,
+                    cfg.adapt_fraction,
+                    adapt_seeds[g],
+                ),
+                telemetry_enabled=bus.enabled,
+                lockstep=cfg.lockstep,
+            )
+            for g in range(cfg.n_gpus)
+        ]
+        sup = workers.supervisor
+        base_restarts = sup.workers_restarted
+        base_lost = sup.workers_lost
+        base_stats = dict(workers.transport.stats)
+        if bus.enabled:
+            self._emit_start("process")
+            bus.emit("exchange.open", **workers.transport.describe())
+        workers.arm_job(jobs)
+        setup_ns = time.perf_counter_ns() - t_entry
+        watch = Stopwatch().start()
+        outcome = run_search_rounds(
+            cfg,
+            host,
+            workers,
+            watch,
+            bus=bus,
+            met_target=self._met_target,
+            job_seq=job_seq,
+            cancelled=cancelled,
+        )
+        elapsed = watch.stop()
+        stats_now = workers.transport.stats
+        result = assemble_process_result(
+            cfg,
+            self.n,
+            host,
+            outcome,
+            elapsed,
+            met_target=self._met_target,
+            bus=bus,
+            restarts=sup.workers_restarted - base_restarts,
+            lost=sup.workers_lost - base_lost,
+            transport_stats={
+                k: int(v) - int(base_stats.get(k, 0))
+                for k, v in stats_now.items()
+            },
+            setup_ns=setup_ns,
+            search_ns=int(round(elapsed * 1e9)),
         )
         if bus.enabled:
             self._emit_end(result)
@@ -823,18 +715,11 @@ def _worker_main(
         shared = None
         weights = payload
     relay = RelayBus() if telemetry_enabled else NULL_BUS
-    adapt_enabled, adapt_period, adapt_fraction, adapt_seed = adapt_params
-    adapter = (
-        WindowAdapter(
-            weights.n if hasattr(weights, "n") else weights.shape[0],
-            n_blocks,
-            period=adapt_period,
-            fraction=adapt_fraction,
-            seed=adapt_seed,
-            bus=relay,
-        )
-        if adapt_enabled
-        else None
+    adapter = _make_adapter(
+        weights.n if hasattr(weights, "n") else weights.shape[0],
+        n_blocks,
+        adapt_params,
+        relay,
     )
     endpoint = open_worker_endpoint(
         exchange_ref,
@@ -857,33 +742,10 @@ def _worker_main(
             tabu_steps=tabu_steps,
             tabu_tenure=tabu_tenure,
         )
-        targets = endpoint.fetch_targets(wait=True)
-        while targets is not None and not stop_evt.is_set():
-            energies, xs = device.round(targets)
-            wcounts = device.engine.counters.as_dict()
-            wcounts["adapt.reassignments"] = (
-                adapter.adaptations if adapter is not None else 0
-            )
-            wcounts["adapt.nonfinite_observations"] = (
-                adapter.nonfinite_observations if adapter is not None else 0
-            )
-            wcounts["variant.tabu_steps"] = device.tabu_steps_done
-            wevents = relay.drain() if telemetry_enabled else []
-            shipped = endpoint.publish(
-                energies,
-                xs,
-                device.evaluated,
-                device.engine.counters.flips,
-                wcounts,
-                wevents,
-            )
-            if not shipped:  # stop requested while the ring was full
-                break
-            fresh = endpoint.fetch_targets(wait=lockstep)
-            if fresh is not None:
-                targets = fresh
-            elif lockstep:  # stop requested while waiting for targets
-                break
+        run_device_rounds(
+            device, endpoint, adapter, relay, stop_evt, lockstep,
+            telemetry_enabled,
+        )
     except (KeyboardInterrupt, BrokenPipeError):  # parent went away
         pass
     finally:

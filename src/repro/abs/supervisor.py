@@ -178,6 +178,29 @@ class WorkerSupervisor:
         st = self._workers[worker_id]
         return None if st.lost else st.target_q
 
+    def rebind_channels(
+        self, rebind: Callable[[int, int, Any], Any]
+    ) -> None:
+        """Re-bind every healthy worker's target channel in place.
+
+        ``rebind(worker_id, incarnation, old_channel) -> channel`` —
+        used by the warm fleet when re-arming live workers with a new
+        job: the transport keeps its surviving mailbox/stream/queue but
+        stamps subsequent publishes with the new job's epoch token.
+        Unlike a restart, the incarnation does not change and no process
+        is spawned.  Progress clocks are reset so a worker is not
+        declared stalled for time spent idle between jobs.
+        """
+        if not self._started:
+            raise RuntimeError("supervisor not started")
+        now = self._clock()
+        for st in self._workers:
+            if st.lost:
+                continue
+            st.target_q = rebind(st.worker_id, st.incarnation, st.target_q)
+            self._all_channels.append(st.target_q)
+            st.last_progress = now
+
     def incarnation(self, worker_id: int) -> int:
         """Current incarnation number of a worker slot (0-based)."""
         return self._workers[worker_id].incarnation

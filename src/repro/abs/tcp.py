@@ -506,7 +506,24 @@ class TcpHostTransport:
                 # the frame if it already used it or it is not for its
                 # incarnation.
                 writer.write(replay)
-            self._inbox.put(("connect", wid, winc, replay is not None))
+            # Count the connect here on the acceptor thread, not in
+            # poll(): a restarted worker's connect can sit behind a
+            # backlog of RESULT frames, and if the run finishes first
+            # the reconnect would never be recorded.  ``_events`` is
+            # already fed from this thread (F_EVENTS below).
+            self.stats["exchange.tcp.connects"] += 1
+            self._connects_by_worker[wid] += 1
+            if self._connects_by_worker[wid] > 1:
+                # A worker slot connected again (crash, drop, or an
+                # elastic rejoin): surface it through the same event
+                # relay the worker events use, so the solver stamps
+                # the device id and filters stale incarnations.
+                self._events.emit(
+                    "exchange.reconnect",
+                    device=wid,
+                    incarnation=winc,
+                    connects=self._connects_by_worker[wid],
+                )
             return wid
         if ftype == F_RESULT:
             batch = decode_result(payload)
@@ -545,39 +562,23 @@ class TcpHostTransport:
         # batches exactly like a mailbox re-bind.
         return _TcpTargetChannel(self, worker_id, incarnation)
 
+    def rebind_channel(self, worker_id: int, incarnation: int, channel: Any) -> Any:
+        # Same surviving stream under a fresh epoch (warm-fleet re-arm).
+        return self.make_target_channel(worker_id, incarnation)
+
     def worker_ref(self, worker_id: int, incarnation: int, channel: Any) -> tuple:
         return ("tcp", self._address)
 
     def poll(self, timeout: float) -> ResultBatch | None:
-        deadline = time.monotonic() + timeout
-        while True:
-            remaining = max(0.0, deadline - time.monotonic())
-            try:
-                item = self._inbox.get(timeout=remaining)
-            except queue_mod.Empty:
-                return None
-            if item[0] == "result":
-                _, batch, nbytes = item
-                self.stats["exchange.results_consumed"] += 1
-                self.stats["exchange.unpacks"] += 1
-                self.stats["exchange.tcp.frames_from_device"] += 1
-                self.stats["exchange.bytes_from_device"] += nbytes
-                return batch
-            # ("connect", wid, winc, replayed)
-            _, wid, winc, _replayed = item
-            self.stats["exchange.tcp.connects"] += 1
-            self._connects_by_worker[wid] += 1
-            if self._connects_by_worker[wid] > 1:
-                # A worker slot connected again (crash, drop, or an
-                # elastic rejoin): surface it through the same event
-                # relay the worker events use, so the solver stamps
-                # the device id and filters stale incarnations.
-                self._events.emit(
-                    "exchange.reconnect",
-                    device=wid,
-                    incarnation=winc,
-                    connects=self._connects_by_worker[wid],
-                )
+        try:
+            _, batch, nbytes = self._inbox.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+        self.stats["exchange.results_consumed"] += 1
+        self.stats["exchange.unpacks"] += 1
+        self.stats["exchange.tcp.frames_from_device"] += 1
+        self.stats["exchange.bytes_from_device"] += nbytes
+        return batch
 
     def event_bundles(self) -> list[tuple[int, int, list]]:
         return self._events.drain()
@@ -739,6 +740,17 @@ class TcpWorkerEndpoint:
                 self._latest_targets = targets
 
     # -- exchange interface -----------------------------------------------
+    def rearm(self, token: int) -> None:
+        """Adopt a new epoch token (warm-fleet job switch).
+
+        The host's generation counter keeps running across jobs, so
+        ``_last_gen`` stays; any buffered batch decoded under the old
+        epoch is discarded so the next fetch can only return targets
+        published for the new job.
+        """
+        self._incarnation = int(token)
+        self._latest_targets = None
+
     def fetch_targets(self, *, wait: bool) -> np.ndarray | None:
         while True:
             if self._stop_evt.is_set():

@@ -333,10 +333,12 @@ RULE_RNG_DISCIPLINE = register_rule(Rule(
 # 3. config-plumbing
 # --------------------------------------------------------------------------
 
-def _absconfig_fields(modules: Sequence[Module]) -> tuple[Module, dict[str, int]] | None:
+def _config_fields(
+    modules: Sequence[Module], class_name: str
+) -> tuple[Module, dict[str, int]] | None:
     for module in modules:
         for node in ast.walk(module.tree):
-            if isinstance(node, ast.ClassDef) and node.name == "AbsConfig":
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
                 fields = {
                     stmt.target.id: stmt.lineno
                     for stmt in node.body
@@ -347,11 +349,11 @@ def _absconfig_fields(modules: Sequence[Module]) -> tuple[Module, dict[str, int]
     return None
 
 
-def _absconfig_keywords(scope: ast.AST) -> tuple[set[str], bool]:
-    """Keyword names passed to ``AbsConfig(...)`` calls under ``scope``.
+def _config_keywords(scope: ast.AST, class_name: str) -> tuple[set[str], bool]:
+    """Keyword names passed to ``<class_name>(...)`` calls under ``scope``.
 
-    The bool is True when a ``**kwargs`` splat reaches AbsConfig (every
-    field is then considered plumbed).
+    The bool is True when a ``**kwargs`` splat reaches the constructor
+    (every field is then considered plumbed).
     """
     keywords: set[str] = set()
     splat = False
@@ -359,7 +361,7 @@ def _absconfig_keywords(scope: ast.AST) -> tuple[set[str], bool]:
         if not isinstance(node, ast.Call):
             continue
         chain = _dotted(node.func)
-        if chain is None or chain.split(".")[-1] != "AbsConfig":
+        if chain is None or chain.split(".")[-1] != class_name:
             continue
         for kw in node.keywords:
             if kw.arg is None:
@@ -367,6 +369,14 @@ def _absconfig_keywords(scope: ast.AST) -> tuple[set[str], bool]:
             else:
                 keywords.add(kw.arg)
     return keywords, splat
+
+
+def _absconfig_fields(modules: Sequence[Module]) -> tuple[Module, dict[str, int]] | None:
+    return _config_fields(modules, "AbsConfig")
+
+
+def _absconfig_keywords(scope: ast.AST) -> tuple[set[str], bool]:
+    return _config_keywords(scope, "AbsConfig")
 
 
 def _check_config_plumbing(modules: Sequence[Module]) -> Iterable[Finding]:
@@ -414,12 +424,29 @@ def _check_config_plumbing(modules: Sequence[Module]) -> Iterable[Finding]:
                     "CLI — knob unreachable from the command line",
                 )
 
+    # The warm-fleet service config gets the same treatment: every
+    # ServiceConfig knob must reach a ServiceConfig(...) call in the CLI
+    # (the `serve` subcommand), so adding a field without a flag fails
+    # `make analyze`.
+    svc = _config_fields(modules, "ServiceConfig")
+    if svc is not None and cli_module is not None:
+        svc_module, svc_fields = svc
+        keywords, splat = _config_keywords(cli_module.tree, "ServiceConfig")
+        for name, lineno in svc_fields.items():
+            if name not in keywords and not splat:
+                yield svc_module.finding(
+                    lineno, rule,
+                    f"ServiceConfig.{name} is never passed to ServiceConfig() "
+                    "in the CLI — knob unreachable from `serve`",
+                )
+
 
 RULE_CONFIG_PLUMBING = register_rule(Rule(
     id="config-plumbing",
     description=(
         "every AbsConfig field must be reachable from api.solve() kwargs "
-        "and from an AbsConfig(...) call in the CLI"
+        "and from an AbsConfig(...) call in the CLI; every ServiceConfig "
+        "field from a ServiceConfig(...) call in the CLI"
     ),
     scope="project",
     check=_check_config_plumbing,

@@ -12,6 +12,9 @@ Subcommands
 - ``trace``     — validate a ``--trace-out`` JSONL file against the schema
 - ``analyze``   — project-invariant static analyzer (``repro.analysis``)
   with an optional exchange-protocol interleaving check
+- ``serve``     — run a batch of jobs through the warm-fleet solver
+  service (persistent workers, prepared-state reuse, result cache;
+  see ``docs/service.md``)
 
 The solving subcommands accept ``--trace-out FILE`` (write the
 telemetry JSONL trace documented in ``docs/observability.md``) and
@@ -380,6 +383,87 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.abs import AbsConfig
+    from repro.ga.host import GaConfig
+    from repro.qubo import io as qio
+    from repro.service import ServiceConfig, SolverService
+
+    if args.jobs:
+        with open(args.jobs) as fh:
+            specs = json.load(fh)
+        if not isinstance(specs, list):
+            raise ValueError("--jobs file must hold a JSON list of job specs")
+    else:
+        specs = [json.loads(line) for line in sys.stdin if line.strip()]
+    if not specs:
+        raise ValueError("no jobs given (use --jobs FILE or pipe JSONL specs)")
+
+    service_config = ServiceConfig(
+        result_cache_size=args.result_cache_size,
+        weights_cache_size=args.weights_cache_size,
+        prepared_cache_size=args.prepared_cache_size,
+        max_queue=args.max_queue,
+        default_priority=args.default_priority,
+        arm_timeout=args.arm_timeout,
+    )
+    matrices: dict = {}
+    submitted = []
+    table = Table(
+        ["job", "instance", "status", "best energy", "rounds", "elapsed", "cache"],
+        title="warm-fleet service batch",
+    )
+    failures = 0
+    with _telemetry(args) as bus, SolverService(
+        service_config, telemetry=bus
+    ) as service:
+        for i, spec in enumerate(specs):
+            if not isinstance(spec, dict) or "instance" not in spec:
+                raise ValueError(
+                    f"job spec {i} must be a JSON object with an 'instance' key"
+                )
+            path = spec["instance"]
+            if path not in matrices:
+                matrices[path] = qio.load(path)
+            cfg_kwargs = dict(spec.get("config", {}))
+            if "ga" in cfg_kwargs:
+                cfg_kwargs["ga"] = GaConfig(**cfg_kwargs["ga"])
+            job_id = service.submit(
+                matrices[path],
+                AbsConfig(**cfg_kwargs),
+                mode=spec.get("mode", args.mode),
+                priority=spec.get("priority"),
+            )
+            submitted.append((job_id, path))
+        for job_id, path in submitted:
+            try:
+                service.result(job_id, timeout=args.job_timeout)
+            except (RuntimeError, TimeoutError):
+                pass
+            snap = service.status(job_id)
+            if snap["status"] != "done":
+                failures += 1
+            table.add_row(
+                [
+                    job_id,
+                    path,
+                    snap["status"] + (f" ({snap['error']})" if snap["error"] else ""),
+                    snap.get("best_energy", "-"),
+                    snap.get("rounds", "-"),
+                    f"{snap['elapsed']:.3g} s" if "elapsed" in snap else "-",
+                    "hit" if snap["cache_hit"] else "",
+                ]
+            )
+    print(table.render())
+    done = len(submitted) - failures
+    print(f"{done}/{len(submitted)} jobs completed")
+    if args.trace_out:
+        print(f"trace -> {args.trace_out}")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -586,6 +670,83 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--descents", type=int, default=20)
     p.add_argument("--seed", type=int, default=None)
     p.set_defaults(func=_cmd_landscape)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a batch of jobs through the warm-fleet solver service "
+        "(docs/service.md)",
+    )
+    p.add_argument(
+        "--jobs",
+        default=None,
+        metavar="FILE",
+        help="JSON list of job specs; each spec is an object with "
+        "'instance' (path), optional 'config' (AbsConfig fields), "
+        "'mode', and 'priority'.  Default: read one JSON spec per "
+        "line from stdin.",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("sync", "process"),
+        default="process",
+        help="solve mode for specs that don't set one (default process "
+        "— jobs share the persistent warm fleet)",
+    )
+    p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wait budget when collecting results (default: none)",
+    )
+    p.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=128,
+        metavar="N",
+        help="completed-result cache entries, keyed by the canonical "
+        "(problem, config, seed) run digest; seeded jobs only "
+        "(default 128; 0 disables)",
+    )
+    p.add_argument(
+        "--weights-cache-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="shared-memory weight segments kept across jobs, keyed by "
+        "problem digest (default 8)",
+    )
+    p.add_argument(
+        "--prepared-cache-size",
+        type=int,
+        default=4,
+        metavar="N",
+        help="per-worker cache of backend-prepared weights (default 4)",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=0,
+        metavar="N",
+        help="maximum queued jobs before submit fails (default 0 = unbounded)",
+    )
+    p.add_argument(
+        "--default-priority",
+        type=int,
+        default=0,
+        metavar="P",
+        help="priority for specs without one; higher runs earlier, ties "
+        "are FIFO (default 0)",
+    )
+    p.add_argument(
+        "--arm-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="fleet re-arm handshake deadline per job (default 30)",
+    )
+    _add_observability_flags(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "analyze",

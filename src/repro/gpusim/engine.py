@@ -120,6 +120,7 @@ class BulkSearchEngine:
         offsets: np.ndarray | None = None,
         backend: BackendSpec = None,
         bus: TelemetryBus | NullBus | None = None,
+        prepared: object | None = None,
     ) -> None:
         from repro.qubo.sparse import SparseQubo
 
@@ -128,20 +129,31 @@ class BulkSearchEngine:
         self.backend = resolve_backend(backend)
         self._bus = bus if bus is not None else NULL_BUS
         t0 = time.perf_counter_ns()
+        # ``prepared`` lets a caller inject a PreparedWeights produced by
+        # an earlier engine over the *same* weights and backend, skipping
+        # backend prep entirely (the warm-fleet service's per-digest
+        # cache rides on this).  Prepared state is read-only kernel input,
+        # so sharing it across engines never couples their searches.
         if isinstance(weights, SparseQubo):
             # Sparse path: per-flip scatter over touched columns only.
             self.sparse: SparseQubo | None = weights
             self.W = None
             self.n = weights.n
             diag_src = weights.diag
-            self._pw = self.backend.prepare_sparse(weights)
+            self._pw = (
+                prepared if prepared is not None
+                else self.backend.prepare_sparse(weights)
+            )
         else:
             self.sparse = None
             W = as_weight_matrix(weights)
             self.n = int(W.shape[0])
             self.W = np.ascontiguousarray(W, dtype=np.int64)
             diag_src = np.diagonal(self.W)
-            self._pw = self.backend.prepare_dense(self.W)
+            self._pw = (
+                prepared if prepared is not None
+                else self.backend.prepare_dense(self.W)
+            )
         if self._bus.enabled:
             self._bus.counters.inc(
                 f"backend.{self.backend.name}.prepare_ns",
@@ -181,6 +193,12 @@ class BulkSearchEngine:
                 using=self.backend.name,
                 reason=f"backend {self.backend.fallback_from!r} not importable",
             )
+
+    @property
+    def prepared(self) -> object:
+        """The backend's PreparedWeights — harvestable for reuse by a
+        later engine over the same weights and backend (``prepared=``)."""
+        return self._pw
 
     # ------------------------------------------------------------------
     # Core batched flip (Eq. 16 for a subset of blocks)

@@ -24,19 +24,123 @@ All loaders validate symmetry/integrality via the target class.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Union
 
 import numpy as np
 
-from repro.qubo.matrix import QuboMatrix
+from repro.qubo.matrix import QuboMatrix, as_weight_matrix
 
 PathLike = Union[str, Path]
 
 
 class QuboFormatError(ValueError):
     """Raised when an instance file is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Canonical digests
+# ---------------------------------------------------------------------------
+
+#: Version tag mixed into every digest so the canonicalization can evolve
+#: without old digests silently colliding with new ones.
+_DIGEST_VERSION = b"repro-digest-v1"
+
+
+def _weights_payload(weights) -> bytes:
+    """The canonical byte representation of a problem's weights.
+
+    Dense problems hash as little-endian C-order int64 bytes plus the
+    shape; sparse problems hash their CSR components plus the diagonal.
+    The encoding is explicit about endianness and layout so the same
+    matrix digests identically on every platform.
+    """
+    from repro.qubo.sparse import SparseQubo
+
+    if isinstance(weights, SparseQubo):
+        csr = weights.csr
+        return b"|".join(
+            (
+                b"sparse",
+                str(weights.n).encode("ascii"),
+                np.ascontiguousarray(csr.indptr, dtype="<i8").tobytes(),
+                np.ascontiguousarray(csr.indices, dtype="<i8").tobytes(),
+                np.ascontiguousarray(csr.data, dtype="<i8").tobytes(),
+                np.ascontiguousarray(weights.diag, dtype="<i8").tobytes(),
+            )
+        )
+    W = as_weight_matrix(weights)
+    return b"|".join(
+        (
+            b"dense",
+            str(W.shape[0]).encode("ascii"),
+            np.ascontiguousarray(W, dtype="<i8").tobytes(),
+        )
+    )
+
+
+def problem_digest(weights) -> str:
+    """Stable SHA-256 hex digest of a QUBO problem's weights.
+
+    Identical matrices — whether passed as :class:`QuboMatrix`, raw
+    ndarray, or :class:`~repro.qubo.sparse.SparseQubo` with the same
+    dense equivalent *representation* — digest identically for the same
+    storage kind; names and metadata never participate.  This is the
+    cache key the warm-fleet service uses for prepared-weights reuse
+    (see ``docs/service.md``).
+    """
+    h = hashlib.sha256(_DIGEST_VERSION)
+    h.update(b"|problem|")
+    h.update(_weights_payload(weights))
+    return h.hexdigest()
+
+
+def _canonical_json(value: Any) -> str:
+    """JSON with sorted keys and ndarray/tuple normalization."""
+
+    def _default(obj: Any) -> Any:
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        return str(obj)
+
+    return json.dumps(value, sort_keys=True, default=_default, separators=(",", ":"))
+
+
+def run_digest(weights, config, seed: int | None = None, *, extra: dict | None = None) -> str:
+    """Stable SHA-256 hex digest of one ``(problem, config, seed)`` run.
+
+    ``config`` is canonicalized via :func:`dataclasses.asdict` (nested
+    dataclasses included) and serialized as sorted-key JSON, so two
+    configs with equal field values always digest identically.  ``seed``
+    defaults to ``config.seed`` and overrides it in the hashed payload
+    when given explicitly.  ``extra`` folds additional run context (for
+    example the solve mode) into the key.
+
+    A seeded solve is a pure function of this digest — the property the
+    service's result cache relies on to return cached
+    :class:`~repro.abs.result.SolveResult` objects bit-for-bit.
+    """
+    if not dataclasses.is_dataclass(config):
+        raise TypeError(
+            f"config must be a dataclass (e.g. AbsConfig), got {type(config).__name__}"
+        )
+    cfg_dict = dataclasses.asdict(config)
+    cfg_dict["seed"] = cfg_dict.get("seed") if seed is None else int(seed)
+    if extra:
+        cfg_dict["__extra__"] = dict(extra)
+    h = hashlib.sha256(_DIGEST_VERSION)
+    h.update(b"|run|")
+    h.update(problem_digest(weights).encode("ascii"))
+    h.update(b"|")
+    h.update(_canonical_json(cfg_dict).encode("utf-8"))
+    return h.hexdigest()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,67 @@
+"""Configuration for the warm-fleet solver service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for :class:`~repro.service.core.SolverService`.
+
+    Every field here must be plumbed through the ``serve`` CLI — the
+    ``config-plumbing`` analyzer rule checks ServiceConfig exactly like
+    it checks AbsConfig, so an unplumbed knob fails ``make analyze``.
+
+    Attributes
+    ----------
+    result_cache_size:
+        Completed-result cache entries, keyed by the canonical
+        ``(problem, config, seed)`` run digest
+        (:func:`repro.qubo.io.run_digest`).  Only *seeded* jobs are
+        cached — an unseeded solve is not reproducible, so a cached
+        copy would silently change semantics.  0 disables the cache.
+    weights_cache_size:
+        Host-side shared-memory weight segments kept alive across jobs,
+        keyed by problem digest (dense problems only; sparse ones ship
+        by pickle and need no segment).
+    prepared_cache_size:
+        Per-worker cap on cached backend-prepared weights
+        (``PreparedWeights`` keyed by ``(backend, digest)``).
+    max_queue:
+        Maximum queued (not yet running) jobs; ``submit`` raises when
+        full.  0 means unbounded.
+    default_priority:
+        Priority assigned when ``submit`` is called without one.
+        Higher runs earlier; ties run in submission order (FIFO).
+    arm_timeout:
+        Seconds the fleet re-arm handshake may take before the job
+        fails (covers worker spawn + backend prep on first use).
+    """
+
+    result_cache_size: int = 128
+    weights_cache_size: int = 8
+    prepared_cache_size: int = 4
+    max_queue: int = 0
+    default_priority: int = 0
+    arm_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.result_cache_size < 0:
+            raise ValueError(
+                f"result_cache_size must be >= 0, got {self.result_cache_size}"
+            )
+        if self.weights_cache_size < 1:
+            raise ValueError(
+                f"weights_cache_size must be >= 1, got {self.weights_cache_size}"
+            )
+        if self.prepared_cache_size < 1:
+            raise ValueError(
+                f"prepared_cache_size must be >= 1, got {self.prepared_cache_size}"
+            )
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.arm_timeout <= 0:
+            raise ValueError(
+                f"arm_timeout must be positive, got {self.arm_timeout}"
+            )

@@ -34,6 +34,7 @@ from repro.telemetry.bus import (
     NullBus,
     RelayBus,
     Sink,
+    StampedBus,
     TelemetryBus,
 )
 from repro.telemetry.events import Event, jsonable
@@ -63,6 +64,7 @@ __all__ = [
     "RelayBus",
     "SchemaError",
     "Sink",
+    "StampedBus",
     "TelemetryBus",
     "jsonable",
     "make_bus",

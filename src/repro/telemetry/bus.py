@@ -225,5 +225,50 @@ class RelayBus:
         pass
 
 
+class StampedBus:
+    """A view of another bus that stamps fixed fields onto every event.
+
+    The warm-fleet service wraps its shared bus in
+    ``StampedBus(bus, job=<id>)`` for each job's solve, so one trace can
+    interleave many jobs and still be teased apart per job.  Stamp
+    fields must be declared in ``schema.STAMP_FIELDS`` — the validator
+    accepts them on any event.  Counters, sinks, and :attr:`enabled`
+    delegate to the wrapped bus; explicit event fields win over stamps
+    on a name collision.
+    """
+
+    __slots__ = ("_inner", "_stamp")
+
+    def __init__(self, inner: Any, **stamp: Any) -> None:
+        self._inner = inner
+        self._stamp = stamp
+
+    @property
+    def enabled(self) -> bool:
+        return self._inner.enabled
+
+    @property
+    def counters(self) -> CounterRegistry:
+        return self._inner.counters
+
+    @property
+    def sinks(self) -> tuple[Sink, ...]:
+        return self._inner.sinks
+
+    def attach(self, sink: Sink) -> Sink:
+        return self._inner.attach(sink)
+
+    def detach(self, sink: Sink) -> None:
+        self._inner.detach(sink)
+
+    def emit(self, name: str, /, **fields: Any) -> None:
+        self._inner.emit(name, **{**self._stamp, **fields})
+
+    def close(self) -> None:
+        # Closing a per-job view must not close the service's shared
+        # sinks; the owner closes the inner bus.
+        pass
+
+
 #: Shared disabled bus — the default for every instrumented component.
 NULL_BUS = NullBus()

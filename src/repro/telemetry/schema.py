@@ -189,10 +189,28 @@ EVENT_SCHEMAS: dict[str, EventSpec] = {
     "search.run": EventSpec(
         required={"steps": INT, "flips": INT, "evaluated": INT, "best_energy": INT}
     ),
+    # Warm-fleet solver service (repro.service) ------------------------
+    "service.job_submitted": EventSpec(
+        required={"job": INT, "n": INT, "priority": INT, "queued": INT}
+    ),
+    "service.job_start": EventSpec(
+        required={"job": INT, "n": INT, "cache_hit": BOOL},
+        optional={"weights_cache_hit": BOOL, "fleet_reused": BOOL},
+    ),
+    "service.job_end": EventSpec(
+        required={"job": INT, "status": STR, "elapsed": NUM},
+        optional={"best_energy": INT, "rounds": INT},
+    ),
 }
 
 #: Fields present on every record regardless of event name.
 COMMON_FIELDS: dict[str, Sequence[str]] = {"event": STR, "t": NUM, "seq": INT}
+
+#: Stamp fields a wrapping bus (``telemetry.StampedBus``) may add to
+#: *any* event: the service stamps every record a job's solve emits
+#: with that job's id so one trace can interleave many jobs and still
+#: be teased apart.  Allowed everywhere, required nowhere.
+STAMP_FIELDS: dict[str, Sequence[str]] = {"job": INT}
 
 #: Every *fixed* counter name the pipeline increments.  Like
 #: ``EVENT_SCHEMAS``, this is the machine-checkable registry: the
@@ -253,6 +271,18 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "exchange.tcp.frames_to_device",
         "exchange.tcp.frames_from_device",
         "exchange.tcp.dropped_results",
+        # solver phase timings (repro.abs.solver)
+        "solver.setup_ns",
+        "solver.search_ns",
+        # warm-fleet solver service (repro.service)
+        "service.jobs_submitted",
+        "service.jobs_completed",
+        "service.jobs_cancelled",
+        "service.jobs_failed",
+        "service.cache_hits",
+        "service.weights_cache_hits",
+        "service.fleet_rearms",
+        "service.fleet_spawns",
     }
 )
 
@@ -307,12 +337,20 @@ def validate_record(record: Mapping[str, Any]) -> None:
     for fname, value in payload.items():
         if fname in spec.required:
             continue
-        if fname not in spec.optional:
-            raise SchemaError(f"{event}: undeclared field {fname!r}")
-        if not _type_ok(value, spec.optional[fname]):
-            raise SchemaError(
-                f"{event}: field {fname!r} has wrong type {type(value).__name__}"
-            )
+        if fname in spec.optional:
+            if not _type_ok(value, spec.optional[fname]):
+                raise SchemaError(
+                    f"{event}: field {fname!r} has wrong type {type(value).__name__}"
+                )
+            continue
+        if fname in STAMP_FIELDS:
+            if not _type_ok(value, STAMP_FIELDS[fname]):
+                raise SchemaError(
+                    f"{event}: stamp field {fname!r} has wrong type "
+                    f"{type(value).__name__}"
+                )
+            continue
+        raise SchemaError(f"{event}: undeclared field {fname!r}")
 
 
 def validate_trace(path: str | Path) -> dict[str, int]:
