@@ -72,7 +72,6 @@ def _jobs():
                 local_steps=8,
                 pool_capacity=16,
                 max_rounds=5,
-                time_limit=120.0,
                 seed=seed + 1,
                 lockstep=True,
                 start_method="spawn",

@@ -334,7 +334,9 @@ def _fleet_worker_main(
             if kind == "shm":
                 key = tuple(payload)
                 shared = shm_cache.get(key)
-                if shared is None:
+                if shared is not None:
+                    shm_cache.move_to_end(key)  # LRU, not FIFO
+                else:
                     shared = SharedWeights.attach(payload)
                     shm_cache[key] = shared
                     while len(shm_cache) > max(1, prepared_cache_size * 2):
@@ -352,6 +354,8 @@ def _fleet_worker_main(
             prepared = (
                 prepared_cache.get(ckey) if job.digest is not None else None
             )
+            if prepared is not None:
+                prepared_cache.move_to_end(ckey)  # LRU, not FIFO
             device = DeviceSimulator(
                 weights,
                 job.n_blocks,

@@ -197,8 +197,19 @@ class WorkerSupervisor:
         for st in self._workers:
             if st.lost:
                 continue
-            st.target_q = rebind(st.worker_id, st.incarnation, st.target_q)
-            self._all_channels.append(st.target_q)
+            old = st.target_q
+            new = rebind(st.worker_id, st.incarnation, old)
+            if new is not old:
+                # Replace (never append): a persistent fleet re-arms on
+                # every job, and accumulating one channel per worker per
+                # job would grow — and drain at shutdown — without bound.
+                for i, ch in enumerate(self._all_channels):
+                    if ch is old:
+                        self._all_channels[i] = new
+                        break
+                else:  # pragma: no cover - rebind of an untracked channel
+                    self._all_channels.append(new)
+                st.target_q = new
             st.last_progress = now
 
     def incarnation(self, worker_id: int) -> int:

@@ -705,8 +705,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=128,
         metavar="N",
         help="completed-result cache entries, keyed by the canonical "
-        "(problem, config, seed) run digest; seeded jobs only "
-        "(default 128; 0 disables)",
+        "(problem, config, seed) run digest; deterministic seeded jobs "
+        "only — sync or lockstep, no time_limit (default 128; 0 disables)",
     )
     p.add_argument(
         "--weights-cache-size",

@@ -5,8 +5,9 @@ transport allocation, shared-memory weight publication, and backend
 weight preparation on every call.  :class:`SolverService` pays them
 once: a persistent :class:`~repro.abs.fleet.WorkerFleet` is re-armed
 per job through an epoch-token handshake, prepared weights and shm
-segments are cached across jobs, and seeded repeats are answered from
-a determinism-keyed result cache.  See ``docs/service.md``.
+segments are cached across jobs, and deterministic seeded repeats are
+answered from a determinism-keyed result cache.  See
+``docs/service.md``.
 """
 
 from repro.service.config import ServiceConfig

@@ -18,9 +18,12 @@ class ServiceConfig:
     result_cache_size:
         Completed-result cache entries, keyed by the canonical
         ``(problem, config, seed)`` run digest
-        (:func:`repro.qubo.io.run_digest`).  Only *seeded* jobs are
-        cached — an unseeded solve is not reproducible, so a cached
-        copy would silently change semantics.  0 disables the cache.
+        (:func:`repro.qubo.io.run_digest`).  Only jobs whose outcome
+        is a pure function of that digest are cached: seeded, no
+        wall-clock ``time_limit``, and deterministic execution (sync
+        mode or ``lockstep=True``) — anything else is a sample, and a
+        cached copy would silently change semantics.  0 disables the
+        cache.
     weights_cache_size:
         Host-side shared-memory weight segments kept alive across jobs,
         keyed by problem digest (dense problems only; sparse ones ship

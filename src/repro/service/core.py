@@ -17,10 +17,15 @@ Semantics that matter:
 - **Scheduling**: highest priority first, FIFO within a priority
   (``(-priority, submit_seq)`` heap).  One job runs at a time — the
   fleet is a shared search engine, not a thread pool.
-- **Result cache**: seeded jobs are cached under the canonical
-  :func:`repro.qubo.io.run_digest` key; a repeat submission returns a
-  deep copy of the cached :class:`~repro.abs.result.SolveResult`
-  without touching the fleet.  Unseeded jobs are never cached.
+- **Result cache**: jobs whose outcome is a pure function of the run
+  digest — seeded, no wall-clock ``time_limit``, and deterministic
+  execution (``sync`` mode or ``lockstep=True``) — are cached under
+  the canonical :func:`repro.qubo.io.run_digest` key; a repeat
+  submission returns a deep copy of the cached
+  :class:`~repro.abs.result.SolveResult` without touching the fleet.
+  Anything else (unseeded, time-limited, free-running process mode)
+  recomputes every time, and a cancelled job's partial result is
+  never cached.
 - **Cancellation**: round granularity for running process-mode jobs
   (the host loop polls between rounds); queued jobs cancel
   immediately; sync-mode jobs are only cancellable while queued.
@@ -116,6 +121,7 @@ class SolverService:
         self._cond = threading.Condition(self._lock)
         self._jobs: dict[int, _Job] = {}
         self._heap: list[tuple[int, int]] = []  # (-priority, job_id)
+        self._queued = 0  # jobs with status QUEUED (heap keeps stale entries)
         self._next_id = 1
         self._running: _Job | None = None
         self._fleet: WorkerFleet | None = None
@@ -156,7 +162,7 @@ class SolverService:
         with self._cond:
             if self._closed:
                 raise RuntimeError("service is closed")
-            if self.config.max_queue and len(self._heap) >= self.config.max_queue:
+            if self.config.max_queue and self._queued >= self.config.max_queue:
                 raise RuntimeError(
                     f"job queue is full ({self.config.max_queue} queued)"
                 )
@@ -169,15 +175,27 @@ class SolverService:
             )
             solver = AdaptiveBulkSearch(weights, config, telemetry=job_bus)
             digest = problem_digest(solver.W)
+            cfg = solver.config
+            # Cache only runs that are a pure function of the digest:
+            # seeded, no wall-clock stop, and deterministic execution
+            # (sync on one thread, or process mode in lockstep).  A
+            # free-running or time-limited job is a sample, and a cache
+            # hit would silently substitute it for a fresh solve.
+            cacheable = (
+                cfg.seed is not None
+                and cfg.time_limit is None
+                and (mode == "sync" or cfg.lockstep)
+            )
             run_key = (
-                run_digest(solver.W, solver.config, extra={"mode": mode})
-                if solver.config.seed is not None
+                run_digest(solver.W, cfg, extra={"mode": mode})
+                if cacheable
                 else None
             )
             job = _Job(job_id, solver, mode, prio, digest, run_key)
             self._jobs[job_id] = job
             heapq.heappush(self._heap, (-prio, job_id))
-            queued = len(self._heap)
+            self._queued += 1
+            queued = self._queued
             self._cond.notify_all()
         if bus.enabled:
             bus.counters.inc("service.jobs_submitted")
@@ -220,6 +238,7 @@ class SolverService:
         with self._cond:
             if job.status == QUEUED:
                 job.cancel_evt.set()
+                self._queued -= 1
                 self._finish(job, CANCELLED, started=False)
                 return True
             if job.status == RUNNING:
@@ -255,6 +274,7 @@ class SolverService:
                 job = self._jobs[job_id]
                 if job.status == QUEUED:
                     job.cancel_evt.set()
+                    self._queued -= 1
                     self._finish(job, CANCELLED, started=False)
             if self._running is not None:
                 self._running.cancel_evt.set()
@@ -319,6 +339,7 @@ class SolverService:
                         candidate = self._jobs[job_id]
                         if candidate.status == QUEUED:
                             job = candidate
+                            self._queued -= 1
                             break
                     if job is not None:
                         break
@@ -378,7 +399,14 @@ class SolverService:
                 # half-armed job); rebuild for the next job.
                 self._teardown_fleet()
             return
-        if job.run_key is not None and self.config.result_cache_size:
+        # A cancelled job's result is truncated at the cancellation
+        # round — caching it would answer a later identical submission
+        # with the partial result as a DONE hit.
+        if (
+            job.run_key is not None
+            and self.config.result_cache_size
+            and not job.cancel_evt.is_set()
+        ):
             self._result_cache[job.run_key] = copy.deepcopy(result)
             self._cache_order.append(job.run_key)
             while len(self._cache_order) > self.config.result_cache_size:

@@ -267,3 +267,28 @@ class TestSupervisorTelemetry:
             validate_record(record)
         assert bus.counters.get("supervisor.restarts") == 2
         assert bus.counters.get("supervisor.workers_lost") == 1
+
+
+class TestRebindChannels:
+    def test_rebind_replaces_tracked_channels(self):
+        """A persistent fleet rebinds on every re-arm; the tracked set
+        must stay one channel per worker, not grow one per job."""
+        sup, _, _ = make_supervisor(n_workers=2)
+        sup.start()
+        for _ in range(5):
+            sup.rebind_channels(lambda wid, inc, old: object())
+        assert len(sup.all_channels) == 2
+        assert sup.all_channels == [sup.target_channel(0), sup.target_channel(1)]
+
+    def test_rebind_in_place_keeps_tracking(self):
+        sup, _, _ = make_supervisor(n_workers=1)
+        sup.start()
+        before = sup.target_channel(0)
+        sup.rebind_channels(lambda wid, inc, old: old)  # re-stamped in place
+        assert sup.target_channel(0) is before
+        assert len(sup.all_channels) == 1
+
+    def test_rebind_before_start_rejected(self):
+        sup, _, _ = make_supervisor()
+        with pytest.raises(RuntimeError, match="not started"):
+            sup.rebind_channels(lambda wid, inc, old: old)

@@ -34,7 +34,6 @@ def lockstep_cfg(exchange, seed, **overrides):
         local_steps=8,
         pool_capacity=16,
         max_rounds=8,
-        time_limit=120.0,
         seed=seed,
         exchange=exchange,
         lockstep=True,

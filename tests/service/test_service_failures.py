@@ -31,7 +31,6 @@ def lockstep_cfg(seed, **overrides):
         local_steps=8,
         pool_capacity=16,
         max_rounds=8,
-        time_limit=120.0,
         seed=seed,
         exchange="shm",
         lockstep=True,
@@ -47,7 +46,7 @@ def fingerprint(res):
 class TestCancelMidRound:
     def test_cancel_running_job_returns_partial_result(self, problem):
         # An effectively unbounded job; cancellation is the only way out.
-        cfg = lockstep_cfg(seed=1, max_rounds=2_000_000, time_limit=None)
+        cfg = lockstep_cfg(seed=1, max_rounds=2_000_000)
         with SolverService() as svc:
             jid = svc.submit(problem, cfg)
             while True:
@@ -60,6 +59,9 @@ class TestCancelMidRound:
             assert svc.status(jid)["status"] == "cancelled"
             assert partial.rounds < 2_000_000
             assert partial.best_energy == energy(problem, partial.best_x)
+            # The truncated result must not enter the result cache: a
+            # later identical submission would get it as a DONE hit.
+            assert not svc._result_cache
 
             # The fleet must come back clean: the next job is still
             # bit-identical to its cold one-shot.

@@ -93,6 +93,21 @@ class TestScheduling:
                 svc.submit(problem, cfg(3), mode="sync")
             gate.set()
 
+    def test_cancelled_queued_job_frees_its_slot(self, problem, gate):
+        """max_queue counts QUEUED jobs — a cancelled job's stale heap
+        entry (lazily popped by the dispatcher) must not occupy a slot."""
+        with SolverService(ServiceConfig(max_queue=1)) as svc:
+            running = svc.submit(problem, cfg(1), mode="sync")
+            while svc.status(running)["status"] == "queued":
+                pass
+            stale = svc.submit(problem, cfg(2), mode="sync")
+            assert svc.cancel(stale)
+            replacement = svc.submit(problem, cfg(3), mode="sync")
+            with pytest.raises(RuntimeError, match="queue is full"):
+                svc.submit(problem, cfg(4), mode="sync")
+            gate.set()
+            assert svc.result(replacement, timeout=30).rounds == 3
+
     def test_submit_after_close_raises(self, problem):
         svc = SolverService()
         svc.close()
@@ -155,6 +170,44 @@ class TestResultCache:
         assert run_digest(problem, cfg(7), extra={"mode": "sync"}) != run_digest(
             problem, cfg(7), extra={"mode": "process"}
         )
+
+    def test_cancelled_job_is_not_cached(self, problem, gate):
+        """A job cancelled while running must not poison the cache: a
+        resubmission of the same (problem, config, seed) runs fresh
+        instead of returning the truncated result as a DONE hit."""
+        with SolverService() as svc:
+            jid = svc.submit(problem, cfg(7), mode="sync")
+            while svc.status(jid)["status"] == "queued":
+                pass
+            assert svc.cancel(jid)
+            gate.set()
+            svc.result(jid, timeout=30)
+            assert svc.status(jid)["status"] == "cancelled"
+            assert not svc._result_cache
+            again = svc.submit(problem, cfg(7), mode="sync")
+            res = svc.result(again, timeout=30)
+            assert not svc.status(again)["cache_hit"]
+            assert svc.status(again)["status"] == "done"
+            assert res.rounds == 3
+
+    def test_nondeterministic_configs_are_never_cached(self, problem, gate):
+        """A wall-clock time_limit or free-running process mode makes a
+        seeded run a sample, not a pure function of the run digest —
+        such jobs get no cache key.  Lockstep process jobs do."""
+        with SolverService() as svc:
+            running = svc.submit(problem, cfg(1), mode="sync")
+            while svc.status(running)["status"] == "queued":
+                pass
+            timed = svc.submit(problem, cfg(7, time_limit=60.0), mode="sync")
+            free = svc.submit(problem, cfg(7), mode="process")
+            locked = svc.submit(problem, cfg(7, lockstep=True), mode="process")
+            assert svc._jobs[timed].run_key is None
+            assert svc._jobs[free].run_key is None
+            assert svc._jobs[locked].run_key is not None
+            for jid in (timed, free, locked):  # never reach the fleet
+                assert svc.cancel(jid)
+            gate.set()
+            svc.result(running, timeout=30)
 
     def test_cache_disabled_when_size_zero(self, problem):
         with SolverService(ServiceConfig(result_cache_size=0)) as svc:
