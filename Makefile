@@ -1,6 +1,6 @@
 # Developer conveniences for the ABS reproduction.
 
-.PHONY: install test test-fast test-process test-backends test-exchange test-tcp test-analysis test-diverse test-service analyze docs-check lint bench bench-full bench-exchange bench-cluster bench-service bench-list trace-demo examples clean
+.PHONY: install test test-fast test-process test-backends test-exchange test-tcp test-analysis test-diverse test-service analyze docs-check lint check bench bench-full bench-exchange bench-cluster bench-service bench-list trace-demo examples clean
 
 install:
 	pip install -e .[test]
@@ -35,7 +35,7 @@ test-diverse:           ## Diverse-ABS suite: niched pool + variant fleet + cont
 test-service:           ## warm-fleet solver service: queue, cache, re-arm, determinism
 	PYTHONPATH=src pytest -m service tests/
 
-analyze:                ## project-invariant lint + exhaustive seqlock/SPSC race check
+analyze:                ## project-invariant lint + exhaustive seqlock/SPSC + service-lifecycle race check
 	PYTHONPATH=src python -m repro analyze --interleave
 
 docs-check:             ## validate doc links + CLI examples against the live parser
@@ -46,6 +46,14 @@ lint: analyze           ## analyze, then ruff/mypy when installed (pip install -
 		else echo "ruff not installed -- skipped (pip install -e .[lint])"; fi
 	@if command -v mypy >/dev/null 2>&1; then mypy; \
 		else echo "mypy not installed -- skipped (pip install -e .[lint])"; fi
+
+check: docs-check       ## the full static gate: ruff/mypy (when installed) + docs + analyzer at warning threshold + shallow interleave
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests benchmarks; \
+		else echo "ruff not installed -- skipped (pip install -e .[lint])"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+		else echo "mypy not installed -- skipped (pip install -e .[lint])"; fi
+	PYTHONPATH=src python -m repro analyze --fail-on warning
+	PYTHONPATH=src python -m repro analyze --interleave --interleave-depth 4 --fail-on warning
 
 bench:                  ## reduced-scale: regenerates every paper table/figure
 	pytest benchmarks/ --benchmark-only

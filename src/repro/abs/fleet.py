@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import math
 import queue as queue_mod
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -467,14 +468,20 @@ class WorkerFleet:
         self._prepared_cache_size = int(prepared_cache_size)
         self._weights_cache_size = int(weights_cache_size)
         self._arm_timeout = float(arm_timeout)
-        self._job_seq = 0
-        self._current_jobs: list[WorkerJob] | None = None
-        self._controls: dict[int, Any] = {}
-        self._all_controls: list[Any] = []
+        # One lock covers the state shared between the arming thread,
+        # the supervise thread (whose restart callbacks land in
+        # _spawn_persistent/_make_channel), and whichever thread calls
+        # shutdown().  The weights cache and jobs_armed counter stay
+        # unannotated: only the arming thread touches them.
+        self._lock = threading.Lock()
+        self._job_seq = 0  # guarded-by: _lock
+        self._current_jobs: list[WorkerJob] | None = None  # guarded-by: _lock
+        self._controls: dict[int, Any] = {}  # guarded-by: _lock
+        self._all_controls: list[Any] = []  # guarded-by: _lock
         self._ack_q = self.ctx.Queue() if self._persistent else None
         #: problem digest -> host-side SharedWeights (LRU, owner).
         self._weights_cache: OrderedDict[str, SharedWeights] = OrderedDict()
-        self._closed = False
+        self._closed = False  # guarded-by: _lock
         #: Jobs run on this fleet (arm_job calls); spawns happen once.
         self.jobs_armed = 0
 
@@ -489,7 +496,8 @@ class WorkerFleet:
     @property
     def job_seq(self) -> int:
         """Sequence number of the current (or last armed) job."""
-        return self._job_seq
+        with self._lock:
+            return self._job_seq
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -523,32 +531,36 @@ class WorkerFleet:
 
     def _make_channel(self, worker_id: int, incarnation: int) -> Any:
         # Job 0 tokens equal bare incarnations: one-shot wire traffic is
-        # bit-identical to the pre-fleet solver.
-        return self.transport.make_target_channel(
-            worker_id, encode_token(self._job_seq, incarnation)
-        )
+        # bit-identical to the pre-fleet solver.  A restart mid-arm may
+        # run this on the supervise thread, so the job_seq read locks.
+        with self._lock:
+            token = encode_token(self._job_seq, incarnation)
+        return self.transport.make_target_channel(worker_id, token)
 
     def _spawn_persistent(
         self, worker_id: int, incarnation: int, channel: Any
     ) -> Any:
         control = self.ctx.Queue()
-        self._controls[worker_id] = control
-        self._all_controls.append(control)
-        if self._current_jobs is not None:
+        with self._lock:
+            self._controls[worker_id] = control
+            self._all_controls.append(control)
             # A replacement spawned mid-job (or mid-handshake) re-arms
             # with the *current* frame — never its predecessor's job.
-            control.put(self._current_jobs[worker_id])
+            frame = (
+                self._current_jobs[worker_id]
+                if self._current_jobs is not None
+                else None
+            )
+            token = encode_token(self._job_seq, incarnation)
+        if frame is not None:
+            control.put(frame)
         p = self.ctx.Process(
             target=_fleet_worker_main,
             args=(
                 worker_id,
                 incarnation,
                 control,
-                self.transport.worker_ref(
-                    worker_id,
-                    encode_token(self._job_seq, incarnation),
-                    channel,
-                ),
+                self.transport.worker_ref(worker_id, token, channel),
                 self.stop_evt,
                 self._ack_q,
                 self._prepared_cache_size,
@@ -563,7 +575,8 @@ class WorkerFleet:
     # ------------------------------------------------------------------
     def next_job_seq(self) -> int:
         """Reserve the next job sequence number (starts at 1)."""
-        return self._job_seq + 1
+        with self._lock:
+            return self._job_seq + 1
 
     def weights_ref_for(
         self, weights: Any, digest: str | None
@@ -613,18 +626,21 @@ class WorkerFleet:
         if len(jobs) != self.n_workers:
             raise ValueError(f"need {self.n_workers} jobs, got {len(jobs)}")
         job_seq = jobs[0].job_seq
-        if job_seq <= self._job_seq:
+        with self._lock:
+            prev_seq = self._job_seq
+        if job_seq <= prev_seq:
             raise ValueError(
-                f"job_seq must advance: {job_seq} <= {self._job_seq}"
+                f"job_seq must advance: {job_seq} <= {prev_seq}"
             )
         if any(j.job_seq != job_seq for j in jobs):
             raise ValueError("all jobs in one arm must share a job_seq")
         # Flush the previous job's buffered event bundles under *its*
         # sequence before the epoch moves — e.g. a reconnect that
         # landed after that job's host loop stopped polling.
-        self.relay_events(self.bus, self._job_seq)
-        self._job_seq = job_seq
-        self._current_jobs = list(jobs)
+        self.relay_events(self.bus, prev_seq)
+        with self._lock:
+            self._job_seq = job_seq
+            self._current_jobs = list(jobs)
         self.jobs_armed += 1
         sup = self.supervisor
         # Live workers keep their incarnation; only the channel epoch
@@ -634,8 +650,12 @@ class WorkerFleet:
                 wid, encode_token(job_seq, inc), _old
             )
         )
+        # Snapshot: a mid-handshake restart adds its own control entry
+        # and self-arms with the frame set above, so missing it is fine.
+        with self._lock:
+            controls = dict(self._controls)
         for wid in sup.healthy_ids:
-            self._controls[wid].put(jobs[wid])
+            controls[wid].put(jobs[wid])
         acked: set[int] = set()
         deadline = time.monotonic() + self._arm_timeout
         while True:
@@ -692,11 +712,17 @@ class WorkerFleet:
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
         """Stop workers, drain queues, tear the transport down."""
-        if self._closed:
-            return
-        self._closed = True
+        # Atomic test-and-set: the service can race its own failure
+        # teardown against close(), and only one caller may proceed to
+        # join/terminate/unlink below.
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            controls = list(self._controls.values())
+            last_seq = self._job_seq
         self.stop_evt.set()
-        for control in self._controls.values():
+        for control in controls:
             try:
                 control.put(_SHUTDOWN)
             except (OSError, ValueError):
@@ -714,13 +740,15 @@ class WorkerFleet:
         # the host loop stopped polling (a late reconnect, the final
         # round's device events).
         try:
-            self.relay_events(self.bus, self._job_seq)
+            self.relay_events(self.bus, last_seq)
         except Exception:  # pragma: no cover - teardown best-effort
             pass
         # Drain channels so queue feeder threads can exit, then tear
         # down the transport (unlinks the shm rings/mailboxes).
         channels = self.supervisor.all_channels if self.supervisor else []
-        for ch in list(channels) + self._all_controls:
+        with self._lock:
+            all_controls = list(self._all_controls)
+        for ch in list(channels) + all_controls:
             try:
                 while True:
                     ch.get_nowait()

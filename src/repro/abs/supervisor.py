@@ -34,6 +34,7 @@ worker is abandoned — all in the machine-checked schema
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -149,8 +150,15 @@ class WorkerSupervisor:
         self._bus = bus if bus is not None else NULL_BUS
         self._clock = clock
         self._workers = [_WorkerState(g) for g in range(n_workers)]
-        self._all_procs: list[Any] = []
-        self._all_channels: list[Any] = []
+        # Per-worker state (_workers) is externally synchronized — poll,
+        # rebind, and note_result all run on the owning host loop.  The
+        # ever-spawned registries are different: fleet shutdown() walks
+        # them from whatever thread closes the service, concurrently
+        # with a supervise-thread restart appending to them.  Scopes
+        # stay call-free so no lock-order edges can form.
+        self._registry_lock = threading.Lock()
+        self._all_procs: list[Any] = []  # guarded-by: _registry_lock
+        self._all_channels: list[Any] = []  # guarded-by: _registry_lock
         #: Total successful restarts across all workers.
         self.workers_restarted = 0
         #: Workers permanently retired (restart budget exhausted).
@@ -168,9 +176,11 @@ class WorkerSupervisor:
         now = self._clock()
         for st in self._workers:
             st.target_q = self._channel_factory(st.worker_id, st.incarnation)
-            self._all_channels.append(st.target_q)
+            with self._registry_lock:
+                self._all_channels.append(st.target_q)
             st.proc = self._spawn(st.worker_id, st.incarnation, st.target_q)
-            self._all_procs.append(st.proc)
+            with self._registry_lock:
+                self._all_procs.append(st.proc)
             st.last_progress = now
 
     def target_channel(self, worker_id: int) -> Any | None:
@@ -203,12 +213,13 @@ class WorkerSupervisor:
                 # Replace (never append): a persistent fleet re-arms on
                 # every job, and accumulating one channel per worker per
                 # job would grow — and drain at shutdown — without bound.
-                for i, ch in enumerate(self._all_channels):
-                    if ch is old:
-                        self._all_channels[i] = new
-                        break
-                else:  # pragma: no cover - rebind of an untracked channel
-                    self._all_channels.append(new)
+                with self._registry_lock:
+                    for i, ch in enumerate(self._all_channels):
+                        if ch is old:
+                            self._all_channels[i] = new
+                            break
+                    else:  # pragma: no cover - untracked channel
+                        self._all_channels.append(new)
                 st.target_q = new
             st.last_progress = now
 
@@ -229,12 +240,14 @@ class WorkerSupervisor:
     @property
     def all_processes(self) -> list[Any]:
         """Every process ever spawned (for final join/terminate)."""
-        return list(self._all_procs)
+        with self._registry_lock:
+            return list(self._all_procs)
 
     @property
     def all_channels(self) -> list[Any]:
         """Every target channel ever created (for final draining)."""
-        return list(self._all_channels)
+        with self._registry_lock:
+            return list(self._all_channels)
 
     # ------------------------------------------------------------------
     # Progress accounting
@@ -306,9 +319,11 @@ class WorkerSupervisor:
         st.restarts_used += 1
         st.incarnation += 1
         st.target_q = self._channel_factory(st.worker_id, st.incarnation)
-        self._all_channels.append(st.target_q)
+        with self._registry_lock:
+            self._all_channels.append(st.target_q)
         st.proc = self._spawn(st.worker_id, st.incarnation, st.target_q)
-        self._all_procs.append(st.proc)
+        with self._registry_lock:
+            self._all_procs.append(st.proc)
         st.last_progress = self._clock()
         self.workers_restarted += 1
         bus = self._bus

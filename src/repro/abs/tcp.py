@@ -333,7 +333,7 @@ class _EventBank:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._pending: list[tuple[int, int, list]] = []
+        self._pending: list[tuple[int, int, list]] = []  # guarded-by: _lock
 
     def emit(self, name: str, *, device: int, incarnation: int, **fields: Any) -> None:
         bundle = (device, incarnation, [(name, {"incarnation": incarnation, **fields})])
@@ -379,6 +379,13 @@ class TcpHostTransport:
     """
 
     name = "tcp"
+
+    # The acceptor thread (``_dispatch``) and the host loop
+    # (``_publish_targets``/``poll``) both mutate these; the replay
+    # cache was always locked, but the stats dict raced until the
+    # lock-discipline rule flagged it — int += is not atomic across
+    # threads and increments could be lost.
+    GUARDED_BY = {"_latest": "_lock", "stats": "_lock"}
 
     def __init__(
         self,
@@ -511,7 +518,8 @@ class TcpHostTransport:
             # backlog of RESULT frames, and if the run finishes first
             # the reconnect would never be recorded.  ``_events`` is
             # already fed from this thread (F_EVENTS below).
-            self.stats["exchange.tcp.connects"] += 1
+            with self._lock:
+                self.stats["exchange.tcp.connects"] += 1
             self._connects_by_worker[wid] += 1
             if self._connects_by_worker[wid] > 1:
                 # A worker slot connected again (crash, drop, or an
@@ -550,11 +558,11 @@ class TcpHostTransport:
         frame = encode_targets(self._gens[worker_id], epoch, targets)
         with self._lock:
             self._latest[worker_id] = frame
+            self.stats["exchange.targets_published"] += 1
+            self.stats["exchange.packs"] += 1
+            self.stats["exchange.tcp.frames_to_device"] += 1
+            self.stats["exchange.bytes_to_device"] += len(frame)
         self._loop.call_soon_threadsafe(self._send_to_worker, worker_id, frame)
-        self.stats["exchange.targets_published"] += 1
-        self.stats["exchange.packs"] += 1
-        self.stats["exchange.tcp.frames_to_device"] += 1
-        self.stats["exchange.bytes_to_device"] += len(frame)
 
     def make_target_channel(self, worker_id: int, incarnation: int) -> Any:
         # The stream and generation counter survive restarts; only the
@@ -574,10 +582,11 @@ class TcpHostTransport:
             _, batch, nbytes = self._inbox.get(timeout=timeout)
         except queue_mod.Empty:
             return None
-        self.stats["exchange.results_consumed"] += 1
-        self.stats["exchange.unpacks"] += 1
-        self.stats["exchange.tcp.frames_from_device"] += 1
-        self.stats["exchange.bytes_from_device"] += nbytes
+        with self._lock:
+            self.stats["exchange.results_consumed"] += 1
+            self.stats["exchange.unpacks"] += 1
+            self.stats["exchange.tcp.frames_from_device"] += 1
+            self.stats["exchange.bytes_from_device"] += nbytes
         return batch
 
     def event_bundles(self) -> list[tuple[int, int, list]]:

@@ -11,13 +11,23 @@ package turns those conventions into a CI gate:
 - :mod:`repro.analysis.core` — a small rule-registry AST lint framework
   (findings with ``file:line``, severities, ``# repro: noqa[rule]``
   suppressions) exposed as ``python -m repro analyze``.
-- :mod:`repro.analysis.rules` — the five project rules
+- :mod:`repro.analysis.rules` — the core project rules
   (``telemetry-consistency``, ``rng-discipline``, ``config-plumbing``,
   ``kernel-purity``, ``shm-protocol``).
+- :mod:`repro.analysis.lockcheck` — the ``lock-discipline`` rule: a
+  machine-checked guarded-by convention (``# guarded-by: <lock>``
+  annotations) for the service/fleet/supervisor/tcp thread-level
+  state, with lock-order cycle detection and ``Condition.wait``
+  predicate-loop enforcement.
 - :mod:`repro.analysis.interleave` — a deterministic interleaving
   explorer that drives the real ``TargetMailbox`` / ``SolutionRing``
   byte-level steps through exhaustive small-depth reader/writer
   schedules, proving no torn read or lost wraparound is observable.
+- :mod:`repro.analysis.lifecycle` — the same explorer applied one
+  layer up: the ``SolverService`` job lifecycle (submit / dispatch /
+  cancel / cache-insert / close), proving no schedule caches a
+  partial result, loses a queue slot, double-dispatches, or finishes
+  DONE without a result.
 
 Rule catalog and suppression syntax: ``docs/analysis.md``.
 """
@@ -25,6 +35,8 @@ Rule catalog and suppression syntax: ``docs/analysis.md``.
 from __future__ import annotations
 
 from repro.analysis.core import (
+    FINDING_SCHEMA_VERSION,
+    SEVERITIES,
     Finding,
     Module,
     Rule,
@@ -32,14 +44,18 @@ from repro.analysis.core import (
     analyze_paths,
     get_rule,
     render_findings,
+    severity_rank,
 )
 
 __all__ = [
+    "FINDING_SCHEMA_VERSION",
     "Finding",
     "Module",
     "Rule",
+    "SEVERITIES",
     "all_rules",
     "analyze_paths",
     "get_rule",
     "render_findings",
+    "severity_rank",
 ]

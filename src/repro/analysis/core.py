@@ -30,16 +30,36 @@ from pathlib import Path
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 __all__ = [
+    "FINDING_SCHEMA_VERSION",
     "Finding",
     "Module",
     "Rule",
+    "SEVERITIES",
     "all_rules",
     "analyze_paths",
     "get_rule",
     "load_module",
     "register_rule",
     "render_findings",
+    "severity_rank",
 ]
+
+#: Version of the JSON finding schema emitted by :func:`render_findings`.
+#: Bump only on breaking changes to the per-finding keys; additive
+#: top-level keys (like ``interleave``) do not bump it.
+FINDING_SCHEMA_VERSION = 1
+
+#: Recognized severities, least to most severe.  ``severity_rank``
+#: indexes into this; ``analyze --fail-on`` thresholds against it.
+SEVERITIES = ("note", "warning", "error")
+
+
+def severity_rank(severity: str) -> int:
+    """Position of ``severity`` in :data:`SEVERITIES` (unknown → error)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        return len(SEVERITIES) - 1
 
 #: ``# repro: noqa`` or ``# repro: noqa[rule-a, rule-b]`` anywhere in a line.
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s-]*)\])?")
@@ -254,6 +274,7 @@ def render_findings(
     """Render findings as ``text`` (one ``file:line`` per row) or ``json``."""
     if fmt == "json":
         payload: dict[str, object] = {
+            "schema_version": FINDING_SCHEMA_VERSION,
             "findings": [f.as_dict() for f in findings],
             "count": len(findings),
         }

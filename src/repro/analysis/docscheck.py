@@ -16,6 +16,12 @@ checker walks ``README.md`` and ``docs/*.md`` and verifies:
    subcommand's parser (or as a global flag).  The inventory is built
    live from ``repro.cli.build_parser()``, so a flag rename breaks the
    docs build instead of the reader.
+3. **Make targets** — every ``make <target>`` shown in a code fence or
+   inline code span names a target defined in the repository
+   ``Makefile``.  The target list is parsed from the Makefile itself,
+   so renaming or dropping a target breaks the docs build too.  Prose
+   mentions outside code markup ("make sure", "make the solver…") are
+   never matched.
 
 Run as a module (``python -m repro.analysis.docscheck [root]``) or via
 ``make docs-check``; the tier-1 suite runs :func:`check_repo` against
@@ -55,6 +61,19 @@ _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _CMD_RE = re.compile(r"(?:python3?\s+-m\s+repro(?=\s)|\babs-solve\b)\s+(.+)")
 
 _SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+#: ``make <target>`` with the target in command position.  A leading
+#: ``[A-Za-z0-9]`` keeps flags (``make -j4``) from matching; prose is
+#: filtered upstream by only scanning fences and inline code spans.
+_MAKE_RE = re.compile(r"\bmake\s+([A-Za-z0-9][A-Za-z0-9_.-]*)")
+
+#: Inline code span in prose: `` `make test` ``.
+_CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+
+#: A Makefile rule header: ``target: prerequisites``.  Special targets
+#: (``.PHONY``) and pattern rules (``%.o``) are excluded by the
+#: character class.
+_MAKE_RULE_RE = re.compile(r"^([A-Za-z0-9][A-Za-z0-9_.-]*)\s*:")
 
 #: Shell metacharacters that end the repro command's own argv.
 _SHELL_BREAKS = ("|", ">", ">>", "<", "&&", ";", "2>", "2>&1")
@@ -112,6 +131,41 @@ def _check_link(target: str, base: Path, root: Path) -> str | None:
     return None
 
 
+def _makefile_targets(root: Path) -> set[str] | None:
+    """Rule names defined in ``root/Makefile``; ``None`` when absent."""
+    makefile = root / "Makefile"
+    if not makefile.exists():
+        return None
+    targets: set[str] = set()
+    for raw in makefile.read_text(encoding="utf-8").splitlines():
+        if raw.startswith(("\t", " ", "#")):
+            continue
+        match = _MAKE_RULE_RE.match(raw)
+        if match:
+            targets.add(match.group(1))
+    return targets
+
+
+def _check_make_mentions(
+    line: str, in_fence: bool, targets: set[str]
+) -> list[str]:
+    """Unknown ``make <target>`` mentions in command-looking text."""
+    if in_fence:
+        # strip trailing shell comments: `make foo  # explains make bars`
+        scopes = [re.split(r"(?:^|\s)#", line, maxsplit=1)[0]]
+    else:
+        scopes = [m.group(1) for m in _CODE_SPAN_RE.finditer(line)]
+    problems = []
+    for scope in scopes:
+        for match in _MAKE_RE.finditer(scope):
+            target = match.group(1)
+            if target not in targets:
+                problems.append(
+                    f"make target {target!r} is not defined in the Makefile"
+                )
+    return problems
+
+
 def _check_command(rest: str, inventory: dict[str, set[str]]) -> list[str]:
     tokens = []
     for token in rest.split():
@@ -140,7 +194,12 @@ def _check_command(rest: str, inventory: dict[str, set[str]]) -> list[str]:
     return problems
 
 
-def check_file(path: Path, root: Path, inventory: dict[str, set[str]]) -> list[DocFinding]:
+def check_file(
+    path: Path,
+    root: Path,
+    inventory: dict[str, set[str]],
+    make_targets: set[str] | None = None,
+) -> list[DocFinding]:
     """All findings for one markdown file."""
     findings: list[DocFinding] = []
     rel = str(path.relative_to(root))
@@ -156,6 +215,9 @@ def check_file(path: Path, root: Path, inventory: dict[str, set[str]]) -> list[D
                 message = _check_link(match.group(1), path.parent, root)
                 if message:
                     findings.append(DocFinding(rel, lineno, message))
+        if make_targets is not None:
+            for message in _check_make_mentions(line, in_fence, make_targets):
+                findings.append(DocFinding(rel, lineno, message))
     return findings
 
 
@@ -168,9 +230,10 @@ def check_repo(root: Path | str = ".") -> list[DocFinding]:
         targets.append(readme)
     targets.extend(sorted((root / "docs").glob("*.md")))
     inventory = _cli_inventory()
+    make_targets = _makefile_targets(root)
     findings: list[DocFinding] = []
     for path in targets:
-        findings.extend(check_file(path, root, inventory))
+        findings.extend(check_file(path, root, inventory, make_targets))
     return findings
 
 

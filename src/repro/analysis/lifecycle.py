@@ -1,0 +1,337 @@
+"""Exhaustive job-lifecycle model checker for the solver service.
+
+:mod:`repro.analysis.interleave` proves the *wire-level* exchange
+structures safe; the last real concurrency bug lived one layer up, in
+:class:`repro.service.core.SolverService`'s thread-level state machine
+— a cancelled job's partial result raced into the result cache (found
+in the PR-9 review).  This module gives that layer the same treatment:
+the submit/cancel/dispatch/run/cache-insert/close transitions are
+re-expressed as :class:`~repro.analysis.interleave._Actor` step
+machines over a tiny byte region, where **one step is one lock
+region** of the real code (everything inside one ``with self._cond:``
+block is a single atomic step; separate acquisitions are separate
+steps, so every cross-lock-region race the real threads can produce is
+in the explored graph).  A memoized DFS then walks the entire product
+state graph and checks, after every step:
+
+- **no poisoned cache**: the result cache never holds a partial
+  (cancellation-truncated) result, and a cache hit never serves one;
+- **no result-less DONE**: a job in DONE status always has a result;
+- **no lost queue slot**: the ``_queued`` counter equals the number of
+  jobs in QUEUED status in every reachable state (``max_queue``
+  admission control depends on this);
+- **no double dispatch**: a job is claimed by the dispatcher at most
+  once, and never after shutdown.
+
+The model is pinned against the real service two ways: the step
+machines mirror ``service/core.py`` lock regions line for line (each
+actor docstring cites its method), and the test suite drives a *real*
+``SolverService`` through the schedules the model explores —
+queued-cancel, running-cancel, resubmit-after-cancel, close-drain —
+asserting the same invariants on the real object
+(``tests/analysis/test_lifecycle.py``).
+
+**What is modeled**: two jobs sharing one determinism key (the
+resubmission scenario that makes cache poisoning observable), one
+dispatcher, a canceller, and a closer.  **What is not**: fleet
+arm/teardown, failure paths, priorities (the heap scan is FIFO here —
+priority ordering is a liveness property, not a safety one), and
+``result()`` waiters (their blocking is ``done_evt``, checked by the
+service tests).
+
+Injected bugs (``bug=...``) prove the checker detects what it claims
+to; each is a realistic regression with a reconstructed schedule:
+
+- ``pr9_cancel_cache`` — the PR-9 review bug, re-injected: the cache
+  insert does not consult the cancellation flag at all;
+- ``cache_insert_before_status_check`` — the insert consults a stale
+  cancellation snapshot taken at claim time instead of re-reading
+  under the lock (the refactor the current single-read code forbids);
+- ``queue_count_leak`` — cancelling a queued job forgets to decrement
+  the queued counter, silently shrinking ``max_queue`` capacity;
+- ``dispatch_after_shutdown`` — ``close()`` forgets to drain the heap,
+  so the dispatcher can claim (and run) a job after shutdown.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.interleave import (
+    InterleaveReport,
+    InterleaveViolation,
+    _Actor,
+    _explore,
+)
+
+__all__ = [
+    "SERVICE_BUGS",
+    "explore_service",
+]
+
+#: Injected-bug identifiers accepted by :func:`explore_service`.
+SERVICE_BUGS = (
+    "pr9_cancel_cache",
+    "cache_insert_before_status_check",
+    "queue_count_leak",
+    "dispatch_after_shutdown",
+)
+
+#: Jobs in the model.  Both share one determinism key, so job 1 can
+#: cache-hit (or be poisoned by) what job 0 inserted.
+_NJOBS = 2
+
+#: Per-job record layout (stride bytes per job, starting at job*_JSTRIDE).
+_J_STATUS = 0    # 0 none, 1 queued, 2 running, 3 done, 4 cancelled
+_J_INHEAP = 1    # a heap entry exists (stays 1, stale, after queued-cancel)
+_J_CANCEL = 2    # cancel_evt
+_J_RESULT = 3    # 0 none, 1 full, 2 partial (truncated at cancellation)
+_J_DISPATCH = 4  # times the dispatcher claimed this job
+_J_CACHEHIT = 5  # served from the result cache
+_JSTRIDE = 6
+
+#: Globals after the job records.
+_G_QUEUED = _NJOBS * _JSTRIDE      # the service's _queued counter
+_G_CLOSED = _G_QUEUED + 1
+_G_CACHE = _G_CLOSED + 1           # 0 empty, 1 full result, 2 partial
+_REGION = _G_CACHE + 1
+
+_NONE, _QUEUED, _RUNNING, _DONE, _CANCELLED = range(5)
+
+
+def _job(region: bytearray, j: int, off: int) -> int:
+    return region[j * _JSTRIDE + off]
+
+
+def _set(region: bytearray, j: int, off: int, value: int) -> None:
+    region[j * _JSTRIDE + off] = value
+
+
+def _check_invariants(region: bytearray, where: str) -> None:
+    """The four safety properties, asserted after every atomic step."""
+    if region[_G_CACHE] == 2:
+        raise InterleaveViolation(
+            f"result cache holds a partial (cancelled) result after {where}"
+        )
+    queued = sum(
+        1 for j in range(_NJOBS) if _job(region, j, _J_STATUS) == _QUEUED
+    )
+    if region[_G_QUEUED] != queued:
+        raise InterleaveViolation(
+            f"lost queue slot after {where}: _queued={region[_G_QUEUED]} "
+            f"but {queued} job(s) are in QUEUED status"
+        )
+    for j in range(_NJOBS):
+        if (
+            _job(region, j, _J_STATUS) == _DONE
+            and _job(region, j, _J_RESULT) == 0
+        ):
+            raise InterleaveViolation(
+                f"job {j} is DONE without a result after {where}"
+            )
+        if _job(region, j, _J_DISPATCH) > 1:
+            raise InterleaveViolation(
+                f"job {j} dispatched {_job(region, j, _J_DISPATCH)} times "
+                f"after {where}"
+            )
+
+
+class _Submitter(_Actor):
+    """``SolverService.submit``: one lock region — admit, record the
+    job, push the heap entry, bump the queued counter.  Op ``j``
+    submits job ``j``; submission against a closed service is the
+    real code's ``RuntimeError`` (a no-op here)."""
+
+    name = "submit"
+
+    def __init__(self, region: bytearray, bug: str | None = None) -> None:
+        super().__init__(_NJOBS, bug)
+        self.region = region
+
+    def step(self) -> None:
+        r, j = self.region, self.op
+        if r[_G_CLOSED]:
+            self._end_op("closed")
+            return
+        _set(r, j, _J_STATUS, _QUEUED)
+        _set(r, j, _J_INHEAP, 1)
+        r[_G_QUEUED] += 1
+        _check_invariants(r, f"submit({j})")
+        self._end_op(j)
+
+
+class _Canceller(_Actor):
+    """``SolverService.cancel``: one lock region.  A queued job leaves
+    the queue immediately (its heap entry stays, stale); a running job
+    only gets its flag set.  Op ``j`` cancels job ``j``."""
+
+    name = "cancel"
+
+    def __init__(self, region: bytearray, bug: str | None = None) -> None:
+        super().__init__(_NJOBS, bug)
+        self.region = region
+
+    def step(self) -> None:
+        r, j = self.region, self.op
+        status = _job(r, j, _J_STATUS)
+        if status == _QUEUED:
+            _set(r, j, _J_CANCEL, 1)
+            if self.bug != "queue_count_leak":
+                r[_G_QUEUED] -= 1
+            _set(r, j, _J_STATUS, _CANCELLED)
+            _check_invariants(r, f"cancel({j})")
+            self._end_op(True)
+            return
+        if status == _RUNNING:
+            _set(r, j, _J_CANCEL, 1)
+            _check_invariants(r, f"cancel({j})")
+            self._end_op(True)
+            return
+        _check_invariants(r, f"cancel({j})")
+        self._end_op(False)
+
+
+class _Dispatcher(_Actor):
+    """The dispatcher thread: ``_dispatch_loop`` claim +
+    ``_run_job``, one pc per lock region of the real code.
+
+    - pc 0 — *claim* (``_dispatch_loop``'s ``with self._cond``):
+      pop heap entries in FIFO order, skipping stale ones, until a
+      QUEUED job is found; mark it RUNNING and decrement the counter.
+      Spins (no state change) while nothing is claimable; exits once
+      closed with an empty backlog.
+    - pc 1 — *cache check* (``_run_job``'s first ``with self._lock``):
+      a hit finishes the job DONE with the cached result.
+    - pc 2 — *the solve* (outside any lock): the result is partial iff
+      the cancellation flag was raised before/during the run.
+    - pc 3 — *insert + finish* (``_run_job``'s final
+      ``with self._cond``): read the cancellation flag once; insert
+      into the cache only when clear; status follows the same read.
+      The injected bugs split or stale-read exactly this step.
+    """
+
+    name = "dispatch"
+
+    def __init__(self, region: bytearray, bug: str | None = None) -> None:
+        super().__init__(_NJOBS, bug)
+        self.region = region
+
+    def step(self) -> None:
+        r, loc = self.region, self.locals
+        if self.pc == 0:
+            claimed = -1
+            for j in range(_NJOBS):
+                if not _job(r, j, _J_INHEAP):
+                    continue
+                if _job(r, j, _J_STATUS) != _QUEUED:
+                    _set(r, j, _J_INHEAP, 0)  # stale entry: pop and skip
+                    continue
+                _set(r, j, _J_INHEAP, 0)
+                _set(r, j, _J_STATUS, _RUNNING)
+                r[_G_QUEUED] -= 1
+                _set(r, j, _J_DISPATCH, _job(r, j, _J_DISPATCH) + 1)
+                claimed = j
+                break
+            if claimed < 0:
+                if r[_G_CLOSED]:
+                    self.op = self.depth  # dispatcher thread exits
+                    self.pc = 0
+                    _check_invariants(r, "dispatcher-exit")
+                    return
+                _check_invariants(r, "dispatch-wait")
+                return  # cond.wait: spin until something is claimable
+            if r[_G_CLOSED]:
+                raise InterleaveViolation(
+                    f"job {claimed} dispatched after shutdown"
+                )
+            loc["j"] = claimed
+            # cache_insert_before_status_check: the buggy refactor
+            # snapshots the cancellation flag here, at claim time.
+            loc["snap"] = _job(r, claimed, _J_CANCEL)
+            _check_invariants(r, f"claim({claimed})")
+            self.pc = 1
+        elif self.pc == 1:
+            j = loc["j"]
+            if r[_G_CACHE]:
+                if r[_G_CACHE] == 2:
+                    raise InterleaveViolation(
+                        f"cache hit served job {j} a partial result"
+                    )
+                _set(r, j, _J_CACHEHIT, 1)
+                _set(r, j, _J_RESULT, 1)
+                _set(r, j, _J_STATUS, _DONE)
+                _check_invariants(r, f"cache-hit({j})")
+                loc.pop("j"), loc.pop("snap")
+                self._end_op("hit")
+                return
+            self.pc = 2
+        elif self.pc == 2:
+            j = loc["j"]
+            _set(r, j, _J_RESULT, 2 if _job(r, j, _J_CANCEL) else 1)
+            self.pc = 3
+        elif self.pc == 3:
+            j = loc.pop("j")
+            snap = loc.pop("snap")
+            if self.bug == "pr9_cancel_cache":
+                insert_ok = True  # no cancellation check at all
+            elif self.bug == "cache_insert_before_status_check":
+                insert_ok = not snap  # stale claim-time snapshot
+            else:
+                insert_ok = not _job(r, j, _J_CANCEL)
+            if insert_ok:
+                r[_G_CACHE] = _job(r, j, _J_RESULT)
+            cancelled = _job(r, j, _J_CANCEL)
+            _set(r, j, _J_STATUS, _CANCELLED if cancelled else _DONE)
+            _check_invariants(r, f"finish({j})")
+            self._end_op("ran")
+
+
+class _Closer(_Actor):
+    """``SolverService.close``: one lock region — mark closed, drain
+    the heap (cancelling every still-queued job), flag the running
+    job.  ``bug='dispatch_after_shutdown'`` forgets the drain."""
+
+    name = "close"
+
+    def __init__(self, region: bytearray, bug: str | None = None) -> None:
+        super().__init__(1, bug)
+        self.region = region
+
+    def step(self) -> None:
+        r = self.region
+        r[_G_CLOSED] = 1
+        if self.bug != "dispatch_after_shutdown":
+            for j in range(_NJOBS):
+                if not _job(r, j, _J_INHEAP):
+                    continue
+                _set(r, j, _J_INHEAP, 0)
+                if _job(r, j, _J_STATUS) == _QUEUED:
+                    _set(r, j, _J_CANCEL, 1)
+                    r[_G_QUEUED] -= 1
+                    _set(r, j, _J_STATUS, _CANCELLED)
+        for j in range(_NJOBS):
+            if _job(r, j, _J_STATUS) == _RUNNING:
+                _set(r, j, _J_CANCEL, 1)
+        _check_invariants(r, "close")
+        self._end_op("closed")
+
+
+def explore_service(bug: str | None = None) -> InterleaveReport:
+    """Exhaustively explore the service job lifecycle's state graph.
+
+    Two same-key jobs, one dispatcher, a canceller, and a closer —
+    every interleaving of every schedule.  Depth is structural (each
+    actor's op count is fixed by the scenario), so there is no depth
+    parameter to tune; the whole graph is a few thousand states.
+    """
+    if bug is not None and bug not in SERVICE_BUGS:
+        raise ValueError(
+            f"unknown service bug {bug!r} (known: {', '.join(SERVICE_BUGS)})"
+        )
+    region = bytearray(_REGION)
+    actors: list[_Actor] = [
+        _Submitter(region),
+        _Dispatcher(region, bug=bug),
+        _Canceller(region, bug=bug),
+        _Closer(region, bug=bug),
+    ]
+    name = f"ServiceLifecycle(bug={bug})" if bug else "ServiceLifecycle"
+    return _explore(name, _NJOBS, region, actors)

@@ -1,4 +1,4 @@
-"""The five project-invariant rules behind ``python -m repro analyze``.
+"""The core project-invariant rules behind ``python -m repro analyze``.
 
 Every rule is purely static: declarations (the telemetry schema, the
 ``AbsConfig`` field list) are read from the *analyzed* files' ASTs, so
@@ -13,10 +13,12 @@ from fnmatch import fnmatchcase
 from typing import Iterable, Iterator, Sequence
 
 from repro.analysis.core import Finding, Module, Rule, register_rule
+from repro.analysis.lockcheck import RULE_LOCK_DISCIPLINE
 
 __all__ = [
     "RULE_CONFIG_PLUMBING",
     "RULE_KERNEL_PURITY",
+    "RULE_LOCK_DISCIPLINE",
     "RULE_RNG_DISCIPLINE",
     "RULE_SHM_PROTOCOL",
     "RULE_TELEMETRY",

@@ -335,7 +335,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     import repro
-    from repro.analysis import all_rules, analyze_paths, get_rule, render_findings
+    from repro.analysis import (
+        all_rules,
+        analyze_paths,
+        get_rule,
+        render_findings,
+        severity_rank,
+    )
 
     if args.list_rules:
         for rule in all_rules():
@@ -347,10 +353,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     findings = analyze_paths(paths, rules=rules, root=pkg_root.parent)
 
     reports = []
-    if args.interleave:
+    if args.interleave in ("all", "exchange"):
         from repro.analysis.interleave import run_all
 
-        reports = run_all(depth=args.interleave_depth)
+        reports.extend(run_all(depth=args.interleave_depth))
+    if args.interleave in ("all", "service"):
+        from repro.analysis.lifecycle import explore_service
+
+        reports.append(explore_service())
 
     if args.format == "json":
         extra = {
@@ -379,7 +389,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if not findings and not any(not r.ok for r in reports):
             checked = ", ".join(r.id for r in (rules or all_rules()))
             print(f"OK: no findings ({checked})")
-    failed = bool(findings) or any(not r.ok for r in reports)
+    threshold = severity_rank(args.fail_on)
+    gating = [f for f in findings if severity_rank(f.severity) >= threshold]
+    failed = bool(gating) or any(not r.ok for r in reports)
     return 1 if failed else 0
 
 
@@ -772,10 +784,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="list rule ids and exit"
     )
     p.add_argument(
+        "--fail-on",
+        choices=("note", "warning", "error"),
+        default="note",
+        help="lowest finding severity that fails the exit code "
+        "(default note: any finding fails; interleave violations "
+        "always fail)",
+    )
+    p.add_argument(
         "--interleave",
-        action="store_true",
-        help="also exhaustively explore the exchange seqlock/SPSC "
-        "protocols for torn reads and lost records",
+        nargs="?",
+        const="all",
+        choices=("all", "exchange", "service"),
+        default=None,
+        metavar="SUITE",
+        help="also model-check concurrency: 'exchange' explores the "
+        "seqlock/SPSC/tcp stream protocols, 'service' the solver "
+        "service's job lifecycle, 'all' (the default when the flag "
+        "is bare) both",
     )
     p.add_argument(
         "--interleave-depth",

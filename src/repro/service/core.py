@@ -46,6 +46,7 @@ from typing import Any
 from repro.abs.config import AbsConfig
 from repro.abs.exchange import resolve_exchange
 from repro.abs.fleet import WorkerFleet
+from repro.abs.result import SolveResult
 from repro.abs.solver import AdaptiveBulkSearch
 from repro.qubo.io import problem_digest, run_digest
 from repro.service.config import ServiceConfig
@@ -84,7 +85,7 @@ class _Job:
         self.digest = digest
         self.run_key = run_key
         self.status = QUEUED
-        self.result = None
+        self.result: SolveResult | None = None
         self.error: str | None = None
         self.cache_hit = False
         self.cancel_evt = threading.Event()
@@ -119,16 +120,18 @@ class SolverService:
         self.bus = telemetry if telemetry is not None else NULL_BUS
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
-        self._jobs: dict[int, _Job] = {}
-        self._heap: list[tuple[int, int]] = []  # (-priority, job_id)
-        self._queued = 0  # jobs with status QUEUED (heap keeps stale entries)
-        self._next_id = 1
-        self._running: _Job | None = None
-        self._fleet: WorkerFleet | None = None
-        self._fleet_key: tuple | None = None
-        self._result_cache: dict[str, Any] = {}
-        self._cache_order: list[str] = []
-        self._closed = False
+        self._jobs: dict[int, _Job] = {}  # guarded-by: _lock
+        # _heap holds (-priority, job_id); cancelled entries go stale in
+        # place, so _queued tracks the live QUEUED count separately.
+        self._heap: list[tuple[int, int]] = []  # guarded-by: _lock
+        self._queued = 0  # guarded-by: _lock
+        self._next_id = 1  # guarded-by: _lock
+        self._running: _Job | None = None  # guarded-by: _lock
+        self._fleet: WorkerFleet | None = None  # guarded-by: _lock
+        self._fleet_key: tuple[Any, ...] | None = None  # guarded-by: _lock
+        self._result_cache: dict[str, SolveResult] = {}  # guarded-by: _lock
+        self._cache_order: list[str] = []  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="solver-service", daemon=True
         )
@@ -246,7 +249,7 @@ class SolverService:
                 return True
             return False
 
-    def result(self, job_id: int, timeout: float | None = None):
+    def result(self, job_id: int, timeout: float | None = None) -> SolveResult:
         """Block until a job finishes; return its :class:`SolveResult`.
 
         Raises ``TimeoutError`` if the deadline passes, and
@@ -357,20 +360,22 @@ class SolverService:
 
     def _run_job(self, job: _Job) -> None:
         bus = self.bus
-        cached = (
-            self._result_cache.get(job.run_key)
-            if job.run_key is not None
-            else None
-        )
+        with self._lock:
+            cached = (
+                self._result_cache.get(job.run_key)
+                if job.run_key is not None
+                else None
+            )
+            fleet_reused = (
+                self._fleet is not None and self._fleet_key == self._job_key(job)
+            )
         if bus.enabled:
             bus.emit(
                 "service.job_start",
                 job=job.job_id,
                 n=job.solver.n,
                 cache_hit=cached is not None,
-                fleet_reused=(
-                    self._fleet is not None and self._fleet_key == self._job_key(job)
-                ),
+                fleet_reused=fleet_reused,
             )
         if cached is not None:
             with self._cond:
@@ -401,25 +406,29 @@ class SolverService:
             return
         # A cancelled job's result is truncated at the cancellation
         # round — caching it would answer a later identical submission
-        # with the partial result as a DONE hit.
-        if (
-            job.run_key is not None
-            and self.config.result_cache_size
-            and not job.cancel_evt.is_set()
-        ):
-            self._result_cache[job.run_key] = copy.deepcopy(result)
-            self._cache_order.append(job.run_key)
-            while len(self._cache_order) > self.config.result_cache_size:
-                self._result_cache.pop(self._cache_order.pop(0), None)
+        # with the partial result as a DONE hit.  The cancellation flag
+        # is read exactly once, under the lock, so the cache-insert
+        # decision and the final status can never disagree (the PR-9
+        # race was this check running outside the lock).
         with self._cond:
+            cancelled = job.cancel_evt.is_set()
+            if (
+                job.run_key is not None
+                and self.config.result_cache_size
+                and not cancelled
+            ):
+                self._result_cache[job.run_key] = copy.deepcopy(result)
+                self._cache_order.append(job.run_key)
+                while len(self._cache_order) > self.config.result_cache_size:
+                    self._result_cache.pop(self._cache_order.pop(0), None)
             job.result = result
-            self._finish(job, CANCELLED if job.cancel_evt.is_set() else DONE)
+            self._finish(job, CANCELLED if cancelled else DONE)
 
     # ------------------------------------------------------------------
     # Fleet lifecycle
     # ------------------------------------------------------------------
     @staticmethod
-    def _job_key(job: _Job) -> tuple:
+    def _job_key(job: _Job) -> tuple[Any, ...]:
         cfg = job.solver.config
         return (
             resolve_exchange(cfg.exchange),
@@ -432,10 +441,19 @@ class SolverService:
         )
 
     def _ensure_fleet(self, job: _Job) -> WorkerFleet:
+        # Only the dispatcher thread builds or swaps fleets, so there
+        # is no build race; the lock covers the _fleet/_fleet_key refs
+        # that `status`-path readers snapshot.  Slow work — shutdown,
+        # construction, start() — stays outside the locked regions.
         key = self._job_key(job)
-        if self._fleet is not None and self._fleet_key != key:
-            self._teardown_fleet()
-        if self._fleet is None:
+        stale: WorkerFleet | None = None
+        with self._lock:
+            if self._fleet is not None and self._fleet_key != key:
+                stale, self._fleet, self._fleet_key = self._fleet, None, None
+            fleet = self._fleet
+        if stale is not None:
+            stale.shutdown()
+        if fleet is None:
             cfg = job.solver.config
             fleet = WorkerFleet(
                 job.solver.n,
@@ -452,11 +470,13 @@ class SolverService:
                 arm_timeout=self.config.arm_timeout,
             )
             fleet.start()
-            self._fleet = fleet
-            self._fleet_key = key
-        return self._fleet
+            with self._lock:
+                self._fleet = fleet
+                self._fleet_key = key
+        return fleet
 
     def _teardown_fleet(self) -> None:
-        fleet, self._fleet, self._fleet_key = self._fleet, None, None
+        with self._lock:
+            fleet, self._fleet, self._fleet_key = self._fleet, None, None
         if fleet is not None:
             fleet.shutdown()

@@ -1,0 +1,41 @@
+"""Deliberate lock-discipline violations, one per check."""
+
+import threading
+
+
+class RacyService:
+    GUARDED_BY = {"stats": "_lock", "ghost": "_lock"}  # ghost: never assigned
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._aux = threading.Lock()
+        self._jobs = {}  # guarded-by: _lock
+        self._queue = []  # guarded-by: _missing
+        self.stats = {"hits": 0}
+
+    def submit(self, job_id, job):
+        self._jobs[job_id] = job  # unguarded write
+
+    def snapshot(self):
+        with self._lock:
+            jobs = dict(self._jobs)  # fine
+        jobs["hits"] = self.stats["hits"]  # unguarded read (GUARDED_BY)
+        return jobs
+
+    def wait_done(self):
+        with self._cond:
+            self._cond.wait(timeout=0.1)  # wait outside a predicate loop
+
+    def notify_unheld(self):
+        self._cond.notify_all()  # Condition op without holding the lock
+
+    def order_a(self):
+        with self._lock:
+            with self._aux:
+                return len(self._jobs)
+
+    def order_b(self):
+        with self._aux:
+            with self._lock:  # opposite nesting: lock-order cycle
+                return len(self._jobs)

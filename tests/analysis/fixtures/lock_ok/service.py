@@ -1,0 +1,43 @@
+"""A class that follows the guarded-by convention exactly."""
+
+import threading
+
+
+class TidyService:
+    GUARDED_BY = {"stats": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._aux = threading.Lock()
+        self._jobs = {}  # guarded-by: _lock
+        self.stats = {"hits": 0}
+
+    def submit(self, job_id, job):
+        with self._cond:  # Condition aliases onto _lock: satisfies the guard
+            self._jobs[job_id] = job
+            self._cond.notify_all()
+
+    def snapshot(self):
+        with self._lock:
+            out = dict(self._jobs)
+            out["hits"] = self.stats["hits"]
+        return out
+
+    def wait_for_jobs(self):
+        with self._cond:
+            while not self._jobs:
+                self._cond.wait(timeout=0.1)
+            return len(self._jobs)
+
+    def _locked_count(self):  # lock-held: _lock
+        return len(self._jobs)
+
+    def count(self):
+        with self._lock:
+            return self._locked_count()
+
+    def nested_consistent(self):
+        with self._lock:
+            with self._aux:  # one order everywhere: acyclic
+                return len(self._jobs)

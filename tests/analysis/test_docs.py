@@ -99,6 +99,39 @@ class TestDefectClasses:
         _write(tmp_path, "README.md", "Run `python -m repro frobnicate` someday.\n")
         assert check_repo(tmp_path) == []
 
+    def test_unknown_make_target_in_fence(self, tmp_path):
+        _write(tmp_path, "Makefile", "test:\n\tpytest\n")
+        _write(tmp_path, "README.md", "```bash\nmake ship-it\n```\n")
+        findings = check_repo(tmp_path)
+        assert len(findings) == 1
+        assert "make target 'ship-it'" in findings[0].message
+
+    def test_unknown_make_target_in_inline_code(self, tmp_path):
+        _write(tmp_path, "Makefile", "test:\n\tpytest\n")
+        _write(tmp_path, "README.md", "Run `make chek` before pushing.\n")
+        findings = check_repo(tmp_path)
+        assert len(findings) == 1
+        assert "make target 'chek'" in findings[0].message
+
+    def test_known_targets_prose_and_flags_pass(self, tmp_path):
+        _write(
+            tmp_path,
+            "Makefile",
+            ".PHONY: test check\ntest:\n\tpytest\ncheck: test\n\ttrue\n",
+        )
+        _write(
+            tmp_path,
+            "README.md",
+            "Make sure to make the solver fast.\n"   # prose: not matched
+            "Run `make check` or:\n"
+            "```bash\nmake -j4 test\nmake check   # explains make bars in a comment\n```\n",
+        )
+        assert check_repo(tmp_path) == []
+
+    def test_no_makefile_skips_target_check(self, tmp_path):
+        _write(tmp_path, "README.md", "```bash\nmake anything\n```\n")
+        assert check_repo(tmp_path) == []
+
     def test_main_reports_and_fails(self, tmp_path, capsys):
         _write(tmp_path, "README.md", "[gone](nope.md)\n")
         assert main([str(tmp_path)]) == 1

@@ -1,0 +1,206 @@
+"""The service job-lifecycle model checker: proof, anti-proof, and the
+pin against the real :class:`SolverService`.
+
+Three layers, mirroring ``test_interleave.py``:
+
+1. the modeled lifecycle passes *exhaustively* — every interleaving of
+   submit / dispatch / cancel / close for two same-key jobs upholds
+   the four safety invariants (no poisoned cache, no result-less DONE,
+   no lost queue slot, no double dispatch), well inside the 10 s
+   acceptance budget;
+2. every injected lifecycle bug — including the re-injected PR-9
+   cancel/cache race — is detected with a reconstructed schedule;
+3. a *real* ``SolverService`` is driven through the same schedules the
+   model explores (queued-cancel, running-cancel, resubmit-after-
+   cancel, resubmit-after-done, close-drain), asserting the model's
+   invariants on the real object — so the step machines check the
+   actual service, not a drifted model of it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.abs import AbsConfig
+from repro.abs.solver import AdaptiveBulkSearch
+from repro.analysis.lifecycle import SERVICE_BUGS, explore_service
+from repro.qubo import QuboMatrix
+from repro.service import ServiceConfig, SolverService
+
+pytestmark = pytest.mark.analysis
+
+
+# -- 1. exhaustive pass -----------------------------------------------------
+
+@pytest.mark.timeout(10)
+def test_service_lifecycle_exhaustive_no_violations():
+    report = explore_service()
+    assert report.ok, report.violations
+    assert report.structure == "ServiceLifecycle"
+    # exhaustiveness sanity: hundreds of states, full schedules reached
+    assert report.states > 200
+    assert report.transitions > report.states
+    assert report.terminals > 0
+    assert report.elapsed < 10
+
+
+def test_unknown_bug_rejected():
+    with pytest.raises(ValueError, match="unknown service bug"):
+        explore_service(bug="cache_everything")
+
+
+# -- 2. injected bugs are detected with schedules ---------------------------
+
+@pytest.mark.timeout(10)
+@pytest.mark.parametrize("bug", SERVICE_BUGS)
+def test_injected_bug_detected_with_schedule(bug):
+    report = explore_service(bug=bug)
+    assert not report.ok, f"{bug} not detected"
+    assert all("schedule:" in v for v in report.violations)
+
+
+@pytest.mark.timeout(10)
+def test_pr9_cache_poisoning_interleaving_reconstructed():
+    """The exact PR-9 regression: with the cancellation check removed
+    from the cache insert, some schedule caches a cancellation-
+    truncated result — and the checker names a schedule in which the
+    cancellation lands between the dispatcher's claim and its insert."""
+    report = explore_service(bug="pr9_cancel_cache")
+    poisonings = [
+        v for v in report.violations
+        if "partial" in v and "cache" in v
+    ]
+    assert poisonings, report.violations
+    schedules = [v.split("schedule:", 1)[1] for v in poisonings]
+    # At least one reconstructed schedule shows the race shape: the
+    # job is dispatched, a cancellation (cancel or close) arrives, and
+    # dispatch steps continue to the poisoning insert afterwards.
+    assert any(
+        "dispatch" in s
+        and ("cancel" in s or "close" in s)
+        and s.rstrip(" )").endswith("dispatch")
+        for s in schedules
+    ), schedules
+
+
+@pytest.mark.timeout(10)
+def test_fixed_model_has_no_poisoning_states():
+    """The correct (current) insert logic reaches states the buggy one
+    also reaches — the graphs differ, proving the bug knob changes
+    behavior rather than disabling exploration."""
+    ok = explore_service()
+    bad = explore_service(bug="pr9_cancel_cache")
+    assert ok.states != bad.states or ok.transitions != bad.transitions
+
+
+# -- 3. the real service driven through the modeled schedules ---------------
+
+@pytest.fixture
+def problem():
+    return QuboMatrix.random(20, seed=11)
+
+
+def cfg(seed, **overrides):
+    kwargs = dict(blocks_per_gpu=4, local_steps=4, max_rounds=3, seed=seed)
+    kwargs.update(overrides)
+    return AbsConfig(**kwargs)
+
+
+@pytest.fixture
+def gate(monkeypatch):
+    """Patch ``solve`` so every job blocks until the gate opens."""
+    evt = threading.Event()
+    real = AdaptiveBulkSearch.solve
+
+    def gated(self, mode="sync"):
+        assert evt.wait(30), "test gate never opened"
+        return real(self, mode)
+
+    monkeypatch.setattr(AdaptiveBulkSearch, "solve", gated)
+    return evt
+
+
+@pytest.mark.timeout(60)
+class TestRealServiceFollowsModel:
+    """Each test is one schedule family from the explored graph,
+    asserting the same invariant the model proves for it."""
+
+    def test_schedule_submit_cancel_dispatch(self, problem, gate):
+        # Model: cancel(j) while QUEUED → CANCELLED, slot freed, the
+        # stale heap entry is skipped, never dispatched (no result).
+        with SolverService(ServiceConfig(max_queue=1)) as svc:
+            running = svc.submit(problem, cfg(1), mode="sync")
+            while svc.status(running)["status"] == "queued":
+                pass
+            queued = svc.submit(problem, cfg(2), mode="sync")
+            assert svc.cancel(queued)
+            snap = svc.status(queued)
+            assert snap["status"] == "cancelled"
+            # lost-queue-slot invariant: the slot is free again
+            svc.submit(problem, cfg(3), mode="sync")
+            gate.set()
+            with pytest.raises(RuntimeError, match="cancelled before it ran"):
+                svc.result(queued, timeout=30)
+
+    def test_schedule_dispatch_cancel_insert_never_caches(self, problem, gate):
+        # Model: cancellation between claim and insert → CANCELLED and
+        # nothing cached; an identical resubmission must re-run, not
+        # cache-hit (the PR-9 poisoning, on the real object).
+        run_cfg = cfg(5)  # seeded sync job: cacheable
+        with SolverService() as svc:
+            first = svc.submit(problem, run_cfg, mode="sync")
+            while svc.status(first)["status"] == "queued":
+                pass  # claimed: the dispatcher is gated inside the run
+            assert svc.cancel(first)  # RUNNING → flag only
+            gate.set()
+            resubmit = svc.submit(problem, run_cfg, mode="sync")
+            res = svc.result(resubmit, timeout=30)
+        assert svc.status(first)["status"] == "cancelled"
+        snap = svc.status(resubmit)
+        assert snap["status"] == "done"
+        assert snap["cache_hit"] is False  # nothing was poisoned in
+        assert res.rounds == 3
+
+    def test_schedule_dispatch_done_then_cache_hit(self, problem, gate):
+        # Model: uncancelled run inserts; the same-key resubmission
+        # cache-hits with a full result and DONE status.
+        run_cfg = cfg(6)
+        gate.set()
+        with SolverService() as svc:
+            first = svc.result(svc.submit(problem, run_cfg, mode="sync"),
+                               timeout=30)
+            again = svc.submit(problem, run_cfg, mode="sync")
+            res = svc.result(again, timeout=30)
+            snap = svc.status(again)
+        assert snap["status"] == "done"
+        assert snap["cache_hit"] is True
+        assert res.best_energy == first.best_energy
+        assert res.rounds == first.rounds  # full, not truncated
+
+    def test_schedule_close_drains_queue(self, problem, gate):
+        # Model: close cancels every queued job and nothing is
+        # dispatched after shutdown.
+        svc = SolverService()
+        running = svc.submit(problem, cfg(1), mode="sync")
+        while svc.status(running)["status"] == "queued":
+            pass
+        queued = svc.submit(problem, cfg(2), mode="sync")
+        gate.set()
+        svc.close()
+        assert svc.status(queued)["status"] == "cancelled"
+        assert svc.status(queued)["best_energy"] is None \
+            if "best_energy" in svc.status(queued) else True
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit(problem, cfg(3), mode="sync")
+
+    def test_done_always_has_result(self, problem, gate):
+        # Model invariant: DONE ⇒ result present (cache hit or run).
+        gate.set()
+        with SolverService() as svc:
+            jid = svc.submit(problem, cfg(7), mode="sync")
+            svc.result(jid, timeout=30)
+            snap = svc.status(jid)
+        assert snap["status"] == "done"
+        assert "best_energy" in snap  # only set when job.result exists

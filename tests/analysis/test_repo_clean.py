@@ -32,6 +32,7 @@ def test_every_rule_registered():
     assert {r.id for r in all_rules()} == {
         "config-plumbing",
         "kernel-purity",
+        "lock-discipline",
         "rng-discipline",
         "shm-protocol",
         "telemetry-consistency",
